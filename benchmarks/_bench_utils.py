@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one experiment from DESIGN.md §4 and writes
+its rendered table to ``benchmarks/results/<id>.txt`` so EXPERIMENTS.md
+can quote the exact artefacts.  The pytest-benchmark timing machinery
+measures the core operation of each experiment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_table(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

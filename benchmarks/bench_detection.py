@@ -1,0 +1,44 @@
+"""T3 — detection guarantees: 1-sided acceptance and >= 2/3 rejection."""
+
+import pytest
+
+from _bench_utils import save_table
+from repro.analysis import run_detection_rates
+from repro.core import CkFreenessTester
+from repro.graphs import ck_free_graph, planted_epsilon_far_graph
+
+
+def test_full_tester_on_far_instance(benchmark):
+    """Time a complete tester run (paper repetition count) on an ε-far
+    instance; it must reject."""
+    g, _ = planted_epsilon_far_graph(120, 5, 0.1, seed=0)
+    tester = CkFreenessTester(5, 0.1)
+
+    result = benchmark.pedantic(
+        lambda: tester.run(g, seed=2), rounds=3, iterations=1
+    )
+    assert result.rejected
+
+
+def test_full_tester_on_free_instance(benchmark):
+    """Time a complete (never-stopping-early) run on a Ck-free instance;
+    it must accept — 1-sidedness."""
+    g = ck_free_graph(120, 5, seed=1)
+    tester = CkFreenessTester(5, 0.1)
+
+    result = benchmark.pedantic(
+        lambda: tester.run(g, seed=3), rounds=1, iterations=1
+    )
+    assert result.accepted
+
+
+def test_detection_rate_table(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_detection_rates(k=5, eps=0.1, n=80, trials=15, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("T3_detection_rates", result.render())
+    rows = {r["cls"]: r for r in result.rows}
+    assert rows["free"]["rate"] == 1.0, "1-sidedness violated"
+    assert rows["far"]["rate"] >= 2 / 3, "paper's 2/3 bound not met"

@@ -1,0 +1,26 @@
+"""T5 — Lemma 4: edge-disjoint cycle packings in ε-far graphs."""
+
+import pytest
+
+from _bench_utils import save_table
+from repro.analysis import run_farness_packing
+from repro.graphs import greedy_cycle_packing, lemma4_bound, planted_epsilon_far_graph
+
+
+def test_greedy_packing(benchmark):
+    g, certified = planted_epsilon_far_graph(200, 5, 0.1, seed=0)
+
+    packing = benchmark.pedantic(
+        lambda: greedy_cycle_packing(g, 5), rounds=3, iterations=1
+    )
+    assert len(packing) >= lemma4_bound(g.m, 5, certified) - 1e-9
+
+
+def test_farness_table(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_farness_packing(k=5, eps=0.1, ns=(50, 100, 200), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("T5_farness_packing", result.render())
+    assert all(row["ok"] for row in result.rows), "Lemma 4 bound violated!"

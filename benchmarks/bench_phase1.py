@@ -1,0 +1,45 @@
+"""T4 — Lemma 5: rank collision statistics of Phase 1."""
+
+import numpy as np
+import pytest
+
+from _bench_utils import save_table
+from repro.analysis import run_phase1_statistics
+from repro.core import (
+    draw_ranks,
+    exact_distinct_rank_probability,
+    lemma5_bound,
+)
+
+
+def test_rank_drawing_throughput(benchmark):
+    """Time the per-node rank draw for a degree-64 node."""
+    rng = np.random.default_rng(0)
+    neighbors = tuple(range(1, 65))
+
+    draws = benchmark(lambda: draw_ranks(0, neighbors, m=2048, rng=rng))
+    assert len(draws) == 64
+
+
+def test_phase1_statistics_table(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_phase1_statistics(ms=(4, 16, 64, 256), trials=2000, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("T4_phase1_collisions", result.render())
+    for row in result.rows:
+        # Lemma 5: both the exact value and the empirical estimate clear
+        # the 1/e² bound comfortably.
+        assert row["exact"] >= lemma5_bound()
+        assert row["empirical"] >= lemma5_bound()
+        # Empirical tracks exact within a loose binomial tolerance.
+        assert abs(row["empirical"] - row["exact"]) < 0.05
+
+
+def test_exact_probability_converges(benchmark):
+    vals = benchmark(
+        lambda: [exact_distinct_rank_probability(m) for m in (2, 8, 32, 128, 512)]
+    )
+    # (1 - 1/m)^m style product converges to exp(-1/2) from either side.
+    assert abs(vals[-1] - np.exp(-0.5)) < 1e-2

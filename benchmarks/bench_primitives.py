@@ -1,0 +1,38 @@
+"""Substrate benchmarks: the classic CONGEST primitives.
+
+Not a paper experiment — these validate and time the simulator's building
+blocks (and give a feel for the simulator's per-round overhead on
+non-cycle workloads).
+"""
+
+import pytest
+
+from repro.congest import Network, aggregate, build_bfs_tree, elect_leader
+from repro.graphs import grid_graph, random_tree, torus_graph
+from repro.graphs.properties import diameter
+
+
+def test_leader_election(benchmark):
+    net = Network(torus_graph(12, 12))
+    leader, run = benchmark.pedantic(
+        lambda: elect_leader(net), rounds=3, iterations=1
+    )
+    assert leader == 0
+
+
+def test_bfs_tree(benchmark):
+    g = grid_graph(12, 12)
+    net = Network(g)
+    bfs = benchmark.pedantic(lambda: build_bfs_tree(net, 0), rounds=3, iterations=1)
+    assert bfs[g.n - 1].distance == diameter(g)
+
+
+def test_convergecast_sum(benchmark):
+    g = random_tree(150, seed=3)
+    net = Network(g)
+    total = benchmark.pedantic(
+        lambda: aggregate(net, 0, {v: v for v in range(150)}, lambda a, b: a + b),
+        rounds=3,
+        iterations=1,
+    )
+    assert total == sum(range(150))

@@ -1,0 +1,32 @@
+"""F3 — simulator scalability: wall-clock per round vs network size."""
+
+import pytest
+
+from _bench_utils import save_table
+from repro.analysis import run_scalability
+from repro.core import CkFreenessTester
+from repro.graphs import erdos_renyi_gnm
+
+
+@pytest.mark.parametrize("n", [200, 800])
+def test_repetition_wallclock(benchmark, n):
+    g = erdos_renyi_gnm(n, 2 * n, seed=1)
+    tester = CkFreenessTester(5, 0.1, repetitions=1)
+
+    res = benchmark.pedantic(lambda: tester.run(g, seed=1), rounds=3, iterations=1)
+    assert res.repetitions_run == 1
+
+
+def test_scalability_table(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_scalability(k=5, ns=(100, 200, 400, 800), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("F3_scalability", result.render())
+    rows = result.rows
+    # Sub-quadratic growth in m: per-round time should scale roughly
+    # linearly with the edge count (generous 4x slack for constants).
+    t_small = rows[0]["per_round"] / max(rows[0]["m"], 1)
+    t_large = rows[-1]["per_round"] / max(rows[-1]["m"], 1)
+    assert t_large < 6 * t_small

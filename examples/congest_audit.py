@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Bandwidth audit: why pruning is the whole point.
+
+Reproduces the discussion around the paper's Figure 1 on a live
+simulation.  Three algorithms hunt the same k-cycle through the same edge
+on a high-multiplicity instance:
+
+1. Algorithm 1 (pruned append-and-forward)          — fits in CONGEST;
+2. naive append-and-forward (no pruning)            — message blow-up;
+3. ball gathering (collect the ⌊k/2⌋-neighbourhood) — worst of all.
+
+The per-message bit audit of the simulator shows exactly who violates the
+O(log n) budget, and the Lemma-3 sequence bound is checked live.
+
+Run:  python examples/congest_audit.py
+"""
+
+from repro.analysis.tables import Table
+from repro.baselines import (
+    gather_detect_cycle_through_edge,
+    naive_detect_cycle_through_edge,
+)
+from repro.core import detect_cycle_through_edge, lemma3_bound, phase2_rounds
+from repro.graphs import blowup_graph
+
+
+def main() -> None:
+    k = 8
+    table = Table(
+        ["width", "m", "algorithm", "detected", "max seqs/msg",
+         "max bits/msg", "budget (64 log n)"],
+        title=f"CONGEST bandwidth audit, k={k}, probe edge {{u, v}}",
+    )
+    for width in (4, 8, 12):
+        g = blowup_graph(width, k)
+        import math
+
+        budget = 64 * math.ceil(math.log2(g.n))
+        pruned = detect_cycle_through_edge(g, (0, 1), k)
+        naive = naive_detect_cycle_through_edge(g, (0, 1), k,
+                                                max_sequences_cap=20_000)
+        gather = gather_detect_cycle_through_edge(g, (0, 1), k)
+        for name, detected, seqs, bits in (
+            ("algorithm 1", pruned.detected,
+             pruned.run.trace.max_sequences_per_message,
+             pruned.run.trace.max_message_bits),
+            ("naive fwd", naive.detected,
+             naive.max_sequences_per_message,
+             naive.run.trace.max_message_bits),
+            ("ball gather", gather.detected, "-",
+             gather.max_message_bits),
+        ):
+            table.add_row(width, g.m, name, detected, seqs, bits, budget)
+    print(table.render())
+
+    print("\nLemma 3 bound by round (k=8):",
+          [lemma3_bound(k, t) for t in range(1, phase2_rounds(k) + 1)])
+    print(
+        "\nReading: algorithm 1's messages stay a small constant number of\n"
+        "sequences (O_k(log n) bits) while both baselines grow with the\n"
+        "instance — the naive forwarder with the number of parallel paths,\n"
+        "the gatherer with the whole ball it ships home."
+    )
+
+
+if __name__ == "__main__":
+    main()

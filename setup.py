@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so
+that environments with an older setuptools/no ``wheel`` package (where
+PEP 660 editable installs are unavailable) can still do
+``python setup.py develop`` / legacy ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

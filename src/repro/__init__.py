@@ -1,0 +1,62 @@
+"""repro — reproduction of *Distributed Detection of Cycles*
+(Fraigniaud & Olivetti, SPAA 2017).
+
+The library provides, from the bottom up:
+
+* :mod:`repro.graphs` — graph substrate, generators, exact oracles and
+  ε-farness certification;
+* :mod:`repro.congest` — a bit-audited synchronous CONGEST simulator;
+* :mod:`repro.combinatorics` — hitting sets and Erdős–Hajnal–Moon
+  representative families (the mathematical core of the pruning rule);
+* :mod:`repro.core` — Algorithm 1, Phase 1 and the O(1/ε)-round tester;
+* :mod:`repro.baselines` — naive/congesting comparators;
+* :mod:`repro.sequential` — centralized twins (Monien k-path via
+  representative families, color coding);
+* :mod:`repro.analysis` — experiment runners behind the benchmarks.
+
+Quickstart::
+
+    from repro import Graph, test_ck_freeness, detect_cycle_through_edge
+    from repro.graphs import planted_epsilon_far_graph
+
+    g, far = planted_epsilon_far_graph(n=120, k=5, eps=0.1, seed=0)
+    result = test_ck_freeness(g, k=5, epsilon=0.1, seed=1)
+    print(result)            # reject, with cycle evidence
+    print(result.evidence)   # the witnessed 5-cycle (node IDs)
+"""
+
+from ._version import __version__
+from .congest import (
+    Network,
+    SequenceBundle,
+    SizeModel,
+    SynchronousScheduler,
+)
+from .core import (
+    CkFreenessTester,
+    DetectCkProgram,
+    ExplicitPruner,
+    HittingSetPruner,
+    MultiplexedCkProgram,
+    TesterResult,
+    detect_cycle_through_edge,
+    test_ck_freeness,
+)
+from .graphs import Graph
+
+__all__ = [
+    "__version__",
+    "CkFreenessTester",
+    "DetectCkProgram",
+    "ExplicitPruner",
+    "Graph",
+    "HittingSetPruner",
+    "MultiplexedCkProgram",
+    "Network",
+    "SequenceBundle",
+    "SizeModel",
+    "SynchronousScheduler",
+    "TesterResult",
+    "detect_cycle_through_edge",
+    "test_ck_freeness",
+]

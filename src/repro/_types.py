@@ -1,0 +1,31 @@
+"""Shared type aliases and tiny helpers used across the library.
+
+The whole code base indexes nodes by contiguous integers ``0..n-1`` (the
+*vertex index*), while the CONGEST layer speaks in terms of *identifiers*
+(IDs) drawn from a polynomial range, as the model prescribes.  Keeping the
+two vocabularies distinct at the type level avoids a whole class of bugs
+when an adversarial or randomized ID assignment is in force.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Vertex index in a :class:`repro.graphs.Graph` (contiguous, 0-based).
+Vertex = int
+
+#: CONGEST identifier of a node (arbitrary distinct integer, poly(n) range).
+NodeId = int
+
+#: Undirected edge as an ordered pair of vertex indices (u < v canonical).
+Edge = Tuple[int, int]
+
+#: A Phase-2 message sequence: ordered tuple of node IDs forming a path.
+IdSequence = Tuple[int, ...]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """Return the canonical (sorted) representation of an undirected edge."""
+    if u == v:
+        raise ValueError(f"self-loop ({u},{v}) is not a valid edge")
+    return (u, v) if u < v else (v, u)

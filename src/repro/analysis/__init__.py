@@ -1,0 +1,34 @@
+"""Experiment harness shared by benchmarks, examples and the CLI."""
+
+from .experiments import (
+    ExperimentResult,
+    run_detection_rates,
+    run_farness_packing,
+    run_message_bound,
+    run_phase1_statistics,
+    run_pruning_vs_naive,
+    run_round_complexity,
+    run_scalability,
+    run_through_edge_exactness,
+    wilson_interval,
+)
+from .sweeps import run_boosting_curve, run_epsilon_sweep, run_k_sweep
+from .tables import Table, format_float
+
+__all__ = [
+    "ExperimentResult",
+    "Table",
+    "format_float",
+    "run_detection_rates",
+    "run_farness_packing",
+    "run_message_bound",
+    "run_phase1_statistics",
+    "run_pruning_vs_naive",
+    "run_round_complexity",
+    "run_scalability",
+    "run_boosting_curve",
+    "run_epsilon_sweep",
+    "run_k_sweep",
+    "run_through_edge_exactness",
+    "wilson_interval",
+]

@@ -1,0 +1,107 @@
+"""Parameter sweeps: the boosting curve and the ε / k scaling data.
+
+These extend the §3.5 analysis empirically:
+
+* :func:`run_boosting_curve` — empirical rejection probability as a
+  function of the repetition count r, against the theoretical lower
+  bound ``1 − (1 − ε/e²)^r``.  Shows where the paper's pessimistic
+  per-repetition bound sits relative to reality.
+* :func:`run_epsilon_sweep` — repetitions/rounds as ε varies (the
+  O(1/ε) curve as data).
+* :func:`run_k_sweep` — per-repetition rounds, Lemma-3 ceiling and
+  realised message loads as k varies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.bounds import (
+    max_sequences_any_round,
+    per_repetition_detection_bound,
+    repetitions_needed,
+    rounds_per_repetition,
+)
+from ..core.tester import CkFreenessTester
+from ..graphs import generators
+from .experiments import ExperimentResult, wilson_interval
+from .tables import Table
+
+__all__ = ["run_boosting_curve", "run_epsilon_sweep", "run_k_sweep"]
+
+
+def run_boosting_curve(
+    *,
+    k: int = 5,
+    eps: float = 0.1,
+    n: int = 60,
+    rep_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    trials: int = 30,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Empirical P[reject] vs repetitions on ε-far instances (A5)."""
+    rng = np.random.default_rng(seed)
+    table = Table(
+        ["reps", "trials", "P[reject] empirical", "95% CI", "theory lower bound"],
+        title=f"A5 - boosting curve (k={k}, eps={eps}, n={n})",
+    )
+    result = ExperimentResult("A5", table=table)
+    p_single = per_repetition_detection_bound(eps)
+    for r in rep_counts:
+        tester = CkFreenessTester(k, eps, repetitions=r)
+        hits = 0
+        for _ in range(trials):
+            g, _ = generators.planted_epsilon_far_graph(
+                n, k, eps, seed=int(rng.integers(2**31))
+            )
+            res = tester.run(g, seed=int(rng.integers(2**31)))
+            hits += int(res.rejected)
+        rate = hits / trials
+        lo, hi = wilson_interval(hits, trials)
+        bound = 1.0 - (1.0 - p_single) ** r
+        table.add_row(r, trials, rate, f"[{lo:.3f},{hi:.3f}]", bound)
+        result.rows.append(dict(reps=r, rate=rate, lo=lo, hi=hi, bound=bound))
+    return result
+
+
+def run_epsilon_sweep(
+    *, k: int = 5, epsilons: Sequence[float] = (0.4, 0.2, 0.1, 0.05, 0.025)
+) -> ExperimentResult:
+    """Repetitions and total rounds as ε shrinks (A6): the O(1/ε) line."""
+    table = Table(
+        ["eps", "1/eps", "reps", "total rounds", "rounds * eps"],
+        title=f"A6 - O(1/eps) scaling (k={k})",
+    )
+    result = ExperimentResult("A6", table=table)
+    per = rounds_per_repetition(k)
+    for eps in epsilons:
+        reps = repetitions_needed(eps)
+        total = reps * per
+        table.add_row(eps, 1 / eps, reps, total, total * eps)
+        result.rows.append(dict(eps=eps, reps=reps, total=total))
+    return result
+
+
+def run_k_sweep(
+    *, ks: Sequence[int] = (3, 4, 5, 6, 7, 8, 9, 10), width: int = 6
+) -> ExperimentResult:
+    """Per-repetition rounds and message ceilings as k grows (A7)."""
+    from ..core.algorithm1 import detect_cycle_through_edge
+
+    table = Table(
+        ["k", "rounds/rep", "lemma3 ceiling", "measured max seqs (blowup)"],
+        title="A7 - k scaling: rounds stay floor(k/2)+1, ceilings grow",
+    )
+    result = ExperimentResult("A7", table=table)
+    for k in ks:
+        g = generators.blowup_graph(width, k)
+        det = detect_cycle_through_edge(g, (0, 1), k)
+        measured = det.run.trace.max_sequences_per_message
+        table.add_row(k, rounds_per_repetition(k), max_sequences_any_round(k), measured)
+        result.rows.append(
+            dict(k=k, rounds=rounds_per_repetition(k),
+                 ceiling=max_sequences_any_round(k), measured=measured)
+        )
+    return result

@@ -1,0 +1,59 @@
+"""Fixed-width table rendering shared by benchmarks, examples and the CLI.
+
+The paper has no numerical tables; the experiment harness prints its
+derived tables (see DESIGN.md §4) in a uniform format so EXPERIMENTS.md
+can quote them verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+__all__ = ["Table", "format_float"]
+
+
+def format_float(x: Any, digits: int = 4) -> str:
+    """Human-friendly numeric formatting used in table cells."""
+    if isinstance(x, bool):
+        return "yes" if x else "no"
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 10_000 or abs(x) < 1e-3:
+            return f"{x:.{digits}g}"
+        return f"{x:.{digits}g}"
+    return str(x)
+
+
+class Table:
+    """A tiny eager table builder with aligned text output."""
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([format_float(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

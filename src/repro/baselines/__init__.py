@@ -1,0 +1,33 @@
+"""Baseline algorithms the reproduction compares against.
+
+* :mod:`repro.baselines.naive` — append-and-forward without pruning (the
+  strawman of §3.2; congestion comparator).
+* :mod:`repro.baselines.gather` — radius-⌊k/2⌋ ball collection (ruled out
+  in §1.2; bandwidth comparator).
+* :mod:`repro.baselines.triangle` — the [7]-style O(1/ε²) triangle tester
+  (published point of comparison for k = 3).
+"""
+
+from .gather import (
+    GatherResult,
+    NeighborhoodGatherProgram,
+    gather_detect_cycle_through_edge,
+)
+from .naive import (
+    NaiveAppendForwardProgram,
+    NaiveDetectionResult,
+    naive_detect_cycle_through_edge,
+)
+from .triangle import TriangleProbeProgram, TriangleTesterCHFSV, TriangleTesterResult
+
+__all__ = [
+    "GatherResult",
+    "NaiveAppendForwardProgram",
+    "NaiveDetectionResult",
+    "NeighborhoodGatherProgram",
+    "TriangleProbeProgram",
+    "TriangleTesterCHFSV",
+    "TriangleTesterResult",
+    "gather_detect_cycle_through_edge",
+    "naive_detect_cycle_through_edge",
+]

@@ -1,0 +1,111 @@
+"""Neighbourhood-gathering baseline — the approach the paper rules out.
+
+§1.2: *"in the CONGEST model, even collecting the identities of the nodes
+at distance 2 from a given node u might be impossible to achieve in o(n)
+rounds ... u may have constant degree, with Ω(n) neighbors at distance
+2."*
+
+This program has every node collect its radius-``⌊k/2⌋`` ball (vertices
+and edges) by flooding adjacency lists, then decide centrally whether a
+k-cycle through the target edge is visible.  It is trivially correct but
+its messages carry Θ(ball size) IDs — the audit shows them bursting the
+CONGEST budget on exactly the instances the paper describes.  Used only
+as the congestion comparator in experiment F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..congest.message import SizeModel
+from ..congest.network import Network
+from ..congest.node import Broadcast, NodeContext, NodeProgram, Outbox
+from ..congest.scheduler import RunResult, SynchronousScheduler
+from ..core.algorithm1 import phase2_rounds
+from ..errors import ConfigurationError
+from ..graphs.cycles import has_cycle_through_edge
+from ..graphs.graph import Graph
+
+__all__ = ["NeighborhoodGatherProgram", "gather_detect_cycle_through_edge", "GatherResult"]
+
+#: An adjacency fact: (node, neighbour) as IDs.
+Fact = Tuple[int, int]
+
+
+class NeighborhoodGatherProgram(NodeProgram):
+    """Flood adjacency facts for ``⌊k/2⌋`` rounds, then decide locally."""
+
+    def __init__(self, ctx: NodeContext, k: int, edge: Tuple[int, int]) -> None:
+        if k < 3:
+            raise ConfigurationError(f"k must be >= 3, got {k}")
+        u, v = edge
+        self._k = k
+        self._edge = (u, v) if u < v else (v, u)
+        self._known: Set[Fact] = set()
+        self._fresh: Set[Fact] = set()
+
+    def on_start(self, ctx: NodeContext) -> Outbox:
+        mine = {(ctx.my_id, nb) for nb in ctx.neighbor_ids}
+        self._known = set(mine)
+        return Broadcast(frozenset(mine))
+
+    def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        incoming: Set[Fact] = set()
+        for sender in sorted(inbox):
+            incoming.update(inbox[sender])
+        fresh = incoming - self._known
+        self._known.update(fresh)
+        if not fresh:
+            return None
+        return Broadcast(frozenset(fresh))
+
+    def on_finish(self, ctx: NodeContext, inbox: Dict) -> bool:
+        for sender in sorted(inbox):
+            self._known.update(inbox[sender])
+        u, v = self._edge
+        if (u, v) not in self._known and (v, u) not in self._known:
+            return False
+        # Rebuild the local view and query the exact oracle on it.
+        ids = sorted({x for f in self._known for x in f})
+        index = {nid: i for i, nid in enumerate(ids)}
+        local = Graph(len(ids))
+        for a, b in self._known:
+            if not local.has_edge(index[a], index[b]):
+                local.add_edge(index[a], index[b])
+        return has_cycle_through_edge(local, (index[u], index[v]), self._k)
+
+
+@dataclass
+class GatherResult:
+    detected: bool
+    run: RunResult
+
+    @property
+    def max_message_bits(self) -> int:
+        return self.run.trace.max_message_bits
+
+
+def gather_detect_cycle_through_edge(
+    graph,
+    edge: Tuple[int, int],
+    k: int,
+    *,
+    network: Optional[Network] = None,
+    strict_bandwidth: bool = False,
+) -> GatherResult:
+    """Run the gathering baseline; with ``strict_bandwidth=True`` it raises
+    :class:`repro.errors.BandwidthExceededError` on congested instances —
+    demonstrating precisely why this approach fails in CONGEST."""
+    net = network if network is not None else Network(graph)
+    u, v = edge
+    if not graph.has_edge(u, v):
+        raise ConfigurationError(f"edge {edge} not in graph")
+    edge_ids = net.edge_ids(u, v)
+    scheduler = SynchronousScheduler(net, strict_bandwidth=strict_bandwidth)
+    result = scheduler.run(
+        lambda ctx: NeighborhoodGatherProgram(ctx, k, edge_ids),
+        num_rounds=phase2_rounds(k),
+    )
+    detected = any(bool(o) for o in result.outputs.values())
+    return GatherResult(detected=detected, run=result)

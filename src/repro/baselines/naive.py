@@ -1,0 +1,132 @@
+"""Naive append-and-forward — Algorithm 1 without the pruning rule.
+
+Paper §3.2: *"This append-and-forward technique can be trivially extended
+to detect Ck ... However, a node of high degree may have to forward very
+many sequences during a round ... violating the bandwidth restriction of
+the CONGEST model."*
+
+This program forwards **every** received sequence (after the own-ID
+filter), so its message sizes grow with the number of distinct paths from
+the edge — exponentially on theta/Behrend instances.  It is complete and
+sound (it is a superset of Algorithm 1's behaviour) and exists purely as
+the congestion comparator for experiments F1/T2.
+
+``max_sequences_cap`` bounds the blow-up so benchmarks terminate; when the
+cap trips, the run records that the baseline exceeded it (which is the
+measurement of interest) and truncates deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .._types import IdSequence
+from ..congest.message import SequenceBundle
+from ..congest.network import Network
+from ..congest.node import Broadcast, NodeContext, NodeProgram, Outbox
+from ..congest.scheduler import RunResult, SynchronousScheduler
+from ..core.algorithm1 import (
+    DetectionOutcome,
+    find_detection_evidence,
+    phase2_rounds,
+)
+from ..core.sequences import drop_containing, sort_sequences
+from ..errors import ConfigurationError
+
+__all__ = ["NaiveAppendForwardProgram", "naive_detect_cycle_through_edge", "NaiveDetectionResult"]
+
+
+class NaiveAppendForwardProgram(NodeProgram):
+    """Unpruned Phase 2 for a fixed edge (baseline)."""
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        k: int,
+        edge: Tuple[int, int],
+        max_sequences_cap: Optional[int] = None,
+    ) -> None:
+        if k < 3:
+            raise ConfigurationError(f"k must be >= 3, got {k}")
+        u, v = edge
+        self._k = k
+        self._edge = (u, v) if u < v else (v, u)
+        self._cap = max_sequences_cap
+        self._last_sent: List[IdSequence] = []
+        self.cap_tripped = False
+
+    def on_start(self, ctx: NodeContext) -> Outbox:
+        if ctx.my_id in self._edge:
+            seed = (ctx.my_id,)
+            self._last_sent = [seed]
+            return Broadcast(SequenceBundle(frozenset([seed])))
+        return None
+
+    def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        received: List[IdSequence] = []
+        for sender in sorted(inbox):
+            received.extend(inbox[sender].sequences)
+        kept = sort_sequences(drop_containing(received, ctx.my_id))
+        if self._cap is not None and len(kept) > self._cap:
+            self.cap_tripped = True
+            kept = kept[: self._cap]
+        send = [seq + (ctx.my_id,) for seq in kept]
+        self._last_sent = send
+        if not send:
+            return None
+        return Broadcast(SequenceBundle(frozenset(send)))
+
+    def on_finish(self, ctx: NodeContext, inbox: Dict) -> DetectionOutcome:
+        received: List[IdSequence] = []
+        for sender in sorted(inbox):
+            received.extend(inbox[sender].sequences)
+        received = sort_sequences(received)
+        cycle = find_detection_evidence(ctx.my_id, self._k, self._last_sent, received)
+        return DetectionOutcome(rejects=cycle is not None, cycle=cycle)
+
+
+@dataclass
+class NaiveDetectionResult:
+    """Outcome + congestion telemetry of the naive baseline."""
+
+    detected: bool
+    run: RunResult
+    cap_tripped: bool
+
+    @property
+    def max_sequences_per_message(self) -> int:
+        return self.run.trace.max_sequences_per_message
+
+
+def naive_detect_cycle_through_edge(
+    graph,
+    edge: Tuple[int, int],
+    k: int,
+    *,
+    network: Optional[Network] = None,
+    max_sequences_cap: Optional[int] = 100_000,
+) -> NaiveDetectionResult:
+    """Run the unpruned baseline for ``edge`` (vertex indices)."""
+    net = network if network is not None else Network(graph)
+    u, v = edge
+    if not graph.has_edge(u, v):
+        raise ConfigurationError(f"edge {edge} not in graph")
+    edge_ids = net.edge_ids(u, v)
+    programs: List[NaiveAppendForwardProgram] = []
+
+    def factory(ctx: NodeContext) -> NaiveAppendForwardProgram:
+        p = NaiveAppendForwardProgram(ctx, k, edge_ids, max_sequences_cap)
+        programs.append(p)
+        return p
+
+    scheduler = SynchronousScheduler(net)
+    result = scheduler.run(factory, num_rounds=phase2_rounds(k))
+    detected = any(
+        isinstance(o, DetectionOutcome) and o.rejects for o in result.outputs.values()
+    )
+    return NaiveDetectionResult(
+        detected=detected,
+        run=result,
+        cap_tripped=any(p.cap_tripped for p in programs),
+    )

@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-cycles test --generator gnp --n 200 --p 0.05 --k 5 --eps 0.1
+    repro-cycles detect --generator figure1 --k 5 --edge 0 1
+    repro-cycles experiment T2
+    repro-cycles experiment all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import analysis
+from .core.algorithm1 import detect_cycle_through_edge
+from .core.tester import CkFreenessTester
+from .graphs import generators
+from .graphs.graph import Graph
+
+__all__ = ["main", "build_parser"]
+
+
+def _build_graph(args: argparse.Namespace) -> Graph:
+    gen = args.generator
+    if gen == "gnp":
+        return generators.erdos_renyi_gnp(args.n, args.p, seed=args.seed)
+    if gen == "gnm":
+        return generators.erdos_renyi_gnm(args.n, args.m, seed=args.seed)
+    if gen == "cycle":
+        return generators.cycle_graph(args.n)
+    if gen == "theta":
+        return generators.theta_graph(args.paths, args.path_length)
+    if gen == "flower":
+        return generators.flower_graph(args.paths, args.k)
+    if gen == "figure1":
+        return generators.figure1_graph()
+    if gen == "eps-far":
+        g, certified = generators.planted_epsilon_far_graph(
+            args.n, args.k, args.eps, seed=args.seed
+        )
+        print(f"# planted eps-far instance, certified farness {certified:.4f}")
+        return g
+    if gen == "ck-free":
+        return generators.ck_free_graph(args.n, args.k, seed=args.seed)
+    raise SystemExit(f"unknown generator {gen!r}")
+
+
+def _cmd_test(args: argparse.Namespace) -> int:
+    g = _build_graph(args)
+    tester = CkFreenessTester(args.k, args.eps, repetitions=args.repetitions)
+    result = tester.run(g, seed=args.seed)
+    print(result)
+    if result.rejected:
+        print(f"cycle evidence (node IDs): {result.evidence}")
+    return 0 if result.accepted else 1
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    g = _build_graph(args)
+    u, v = args.edge
+    det = detect_cycle_through_edge(g, (u, v), args.k)
+    print(f"k={args.k} edge=({u},{v}) detected={det.detected}")
+    if det.detected:
+        print(f"cycle (node IDs): {det.any_cycle_ids()}")
+        print(f"rejecting vertices: {det.rejecting_vertices}")
+    print(f"rounds={det.run.trace.num_rounds} "
+          f"max_seqs/msg={det.run.trace.max_sequences_per_message} "
+          f"max_bits/msg={det.run.trace.max_message_bits}")
+    if args.timeline:
+        from .congest.timeline import render_trace
+
+        print()
+        print(render_trace(det.run.trace))
+    return 0
+
+
+_EXPERIMENTS: Dict[str, Callable[[], "analysis.ExperimentResult"]] = {
+    "T1": analysis.run_round_complexity,
+    "T2": analysis.run_message_bound,
+    "T3": analysis.run_detection_rates,
+    "T4": analysis.run_phase1_statistics,
+    "T5": analysis.run_farness_packing,
+    "F1": analysis.run_pruning_vs_naive,
+    "F2": analysis.run_through_edge_exactness,
+    "F3": analysis.run_scalability,
+    "A5": analysis.run_boosting_curve,
+    "A6": analysis.run_epsilon_sweep,
+    "A7": analysis.run_k_sweep,
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names: List[str]
+    if args.name == "all":
+        names = list(_EXPERIMENTS)
+    else:
+        if args.name not in _EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {args.name!r}; choose from "
+                f"{', '.join(_EXPERIMENTS)} or 'all'"
+            )
+        names = [args.name]
+    for name in names:
+        result = _EXPERIMENTS[name]()
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .testing import differential_campaign
+
+    report = differential_campaign(
+        trials=args.trials,
+        seed=args.seed,
+        include_naive=args.with_baselines,
+        include_monien=args.with_baselines,
+    )
+    print(report)
+    for f in report.failures[:10]:
+        print(f"  {f.kind}: k={f.k} edge={f.edge} n={f.n} -> {f.detail}")
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cycles",
+        description="Distributed Ck-freeness testing (Fraigniaud & Olivetti, "
+        "SPAA 2017) on a simulated CONGEST network.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--generator", default="gnp",
+                       choices=["gnp", "gnm", "cycle", "theta", "flower",
+                                "figure1", "eps-far", "ck-free"])
+        p.add_argument("--n", type=int, default=100)
+        p.add_argument("--m", type=int, default=200)
+        p.add_argument("--p", type=float, default=0.05)
+        p.add_argument("--paths", type=int, default=4)
+        p.add_argument("--path-length", type=int, default=3)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_test = sub.add_parser("test", help="run the full Ck-freeness tester")
+    add_graph_args(p_test)
+    p_test.add_argument("--k", type=int, required=True)
+    p_test.add_argument("--eps", type=float, default=0.1)
+    p_test.add_argument("--repetitions", type=int, default=None)
+    p_test.set_defaults(func=_cmd_test)
+
+    p_detect = sub.add_parser(
+        "detect", help="run Algorithm 1 for one edge (deterministic)"
+    )
+    add_graph_args(p_detect)
+    p_detect.add_argument("--k", type=int, required=True)
+    p_detect.add_argument("--eps", type=float, default=0.1)
+    p_detect.add_argument("--edge", type=int, nargs=2, default=(0, 1))
+    p_detect.add_argument("--timeline", action="store_true",
+                          help="print the per-round bandwidth timeline")
+    p_detect.set_defaults(func=_cmd_detect)
+
+    p_exp = sub.add_parser("experiment", help="run a DESIGN.md experiment")
+    p_exp.add_argument("name", help="T1..T5, F1..F3 or 'all'")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential campaign vs the exact oracle"
+    )
+    p_fuzz.add_argument("--trials", type=int, default=100)
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--with-baselines", action="store_true")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

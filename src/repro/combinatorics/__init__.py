@@ -1,0 +1,23 @@
+"""Combinatorial substrate: hitting sets and EHM representative families."""
+
+from .hitting import find_hitting_set, has_hitting_set, min_hitting_set_size
+from .representative import (
+    ehm_bound,
+    greedy_bound,
+    greedy_representative_family,
+    is_representative,
+)
+from .subsets import count_k_subsets, disjoint_subsets, k_subsets
+
+__all__ = [
+    "count_k_subsets",
+    "disjoint_subsets",
+    "ehm_bound",
+    "find_hitting_set",
+    "greedy_bound",
+    "greedy_representative_family",
+    "has_hitting_set",
+    "is_representative",
+    "k_subsets",
+    "min_hitting_set_size",
+]

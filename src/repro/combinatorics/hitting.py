@@ -1,0 +1,86 @@
+"""Bounded hitting-set solver (classic FPT branching).
+
+Given a family of non-empty sets, each of size at most ``p``, decide
+whether some set ``H`` of at most ``q`` elements intersects every member.
+The bounded search tree branches on the elements of an arbitrary un-hit
+set, giving worst-case ``O(p^q)`` tree nodes — tiny for the parameters of
+Algorithm 1 (``p = t-1 <= k/2 - 1``, ``q = k - t``).
+
+This is the computational core of the fast pruner: a sequence ``L`` can be
+extended to a candidate k-cycle witness iff the family
+``{L'' \\ L : L'' already kept}`` admits a hitting set of size ``<= k - t``
+(see :mod:`repro.core.pruning` for the reduction).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["has_hitting_set", "find_hitting_set", "min_hitting_set_size"]
+
+
+def find_hitting_set(
+    family: Sequence[Iterable], budget: int
+) -> Optional[Set]:
+    """Return a hitting set of size <= ``budget`` or ``None``.
+
+    The empty family is hit by the empty set.  A family containing an empty
+    set is unhittable (returns ``None``).
+    """
+    sets: List[FrozenSet] = [frozenset(s) for s in family]
+    if any(not s for s in sets):
+        return None
+    # Deduplicate and drop supersets (hitting a subset hits its supersets).
+    sets = _reduce(sets)
+    chosen: Set = set()
+    result = _branch(sets, budget, chosen)
+    return result
+
+
+def has_hitting_set(family: Sequence[Iterable], budget: int) -> bool:
+    """Whether a hitting set of size <= ``budget`` exists."""
+    return find_hitting_set(family, budget) is not None
+
+
+def min_hitting_set_size(family: Sequence[Iterable], cap: int) -> Optional[int]:
+    """Smallest hitting-set size, or ``None`` if it exceeds ``cap``."""
+    for b in range(0, cap + 1):
+        if has_hitting_set(family, b):
+            return b
+    return None
+
+
+def _reduce(sets: List[FrozenSet]) -> List[FrozenSet]:
+    """Remove duplicates and strict supersets (standard kernelisation)."""
+    uniq = sorted(set(sets), key=lambda s: (len(s), sorted(map(repr, s))))
+    kept: List[FrozenSet] = []
+    for s in uniq:
+        if not any(t <= s for t in kept):
+            kept.append(s)
+    return kept
+
+
+def _branch(
+    sets: List[FrozenSet], budget: int, chosen: Set
+) -> Optional[Set]:
+    # Find an un-hit set.
+    unhit = None
+    for s in sets:
+        if not (s & chosen):
+            unhit = s
+            break
+    if unhit is None:
+        return set(chosen)
+    if budget == 0:
+        return None
+    # Branch on each element of the smallest un-hit set for a tighter tree.
+    for s in sets:
+        if not (s & chosen) and len(s) < len(unhit):
+            unhit = s
+    for x in sorted(unhit, key=repr):
+        chosen.add(x)
+        found = _branch(sets, budget - 1, chosen)
+        chosen.discard(x)
+        if found is not None:
+            return found
+    return None

@@ -1,0 +1,34 @@
+"""Small subset utilities shared by the pruners and the EHM machinery."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+__all__ = ["k_subsets", "count_k_subsets", "disjoint_subsets"]
+
+
+def k_subsets(ground: Sequence, k: int) -> Iterator[FrozenSet]:
+    """All k-element subsets of ``ground`` as frozensets, in the
+    deterministic order induced by the input sequence."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    for combo in combinations(ground, k):
+        yield frozenset(combo)
+
+
+def count_k_subsets(n: int, k: int) -> int:
+    """``C(n, k)`` (0 when k > n)."""
+    if k < 0 or k > n:
+        return 0
+    return comb(n, k)
+
+
+def disjoint_subsets(
+    ground: Sequence, k: int, avoid: Iterable
+) -> Iterator[FrozenSet]:
+    """All k-subsets of ``ground`` disjoint from ``avoid``."""
+    avoid_set = set(avoid)
+    filtered = [x for x in ground if x not in avoid_set]
+    yield from k_subsets(filtered, k)

@@ -1,0 +1,64 @@
+"""CONGEST-model simulation substrate.
+
+* :mod:`repro.congest.network` — topology + ID assignment.
+* :mod:`repro.congest.scheduler` — lock-step synchronous rounds.
+* :mod:`repro.congest.node` — the node-program interface.
+* :mod:`repro.congest.message` — bundles and the bit-exact size model.
+* :mod:`repro.congest.instrumentation` — bandwidth audit.
+* :mod:`repro.congest.ids` — identifier assignment strategies.
+"""
+
+from .faults import DropFaults, FaultModel, FaultyScheduler, TargetedFaults
+from .ids import (
+    IdAssigner,
+    IdentityIds,
+    RandomPermutationIds,
+    ReverseIds,
+    SpreadIds,
+)
+from .instrumentation import ExecutionTrace, Instrumentation, RoundStats
+from .message import SequenceBundle, SizeModel, tag_order_key
+from .network import Network
+from .node import Broadcast, NodeContext, NodeProgram
+from .primitives import (
+    AggregateProgram,
+    BfsTreeProgram,
+    LeaderElectProgram,
+    aggregate,
+    build_bfs_tree,
+    elect_leader,
+)
+from .scheduler import RunResult, SynchronousScheduler
+from .timeline import render_comparison, render_trace
+
+__all__ = [
+    "AggregateProgram",
+    "BfsTreeProgram",
+    "Broadcast",
+    "DropFaults",
+    "ExecutionTrace",
+    "FaultModel",
+    "FaultyScheduler",
+    "IdAssigner",
+    "IdentityIds",
+    "Instrumentation",
+    "LeaderElectProgram",
+    "Network",
+    "NodeContext",
+    "NodeProgram",
+    "RandomPermutationIds",
+    "ReverseIds",
+    "RoundStats",
+    "RunResult",
+    "SequenceBundle",
+    "SizeModel",
+    "SpreadIds",
+    "SynchronousScheduler",
+    "TargetedFaults",
+    "aggregate",
+    "build_bfs_tree",
+    "elect_leader",
+    "render_comparison",
+    "render_trace",
+    "tag_order_key",
+]

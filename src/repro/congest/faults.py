@@ -1,0 +1,141 @@
+"""Fault injection for the CONGEST simulator.
+
+The paper assumes a reliable synchronous network.  These wrappers let the
+test-suite probe what happens when that assumption is violated:
+
+* :class:`DropFaults` — each delivery is dropped independently with a
+  fixed probability (crash-free lossy links);
+* :class:`TargetedFaults` — an adversary silences chosen directed links
+  for chosen rounds (worst-case censorship).
+
+The interesting, *testable* consequences (see
+``tests/test_faults.py``):
+
+1. **Soundness is fault-tolerant.** Dropping messages can only remove
+   sequences; every rejection is still backed by genuine cycle evidence
+   (Lemma 1 is preserved under message loss).  The tester never gains
+   false alarms, however hostile the adversary.
+2. **Completeness is not.** A single well-placed drop can hide the only
+   witness — the deterministic guarantee of Lemma 2 genuinely needs
+   reliable links, and the fault harness demonstrates it constructively.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .instrumentation import Instrumentation
+from .message import SizeModel
+from .network import Network
+from .node import NodeProgram
+from .scheduler import RunResult, SynchronousScheduler
+
+__all__ = ["FaultModel", "DropFaults", "TargetedFaults", "FaultyScheduler"]
+
+
+class FaultModel(ABC):
+    """Decides the fate of each (round, sender, receiver) delivery."""
+
+    @abstractmethod
+    def delivers(self, round_index: int, sender_id: int, receiver_id: int) -> bool:
+        """Return False to drop the message."""
+
+    def reset(self) -> None:
+        """Called at the start of each run (stateful models override)."""
+
+
+class DropFaults(FaultModel):
+    """I.i.d. message loss with probability ``p`` per delivery."""
+
+    def __init__(self, p: float, seed=None) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"drop probability must be in [0,1], got {p}")
+        self.p = p
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.dropped = 0
+        self.delivered = 0
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+        self.dropped = 0
+        self.delivered = 0
+
+    def delivers(self, round_index: int, sender_id: int, receiver_id: int) -> bool:
+        if self.p > 0.0 and self._rng.random() < self.p:
+            self.dropped += 1
+            return False
+        self.delivered += 1
+        return True
+
+
+class TargetedFaults(FaultModel):
+    """Adversarial censorship of specific directed links.
+
+    ``blocked`` is a set of ``(round_index, sender_id, receiver_id)``
+    triples; ``round_index = None`` entries block the link in every round.
+    """
+
+    def __init__(
+        self,
+        blocked: Set[Tuple[Optional[int], int, int]],
+    ) -> None:
+        self._exact = {b for b in blocked if b[0] is not None}
+        self._always = {(s, r) for (rd, s, r) in blocked if rd is None}
+        self.dropped = 0
+
+    def reset(self) -> None:
+        self.dropped = 0
+
+    def delivers(self, round_index: int, sender_id: int, receiver_id: int) -> bool:
+        if (round_index, sender_id, receiver_id) in self._exact or (
+            sender_id,
+            receiver_id,
+        ) in self._always:
+            self.dropped += 1
+            return False
+        return True
+
+
+class FaultyScheduler(SynchronousScheduler):
+    """A scheduler whose deliveries pass through a :class:`FaultModel`.
+
+    Dropped messages are still *charged* to the sender's bandwidth (they
+    were sent), but never reach the receiver's inbox.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        faults: FaultModel,
+        *,
+        size_model: Optional[SizeModel] = None,
+        strict_bandwidth: bool = False,
+    ) -> None:
+        super().__init__(
+            network, size_model=size_model, strict_bandwidth=strict_bandwidth
+        )
+        self._faults = faults
+
+    def run(self, make_program, num_rounds: int) -> RunResult:
+        self._faults.reset()
+        return super().run(make_program, num_rounds)
+
+    def _deliver(self, outboxes, instr: Instrumentation, round_index: int):
+        inboxes = super()._deliver(outboxes, instr, round_index)
+        net = self._net
+        for w, inbox in enumerate(inboxes):
+            if not inbox:
+                continue
+            receiver_id = net.node_id(w)
+            doomed = [
+                sender
+                for sender in inbox
+                if not self._faults.delivers(round_index, sender, receiver_id)
+            ]
+            for sender in doomed:
+                del inbox[sender]
+        return inboxes

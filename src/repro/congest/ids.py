@@ -1,0 +1,125 @@
+"""Identifier assignment strategies.
+
+The CONGEST model gives nodes "arbitrary distinct identities in a range
+polynomial in n".  Algorithms must work for *every* such assignment, so the
+test-suite exercises several:
+
+* :class:`IdentityIds` — ID(v) = v (the friendly default);
+* :class:`RandomPermutationIds` — a random injection into ``[0, n^2)``;
+* :class:`ReverseIds` — ID(v) = n-1-v (flips every smaller-endpoint
+  decision of Phase 1);
+* :class:`SpreadIds` — deterministic multiplicative spread in a poly range.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "IdAssigner",
+    "IdentityIds",
+    "RandomPermutationIds",
+    "ReverseIds",
+    "SpreadIds",
+]
+
+
+class IdAssigner(ABC):
+    """Maps vertex indices ``0..n-1`` to distinct CONGEST IDs."""
+
+    @abstractmethod
+    def assign(self, n: int) -> List[int]:
+        """Return the ID of each vertex; must be n distinct non-negatives."""
+
+    def id_space(self, n: int) -> int:
+        """Upper bound (exclusive) on assigned IDs, for bit accounting."""
+        return max(2, n)
+
+
+class IdentityIds(IdAssigner):
+    """ID(v) = v."""
+
+    def assign(self, n: int) -> List[int]:
+        return list(range(n))
+
+
+class ReverseIds(IdAssigner):
+    """ID(v) = n - 1 - v."""
+
+    def assign(self, n: int) -> List[int]:
+        return list(range(n - 1, -1, -1))
+
+
+class RandomPermutationIds(IdAssigner):
+    """Random distinct IDs drawn from ``[0, n^2)`` (polynomial range)."""
+
+    def __init__(self, seed=None):
+        self._seed = seed
+
+    def assign(self, n: int) -> List[int]:
+        if n == 0:
+            return []
+        rng = np.random.default_rng(self._seed)
+        space = max(2, n * n)
+        ids = rng.choice(space, size=n, replace=False)
+        return [int(x) for x in ids]
+
+    def id_space(self, n: int) -> int:
+        return max(2, n * n)
+
+
+class SpreadIds(IdAssigner):
+    """Deterministic spread: ID(v) = (a*v + b) mod p for a prime p > n^2.
+
+    Gives "random-looking" but reproducible IDs without an RNG.
+    """
+
+    def __init__(self, a: int = 48271, b: int = 11):
+        if a <= 0:
+            raise ConfigurationError("multiplier must be positive")
+        self._a = a
+        self._b = b
+
+    def assign(self, n: int) -> List[int]:
+        p = _next_prime(max(2, n * n))
+        seen: Dict[int, int] = {}
+        out = []
+        for v in range(n):
+            x = (self._a * v + self._b) % p
+            # p > n^2 >= n and a is invertible mod p, so collisions cannot
+            # happen; assert to be safe.
+            if x in seen:  # pragma: no cover
+                raise ConfigurationError("ID collision in SpreadIds")
+            seen[x] = v
+            out.append(x)
+        return out
+
+    def id_space(self, n: int) -> int:
+        return _next_prime(max(2, n * n))
+
+
+def _next_prime(x: int) -> int:
+    """Smallest prime >= x (trial division; fine for the sizes used)."""
+    candidate = max(2, x)
+    while True:
+        if _is_prime(candidate):
+            return candidate
+        candidate += 1
+
+
+def _is_prime(x: int) -> bool:
+    if x < 2:
+        return False
+    if x % 2 == 0:
+        return x == 2
+    f = 3
+    while f * f <= x:
+        if x % f == 0:
+            return False
+        f += 2
+    return True

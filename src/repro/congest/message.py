@@ -1,0 +1,117 @@
+"""Message containers and the bit-exact size model.
+
+The CONGEST model allows ``O(log n)`` bits per edge per round.  To audit
+compliance we charge every message an explicit bit cost:
+
+* a node ID costs ``id_bits`` (``ceil(log2(id_space))``; the paper draws
+  IDs from a range polynomial in n, so ``id_bits = Θ(log n)``);
+* an edge rank costs ``rank_bits`` (``ceil(log2(m^2))``, §3.1);
+* an ID-sequence of length t costs ``t * id_bits`` plus a small length
+  header; a set of sequences costs the sum plus a count header.
+
+Fake IDs (the negative sentinels of Algorithm 1, Instruction 14) are a
+*local* device — they are never transmitted — so they never appear inside
+messages and carry no cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from .._types import IdSequence
+
+__all__ = ["SizeModel", "SequenceBundle", "tag_order_key"]
+
+#: Bits reserved for small headers (sequence length / count fields).
+_HEADER_BITS = 8
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """Bit-cost parameters for the CONGEST audit.
+
+    Parameters
+    ----------
+    id_bits:
+        Cost of one node identifier.
+    rank_bits:
+        Cost of one Phase-1 rank value.
+    budget_factor:
+        The CONGEST budget is ``budget_factor * ceil(log2(n))`` bits per
+        edge per round; used by the strict-mode audit.  For a fixed k the
+        algorithm's messages are O_k(log n) bits, i.e. they fit in the
+        budget for a k-dependent constant factor.
+    """
+
+    id_bits: int
+    rank_bits: int = 0
+    budget_factor: int = 64
+
+    @staticmethod
+    def for_network(n: int, m: int, id_space: Optional[int] = None) -> "SizeModel":
+        """Size model for an n-node, m-edge network.
+
+        ``id_space`` defaults to ``n**2`` ("range polynomial in n").
+        """
+        space = id_space if id_space is not None else max(2, n * n)
+        id_bits = max(1, math.ceil(math.log2(space)))
+        rank_bits = max(1, math.ceil(math.log2(max(2, m * m))))
+        return SizeModel(id_bits=id_bits, rank_bits=rank_bits)
+
+    def sequence_bits(self, seq: IdSequence) -> int:
+        """Cost of one ID sequence."""
+        return len(seq) * self.id_bits + _HEADER_BITS
+
+    def bundle_bits(self, bundle: "SequenceBundle") -> int:
+        """Cost of a full Phase-2 message."""
+        total = _HEADER_BITS  # sequence count
+        if bundle.rank is not None:
+            total += self.rank_bits + 2 * self.id_bits  # edge tag (rank,u,v)
+        for seq in bundle.sequences:
+            total += self.sequence_bits(seq)
+        return total
+
+    def budget_bits(self, n: int) -> int:
+        """Per-edge per-round CONGEST budget for an n-node network."""
+        return self.budget_factor * max(1, math.ceil(math.log2(max(2, n))))
+
+
+@dataclass(frozen=True)
+class SequenceBundle:
+    """A Phase-2 message: a set of ID-sequences tagged with its edge.
+
+    ``edge`` is the (u_id, v_id) pair of the edge being checked (IDs, not
+    vertex indices) and ``rank`` its Phase-1 rank; both are ``None`` for
+    bare runs of Algorithm 1 on a fixed edge (no multiplexing).
+    """
+
+    sequences: FrozenSet[IdSequence]
+    rank: Optional[int] = None
+    edge: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self):
+        for seq in self.sequences:
+            if not isinstance(seq, tuple):
+                raise TypeError(f"sequence must be a tuple, got {type(seq)}")
+
+    @property
+    def tag(self) -> Optional[Tuple[int, Tuple[int, int]]]:
+        """Priority tag ``(rank, edge)`` or None for untagged bundles."""
+        if self.rank is None:
+            return None
+        return (self.rank, self.edge)
+
+    def is_empty(self) -> bool:
+        return not self.sequences
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+
+def tag_order_key(tag: Tuple[int, Tuple[int, int]]):
+    """Total order on execution tags: lower rank wins, ties broken by the
+    (sorted) edge-ID pair, exactly as §3.1 suggests."""
+    rank, edge = tag
+    return (rank, edge)

@@ -1,0 +1,105 @@
+"""Network: a graph plus an ID assignment, ready to run programs on.
+
+Separates the *topology* (vertex indices) from the *names* (CONGEST IDs):
+node programs only ever see IDs, exactly as in the model, while the
+simulator routes by index internally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CongestError
+from ..graphs.graph import Graph
+from .ids import IdAssigner, IdentityIds
+from .message import SizeModel
+from .node import NodeContext
+
+__all__ = ["Network"]
+
+
+class Network:
+    """An n-node CONGEST network over an undirected simple graph.
+
+    Parameters
+    ----------
+    graph:
+        The topology.  The paper assumes connected graphs; we allow
+        disconnected ones (useful in tests) since the algorithms are
+        oblivious to it.
+    id_assigner:
+        Strategy mapping vertex indices to CONGEST IDs.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        id_assigner: Optional[IdAssigner] = None,
+    ) -> None:
+        self._graph = graph
+        assigner = id_assigner if id_assigner is not None else IdentityIds()
+        ids = assigner.assign(graph.n)
+        if len(ids) != graph.n or len(set(ids)) != graph.n:
+            raise CongestError("ID assignment must give n distinct IDs")
+        if any(i < 0 for i in ids):
+            raise CongestError("IDs must be non-negative")
+        self._ids: List[int] = ids
+        self._index_of: Dict[int, int] = {nid: v for v, nid in enumerate(ids)}
+        self._id_space = assigner.id_space(graph.n)
+        self._contexts: List[NodeContext] = [
+            NodeContext(
+                my_id=ids[v],
+                neighbor_ids=tuple(sorted(ids[w] for w in graph.neighbors(v))),
+                n_hint=graph.n,
+                m_hint=graph.m,
+            )
+            for v in graph.vertices()
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def n(self) -> int:
+        return self._graph.n
+
+    @property
+    def m(self) -> int:
+        return self._graph.m
+
+    @property
+    def id_space(self) -> int:
+        return self._id_space
+
+    def node_id(self, vertex: int) -> int:
+        """CONGEST ID of a vertex index."""
+        return self._ids[vertex]
+
+    def vertex_of(self, node_id: int) -> int:
+        """Vertex index of a CONGEST ID."""
+        try:
+            return self._index_of[node_id]
+        except KeyError:
+            raise CongestError(f"unknown node ID {node_id}") from None
+
+    def ids(self) -> Tuple[int, ...]:
+        """All IDs, indexed by vertex."""
+        return tuple(self._ids)
+
+    def context(self, vertex: int) -> NodeContext:
+        """The (immutable) context handed to the program at this vertex."""
+        return self._contexts[vertex]
+
+    def edge_ids(self, u: int, v: int) -> Tuple[int, int]:
+        """The ID pair of an edge given by vertex indices, sorted by ID."""
+        a, b = self._ids[u], self._ids[v]
+        return (a, b) if a < b else (b, a)
+
+    def default_size_model(self) -> SizeModel:
+        """Bit-cost model matching this network's ID space."""
+        return SizeModel.for_network(self.n, self.m, id_space=self._id_space)
+
+    def __repr__(self) -> str:
+        return f"Network(n={self.n}, m={self.m}, id_space={self._id_space})"

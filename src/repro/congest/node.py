@@ -1,0 +1,88 @@
+"""Node-program interface for the synchronous CONGEST scheduler.
+
+A *node program* is the per-node code of a distributed algorithm.  The
+scheduler instantiates one program state per node and drives the rounds:
+
+1. ``on_start(ctx)`` — round 1's send (nodes have no inbox yet);
+2. ``on_round(ctx, r, inbox)`` for rounds ``r = 2..T`` — the inbox holds
+   the messages *sent at round r-1*, keyed by sender ID;
+3. ``on_finish(ctx, inbox)`` — called after the last round with the final
+   inbox; returns the node's output.
+
+Outboxes map neighbour ID -> message; returning :class:`Broadcast` sends
+the same message to every neighbour (the common case in this paper).
+Returning ``None`` sends nothing.
+
+The context object tells a program its own ID and its neighbours' IDs
+(the KT1 knowledge assumption, standard for CONGEST in Peleg's book and
+needed by Phase 1's smaller-endpoint rule).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Generic, Mapping, Optional, Tuple, TypeVar
+
+__all__ = ["Broadcast", "NodeContext", "NodeProgram", "Outbox"]
+
+M = TypeVar("M")  # message type
+
+
+@dataclass(frozen=True)
+class Broadcast(Generic[M]):
+    """Send the same message to every neighbour."""
+
+    message: M
+
+
+#: What a program may return from a round: nothing, a broadcast, or a
+#: per-neighbour mapping (keyed by neighbour ID).
+Outbox = Optional["Broadcast[M] | Mapping[int, M]"]
+
+
+@dataclass(frozen=True)
+class NodeContext:
+    """Immutable per-node view of the network.
+
+    Attributes
+    ----------
+    my_id:
+        This node's CONGEST identifier.
+    neighbor_ids:
+        IDs of adjacent nodes, ascending (deterministic iteration).
+    n_hint / m_hint:
+        Global n and m.  The paper's Phase 1 uses m (rank range [1, m²]);
+        knowing n up to a polynomial is the standard CONGEST assumption
+        that makes O(log n)-bit messages meaningful.
+    """
+
+    my_id: int
+    neighbor_ids: Tuple[int, ...]
+    n_hint: int
+    m_hint: int
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbor_ids)
+
+
+class NodeProgram(ABC):
+    """Base class for per-node algorithm state.
+
+    One instance exists per node; the scheduler owns the lifecycle.  All
+    randomness must come through the generator passed at construction time
+    so that runs are reproducible.
+    """
+
+    @abstractmethod
+    def on_start(self, ctx: NodeContext) -> Outbox:
+        """Compute the round-1 send."""
+
+    @abstractmethod
+    def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict[int, Any]) -> Outbox:
+        """Process round ``round_index`` (>= 2): receive then send."""
+
+    @abstractmethod
+    def on_finish(self, ctx: NodeContext, inbox: Dict[int, Any]) -> Any:
+        """Consume the final inbox and return this node's output."""

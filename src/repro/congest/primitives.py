@@ -1,0 +1,226 @@
+"""Classic CONGEST building blocks.
+
+The cycle tester needs none of these (that is the paper's point — it is
+*local*), but a usable CONGEST toolkit ships them, and the test-suite uses
+them to validate the scheduler against textbook round complexities
+(Peleg, *Distributed Computing: A Locality-Sensitive Approach*):
+
+* :class:`LeaderElectProgram` — min-ID flooding; converges in eccentricity
+  rounds, O(log n) bits per message.
+* :class:`BfsTreeProgram` — BFS tree rooted at a given ID; parent pointers
+  after depth rounds.
+* :class:`AggregateProgram` — convergecast of an associative aggregate up
+  a BFS tree (sum / max / count), pipelined with the tree construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .network import Network
+from .node import Broadcast, NodeContext, NodeProgram, Outbox
+from .scheduler import RunResult, SynchronousScheduler
+
+__all__ = [
+    "LeaderElectProgram",
+    "BfsTreeProgram",
+    "AggregateProgram",
+    "elect_leader",
+    "build_bfs_tree",
+    "aggregate",
+]
+
+
+class LeaderElectProgram(NodeProgram):
+    """Min-ID flooding: every node ends up knowing the global minimum ID.
+
+    One ID per message per round — the canonical O(D)-round, O(log n)-bit
+    leader election in connected networks.
+    """
+
+    def __init__(self, ctx: NodeContext) -> None:
+        self._best = ctx.my_id
+
+    def on_start(self, ctx: NodeContext) -> Outbox:
+        return Broadcast(self._best)
+
+    def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        improved = False
+        for v in inbox.values():
+            if isinstance(v, int) and v < self._best:
+                self._best = v
+                improved = True
+        # Only re-broadcast improvements (quiescence once converged).
+        return Broadcast(self._best) if improved else None
+
+    def on_finish(self, ctx: NodeContext, inbox: Dict) -> int:
+        for v in inbox.values():
+            if isinstance(v, int) and v < self._best:
+                self._best = v
+        return self._best
+
+
+def elect_leader(network: Network, rounds: Optional[int] = None) -> Tuple[int, RunResult]:
+    """Run leader election; returns ``(leader_id, run)``.
+
+    ``rounds`` defaults to n (a safe upper bound on the diameter).
+    """
+    r = rounds if rounds is not None else max(1, network.n)
+    run = SynchronousScheduler(network).run(
+        lambda ctx: LeaderElectProgram(ctx), num_rounds=r
+    )
+    leaders = set(run.outputs.values())
+    if len(leaders) != 1:
+        raise ConfigurationError(
+            f"leader election did not converge in {r} rounds "
+            f"(disconnected network?): {leaders}"
+        )
+    return leaders.pop(), run
+
+
+@dataclass(frozen=True)
+class BfsOutcome:
+    """Per-node BFS result: distance from the root and parent ID."""
+
+    distance: Optional[int]  # None if unreached
+    parent: Optional[int]    # None for the root / unreached
+
+
+class BfsTreeProgram(NodeProgram):
+    """BFS tree construction from a designated root ID.
+
+    Round t delivers the frontier at distance t-1; a node adopts the first
+    (smallest-ID) announcer as its parent.  Messages carry one integer
+    (the sender's distance), well within CONGEST.
+    """
+
+    def __init__(self, ctx: NodeContext, root_id: int) -> None:
+        self._root = root_id
+        self._dist: Optional[int] = 0 if ctx.my_id == root_id else None
+        self._parent: Optional[int] = None
+
+    def on_start(self, ctx: NodeContext) -> Outbox:
+        if self._dist == 0:
+            return Broadcast(0)
+        return None
+
+    def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        if self._dist is not None:
+            return None  # already settled; BFS frontier has passed
+        best_parent = None
+        best_d = None
+        for sender in sorted(inbox):
+            d = inbox[sender]
+            if isinstance(d, int):
+                if best_d is None or d < best_d:
+                    best_d = d
+                    best_parent = sender
+        if best_parent is None:
+            return None
+        self._dist = best_d + 1
+        self._parent = best_parent
+        return Broadcast(self._dist)
+
+    def on_finish(self, ctx: NodeContext, inbox: Dict) -> BfsOutcome:
+        if self._dist is None:
+            # Last-chance adoption from the final frontier.
+            for sender in sorted(inbox):
+                d = inbox[sender]
+                if isinstance(d, int):
+                    self._dist = d + 1
+                    self._parent = sender
+                    break
+        return BfsOutcome(distance=self._dist, parent=self._parent)
+
+
+def build_bfs_tree(
+    network: Network, root_vertex: int, rounds: Optional[int] = None
+) -> Dict[int, BfsOutcome]:
+    """BFS tree from a root vertex; returns vertex -> outcome."""
+    root_id = network.node_id(root_vertex)
+    r = rounds if rounds is not None else max(1, network.n)
+    run = SynchronousScheduler(network).run(
+        lambda ctx: BfsTreeProgram(ctx, root_id), num_rounds=r
+    )
+    return run.outputs
+
+
+class AggregateProgram(NodeProgram):
+    """Convergecast an associative, commutative aggregate to the root.
+
+    Requires a precomputed BFS structure (parent/children known): each
+    node waits for its children's partial aggregates, combines them with
+    its own value and forwards one number to its parent.  Completes in
+    depth-of-tree rounds; every message is a single value.
+    """
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        parent_id: Optional[int],
+        children_ids: Tuple[int, ...],
+        value: Any,
+        combine: Callable[[Any, Any], Any],
+    ) -> None:
+        self._parent = parent_id
+        self._pending = set(children_ids)
+        self._acc = value
+        self._combine = combine
+        self._sent = False
+
+    def _maybe_send(self) -> Outbox:
+        if self._pending or self._sent or self._parent is None:
+            return None
+        self._sent = True
+        return {self._parent: self._acc}
+
+    def on_start(self, ctx: NodeContext) -> Outbox:
+        return self._maybe_send()
+
+    def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        for sender, val in inbox.items():
+            if sender in self._pending:
+                self._pending.discard(sender)
+                self._acc = self._combine(self._acc, val)
+        return self._maybe_send()
+
+    def on_finish(self, ctx: NodeContext, inbox: Dict) -> Any:
+        for sender, val in inbox.items():
+            if sender in self._pending:
+                self._pending.discard(sender)
+                self._acc = self._combine(self._acc, val)
+        return self._acc if self._parent is None else None
+
+
+def aggregate(
+    network: Network,
+    root_vertex: int,
+    values: Dict[int, Any],
+    combine: Callable[[Any, Any], Any],
+    rounds: Optional[int] = None,
+) -> Any:
+    """Convergecast ``values`` (vertex -> value) to the root and return
+    the combined aggregate (as computed *by the root node program*)."""
+    bfs = build_bfs_tree(network, root_vertex)
+    root_id = network.node_id(root_vertex)
+    children: Dict[int, list] = {network.node_id(v): [] for v in network.graph.vertices()}
+    for v, out in bfs.items():
+        if out.parent is not None:
+            children[out.parent].append(network.node_id(v))
+    r = rounds if rounds is not None else max(1, network.n)
+
+    def factory(ctx: NodeContext) -> AggregateProgram:
+        v = network.vertex_of(ctx.my_id)
+        parent = bfs[v].parent if ctx.my_id != root_id else None
+        return AggregateProgram(
+            ctx,
+            parent_id=parent,
+            children_ids=tuple(sorted(children[ctx.my_id])),
+            value=values[v],
+            combine=combine,
+        )
+
+    run = SynchronousScheduler(network).run(factory, num_rounds=r)
+    return run.outputs[root_vertex]

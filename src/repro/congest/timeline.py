@@ -1,0 +1,63 @@
+"""Human-readable rendering of execution traces.
+
+Turns an :class:`~repro.congest.instrumentation.ExecutionTrace` into an
+aligned per-round table — used by the CLI (``detect --timeline``), the
+examples, and anyone debugging a node program.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .instrumentation import ExecutionTrace
+
+__all__ = ["render_trace", "render_comparison"]
+
+
+def render_trace(trace: ExecutionTrace, title: str = "execution timeline") -> str:
+    """One line per round: messages, bits, maxima."""
+    lines: List[str] = [title]
+    header = (
+        f"{'round':>5}  {'msgs':>6}  {'total bits':>10}  "
+        f"{'max bits/msg':>12}  {'max seqs/msg':>12}  {'busiest edge':>14}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in trace.rounds:
+        edge = "-" if r.max_edge is None else f"{r.max_edge[0]}->{r.max_edge[1]}"
+        lines.append(
+            f"{r.round_index:>5}  {r.messages:>6}  {r.total_bits:>10}  "
+            f"{r.max_message_bits:>12}  {r.max_sequences:>12}  {edge:>14}"
+        )
+    lines.append(
+        f"total: {trace.total_messages} messages, {trace.total_bits} bits, "
+        f"peak {trace.max_message_bits} bits/msg"
+    )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    traces: List[ExecutionTrace],
+    labels: Optional[List[str]] = None,
+    title: str = "trace comparison",
+) -> str:
+    """Side-by-side peak statistics for several traces."""
+    if labels is None:
+        labels = [f"run {i}" for i in range(len(traces))]
+    if len(labels) != len(traces):
+        raise ValueError("labels and traces must have equal length")
+    width = max((len(x) for x in labels), default=5)
+    lines = [title]
+    header = (
+        f"{'label':>{width}}  {'rounds':>6}  {'msgs':>8}  "
+        f"{'bits':>10}  {'peak bits':>9}  {'peak seqs':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, t in zip(labels, traces):
+        lines.append(
+            f"{label:>{width}}  {t.num_rounds:>6}  {t.total_messages:>8}  "
+            f"{t.total_bits:>10}  {t.max_message_bits:>9}  "
+            f"{t.max_sequences_per_message:>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""The paper's core contribution: Algorithm 1, Phase 1, and the tester."""
+
+from .algorithm1 import (
+    DetectCkProgram,
+    DetectionOutcome,
+    EdgeDetectionResult,
+    detect_cycle_through_edge,
+    find_detection_evidence,
+    phase2_rounds,
+    process_phase2_round,
+)
+from .bounds import (
+    exact_distinct_rank_probability,
+    lemma3_bound,
+    lemma5_bound,
+    max_sequences_any_round,
+    message_bits_bound,
+    per_repetition_detection_bound,
+    repetitions_needed,
+    rounds_per_repetition,
+    total_rounds,
+)
+from .phase1 import MultiplexedCkProgram, RankDraw, draw_ranks, protocol_rounds
+from .pruning import ExplicitPruner, HittingSetPruner, Pruner
+from .sequences import (
+    collect_ids,
+    drop_containing,
+    fake_ids,
+    is_valid_sequence,
+    sort_sequences,
+)
+from .tester import CkFreenessTester, test_ck_freeness
+from .verify import evidence_to_vertices, verify_cycle_evidence
+from .verdict import RepetitionReport, TesterResult
+
+__all__ = [
+    "CkFreenessTester",
+    "DetectCkProgram",
+    "DetectionOutcome",
+    "EdgeDetectionResult",
+    "ExplicitPruner",
+    "HittingSetPruner",
+    "MultiplexedCkProgram",
+    "Pruner",
+    "RankDraw",
+    "RepetitionReport",
+    "TesterResult",
+    "collect_ids",
+    "detect_cycle_through_edge",
+    "draw_ranks",
+    "drop_containing",
+    "exact_distinct_rank_probability",
+    "fake_ids",
+    "find_detection_evidence",
+    "is_valid_sequence",
+    "lemma3_bound",
+    "lemma5_bound",
+    "max_sequences_any_round",
+    "message_bits_bound",
+    "per_repetition_detection_bound",
+    "phase2_rounds",
+    "process_phase2_round",
+    "protocol_rounds",
+    "repetitions_needed",
+    "rounds_per_repetition",
+    "sort_sequences",
+    "test_ck_freeness",
+    "total_rounds",
+    "evidence_to_vertices",
+    "verify_cycle_evidence",
+]

@@ -1,0 +1,91 @@
+"""Closed-form quantities from the paper's analysis.
+
+Every bound the experiments compare against lives here, so benchmark code
+never re-derives arithmetic inline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .pruning import lemma3_bound
+
+__all__ = [
+    "lemma3_bound",
+    "max_sequences_any_round",
+    "exact_distinct_rank_probability",
+    "lemma5_bound",
+    "per_repetition_detection_bound",
+    "repetitions_needed",
+    "rounds_per_repetition",
+    "total_rounds",
+    "message_bits_bound",
+]
+
+
+def max_sequences_any_round(k: int) -> int:
+    """``max_t (k-t+1)^(t-1)`` over ``t = 1..⌊k/2⌋`` — the per-message
+    sequence bound that holds throughout an execution (Lemma 3)."""
+    return max(lemma3_bound(k, t) for t in range(1, k // 2 + 1))
+
+
+def exact_distinct_rank_probability(m: int) -> float:
+    """Exact probability that m i.i.d. uniform ranks on ``[1, m²]`` are all
+    distinct: ``m²! / ((m²-m)! * m^(2m))`` computed stably in logs."""
+    if m < 1:
+        raise ConfigurationError("m must be >= 1")
+    log_p = 0.0
+    mm = m * m
+    for i in range(m):
+        log_p += math.log(mm - i) - math.log(mm)
+    return math.exp(log_p)
+
+
+def lemma5_bound() -> float:
+    """Lemma 5: the no-collision probability is at least ``1/e²``."""
+    return math.exp(-2.0)
+
+
+def per_repetition_detection_bound(eps: float) -> float:
+    """Per-repetition rejection probability on an ε-far instance:
+    ``P[E] >= ε/e²`` (unique minimum ∧ minimum lies on a k-cycle; §3.5)."""
+    _check_eps(eps)
+    return eps * math.exp(-2.0)
+
+
+def repetitions_needed(eps: float) -> int:
+    """``⌈(e²/ε)·ln 3⌉`` repetitions push the rejection probability on
+    ε-far instances to at least 2/3 (§3.5)."""
+    _check_eps(eps)
+    return math.ceil((math.e ** 2 / eps) * math.log(3.0))
+
+
+def rounds_per_repetition(k: int) -> int:
+    """One rank round plus ``⌊k/2⌋`` Phase-2 rounds."""
+    if k < 3:
+        raise ConfigurationError(f"k must be >= 3, got {k}")
+    return 1 + k // 2
+
+
+def total_rounds(k: int, eps: float, repetitions: Optional[int] = None) -> int:
+    """Total round complexity of the tester: ``reps * (1 + ⌊k/2⌋)``.
+
+    Constant in n, Θ(1/ε) in the testing parameter — Theorem 1.
+    """
+    reps = repetitions if repetitions is not None else repetitions_needed(eps)
+    return reps * rounds_per_repetition(k)
+
+
+def message_bits_bound(k: int, t: int, id_bits: int, header_bits: int = 8) -> int:
+    """Bits of a round-``t`` message under Lemma 3: at most
+    ``(k-t+1)^(t-1)`` sequences of ``t`` IDs (+ per-sequence and
+    per-message headers).  O_k(log n) for fixed k."""
+    seqs = lemma3_bound(k, t)
+    return seqs * (t * id_bits + header_bits) + header_bits
+
+
+def _check_eps(eps: float) -> None:
+    if not 0.0 < eps < 1.0:
+        raise ConfigurationError(f"epsilon must be in (0,1), got {eps}")

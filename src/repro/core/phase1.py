@@ -1,0 +1,205 @@
+"""Phase 1 — random edge ranks and the prioritized multiplexing rule.
+
+Paper §3.1: every edge is *assigned* to its smaller-ID endpoint, which
+draws a uniform rank in ``[1, m²]`` and ships it across the edge (one
+round).  Every node then starts Phase 2 for its minimum-rank incident
+edge.  Concurrent executions share the network under the priority rule:
+
+    a node only ever serves the smallest-rank edge it has become aware
+    of; higher-rank messages are discarded, lower-rank messages cause the
+    node to switch.
+
+Ties are broken by the (sorted) edge-ID pair, as the paper suggests.
+The rule guarantees that when the globally minimal rank is unique, that
+edge's Phase-2 execution proceeds exactly as if it ran alone — which is
+all the correctness proof needs (Lemma 5 lower-bounds the probability of
+uniqueness by ``1/e²``).
+
+:class:`MultiplexedCkProgram` packages rank exchange + selection + the
+multiplexed Algorithm 1 into a single CONGEST node program of
+``1 + ⌊k/2⌋`` rounds (one rank round, then Phase 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .._types import IdSequence
+from ..congest.message import SequenceBundle, tag_order_key
+from ..congest.node import Broadcast, NodeContext, NodeProgram, Outbox
+from ..errors import ConfigurationError
+from .algorithm1 import (
+    DetectionOutcome,
+    find_detection_evidence,
+    phase2_rounds,
+    process_phase2_round,
+)
+from .pruning import HittingSetPruner, Pruner
+from .sequences import sort_sequences
+
+__all__ = [
+    "MultiplexedCkProgram",
+    "draw_ranks",
+    "protocol_rounds",
+    "RankDraw",
+]
+
+Tag = Tuple[int, Tuple[int, int]]
+
+
+def protocol_rounds(k: int) -> int:
+    """Rounds of one full repetition: 1 rank round + ``⌊k/2⌋`` Phase-2."""
+    return 1 + phase2_rounds(k)
+
+
+@dataclass(frozen=True)
+class RankDraw:
+    """A rank drawn for an owned edge (for introspection in tests)."""
+
+    edge: Tuple[int, int]  # (smaller ID, larger ID)
+    rank: int
+
+
+def draw_ranks(
+    my_id: int, neighbor_ids: Tuple[int, ...], m: int, rng: np.random.Generator
+) -> List[RankDraw]:
+    """Draw ranks for edges assigned to this node (those whose other
+    endpoint has a larger ID), in ascending neighbour order.
+
+    Ranks are uniform on ``[1, m²]`` — O(log n) random bits per edge, as
+    the paper notes.
+    """
+    if m < 1:
+        raise ConfigurationError("network must have at least one edge")
+    hi = m * m
+    draws = []
+    for nb in sorted(neighbor_ids):
+        if my_id < nb:
+            rank = int(rng.integers(1, hi + 1))
+            draws.append(RankDraw(edge=(my_id, nb), rank=rank))
+    return draws
+
+
+class MultiplexedCkProgram(NodeProgram):
+    """Phase 1 + prioritized Phase 2 for one repetition of the tester.
+
+    Parameters
+    ----------
+    ctx:
+        Node context.
+    k:
+        Cycle length.
+    master_seed:
+        Seed for the repetition; each node derives an independent stream
+        via ``SeedSequence((master_seed, my_id))`` so that runs are
+        reproducible yet node draws are i.i.d.
+    pruner:
+        Pruning strategy (default: :class:`HittingSetPruner`).
+    """
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        k: int,
+        master_seed: int,
+        pruner: Optional[Pruner] = None,
+    ) -> None:
+        if k < 3:
+            raise ConfigurationError(f"k must be >= 3, got {k}")
+        self._k = k
+        self._pruner = pruner if pruner is not None else HittingSetPruner()
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence((int(master_seed) & 0x7FFFFFFF, ctx.my_id))
+        )
+        self._own_draws: Dict[Tuple[int, int], int] = {}
+        self._tag: Optional[Tag] = None
+        self._last_sent: List[IdSequence] = []
+        self._last_sent_tag: Optional[Tag] = None
+
+    # ------------------------------------------------------------------
+    # Round 1: rank exchange
+    # ------------------------------------------------------------------
+    def on_start(self, ctx: NodeContext) -> Outbox:
+        if ctx.degree == 0:
+            return None
+        draws = draw_ranks(ctx.my_id, ctx.neighbor_ids, ctx.m_hint, self._rng)
+        outbox: Dict[int, int] = {}
+        for d in draws:
+            self._own_draws[d.edge] = d.rank
+            other = d.edge[1] if d.edge[0] == ctx.my_id else d.edge[0]
+            outbox[other] = d.rank
+        return outbox if outbox else {}
+
+    # ------------------------------------------------------------------
+    # Rounds 2..: selection then multiplexed Phase 2
+    # ------------------------------------------------------------------
+    def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        if round_index == 2:
+            return self._select_and_seed(ctx, inbox)
+        return self._phase2_step(ctx, round_index, inbox)
+
+    def _select_and_seed(self, ctx: NodeContext, inbox: Dict[int, int]) -> Outbox:
+        """Collect all incident ranks, pick the minimum, send the seed."""
+        if ctx.degree == 0:
+            return None
+        ranks: Dict[Tuple[int, int], int] = dict(self._own_draws)
+        for sender, rank in inbox.items():
+            if not isinstance(rank, int):
+                continue  # ignore stray payloads defensively
+            edge = (sender, ctx.my_id) if sender < ctx.my_id else (ctx.my_id, sender)
+            ranks[edge] = rank
+        if not ranks:  # pragma: no cover - degree>0 implies ranks exist
+            return None
+        edge, rank = min(ranks.items(), key=lambda kv: (kv[1], kv[0]))
+        self._tag = (rank, edge)
+        seed = (ctx.my_id,)
+        self._last_sent = [seed]
+        self._last_sent_tag = self._tag
+        return Broadcast(SequenceBundle(frozenset([seed]), rank=rank, edge=edge))
+
+    def _phase2_step(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        t = round_index - 1  # Phase-2 round number
+        best, received = self._mux(inbox)
+        if best is None:
+            self._last_sent = []
+            return None
+        self._tag = best
+        send = process_phase2_round(ctx.my_id, received, self._k, t, self._pruner)
+        self._last_sent = send
+        self._last_sent_tag = best
+        if not send:
+            return None
+        rank, edge = best
+        return Broadcast(SequenceBundle(frozenset(send), rank=rank, edge=edge))
+
+    def on_finish(self, ctx: NodeContext, inbox: Dict) -> DetectionOutcome:
+        best, received = self._mux(inbox)
+        if best is None:
+            return DetectionOutcome(rejects=False)
+        own = self._last_sent if self._last_sent_tag == best else []
+        cycle = find_detection_evidence(ctx.my_id, self._k, own, received)
+        return DetectionOutcome(rejects=cycle is not None, cycle=cycle)
+
+    # ------------------------------------------------------------------
+    def _mux(self, inbox: Dict) -> Tuple[Optional[Tag], List[IdSequence]]:
+        """Apply the priority rule: find the smallest tag among the current
+        one and all inbound bundles; return it with the matching sequences
+        (messages with other tags are discarded, §3.1)."""
+        tags: List[Tag] = [] if self._tag is None else [self._tag]
+        bundles: List[Tuple[int, SequenceBundle]] = []
+        for sender in sorted(inbox):
+            msg = inbox[sender]
+            if isinstance(msg, SequenceBundle) and msg.tag is not None:
+                bundles.append((sender, msg))
+                tags.append(msg.tag)
+        if not tags:
+            return None, []
+        best = min(tags, key=tag_order_key)
+        received: List[IdSequence] = []
+        for _, msg in bundles:
+            if msg.tag == best:
+                received.extend(msg.sequences)
+        return best, sort_sequences(received)

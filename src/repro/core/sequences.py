@@ -1,0 +1,59 @@
+"""Helpers for the ID-sequences circulating in Phase 2.
+
+A *sequence* is an ordered tuple of distinct node IDs forming a simple
+path whose first element is ``u`` or ``v`` (Lemma 1).  Fake IDs — the
+negative sentinels of Instruction 14 — exist only inside a node's local
+computation and never inside a transmitted sequence.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from .._types import IdSequence
+
+__all__ = [
+    "sort_sequences",
+    "collect_ids",
+    "drop_containing",
+    "fake_ids",
+    "is_valid_sequence",
+]
+
+
+def sort_sequences(sequences: Iterable[IdSequence]) -> List[IdSequence]:
+    """Deterministic processing order for the pruning loop.
+
+    The paper processes ``R`` "in arbitrary order"; any fixed order is
+    legal, and fixing one makes runs reproducible and lets the two pruner
+    implementations be compared element-for-element.
+    """
+    return sorted(sequences)
+
+
+def collect_ids(sequences: Iterable[IdSequence]) -> Set[int]:
+    """Instruction 13: the set of IDs appearing in at least one sequence."""
+    out: Set[int] = set()
+    for seq in sequences:
+        out.update(seq)
+    return out
+
+
+def drop_containing(sequences: Iterable[IdSequence], my_id: int) -> List[IdSequence]:
+    """Instruction 12: remove sequences that contain this node's ID."""
+    return [seq for seq in sequences if my_id not in seq]
+
+
+def fake_ids(k: int, t: int) -> Tuple[int, ...]:
+    """Instruction 14: the ``k - t`` fake IDs ``-1, -2, ..., -(k-t)``."""
+    return tuple(range(-1, -(k - t) - 1, -1))
+
+
+def is_valid_sequence(seq: IdSequence) -> bool:
+    """Structural validity: a non-empty tuple of distinct non-negative IDs."""
+    return (
+        isinstance(seq, tuple)
+        and len(seq) > 0
+        and len(set(seq)) == len(seq)
+        and all(isinstance(x, int) and x >= 0 for x in seq)
+    )

@@ -1,0 +1,72 @@
+"""Independent verification of cycle evidence.
+
+The tester's 1-sidedness means every rejection carries a witness.  This
+module checks such witnesses against the actual graph, so downstream
+users (and our own test-suite) never have to trust the protocol:
+
+    ok = verify_cycle_evidence(graph, network, result.evidence, k)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..congest.network import Network
+from ..graphs.graph import Graph
+
+__all__ = ["verify_cycle_evidence", "evidence_to_vertices"]
+
+
+def evidence_to_vertices(
+    network: Optional[Network], ids: Sequence[int]
+) -> Tuple[int, ...]:
+    """Map evidence node IDs back to vertex indices (identity when no
+    network is given)."""
+    if network is None:
+        return tuple(int(i) for i in ids)
+    return tuple(network.vertex_of(int(i)) for i in ids)
+
+
+def verify_cycle_evidence(
+    graph: Graph,
+    evidence_ids: Sequence[int],
+    k: int,
+    *,
+    network: Optional[Network] = None,
+    through_edge: Optional[Tuple[int, int]] = None,
+) -> bool:
+    """Whether ``evidence_ids`` is a genuine simple k-cycle in ``graph``.
+
+    Parameters
+    ----------
+    evidence_ids:
+        The cyclic ID tuple from a :class:`TesterResult` or
+        :class:`DetectionOutcome` (closing edge implicit).
+    network:
+        The network the result came from (for the ID → vertex mapping);
+        omit when identity IDs were used.
+    through_edge:
+        If given (vertex indices), additionally require the cycle to pass
+        through this edge.
+    """
+    if evidence_ids is None:
+        return False
+    if len(evidence_ids) != k:
+        return False
+    try:
+        verts = evidence_to_vertices(network, evidence_ids)
+    except Exception:
+        return False
+    if len(set(verts)) != k:
+        return False
+    cycle_edges = set()
+    for i in range(k):
+        u, v = verts[i], verts[(i + 1) % k]
+        if not graph.has_edge(u, v):
+            return False
+        cycle_edges.add((u, v) if u < v else (v, u))
+    if through_edge is not None:
+        a, b = through_edge
+        if ((a, b) if a < b else (b, a)) not in cycle_edges:
+            return False
+    return True

@@ -1,0 +1,44 @@
+"""Extensions beyond the paper's core results.
+
+* :mod:`repro.extensions.chorded` — the §4 obstruction (chorded-cycle
+  detection), reproduced constructively.
+* :mod:`repro.extensions.parallel_reps` — batched repetitions: the
+  rounds-vs-bandwidth tradeoff variant of the tester.
+"""
+
+from .chorded import (
+    ChordedDetectionResult,
+    build_obstruction_instance,
+    cycle_has_chord,
+    has_chorded_cycle_through_edge,
+    oblivious_chorded_detect,
+)
+from .girth import GirthEstimate, estimate_girth
+from .induced import (
+    build_induced_obstruction_instance,
+    has_induced_cycle_through_edge,
+    oracle_assisted_induced_detect,
+    witnessed_cycles,
+)
+from .multi_k import MultiKProgram, MultiKResult, scan_cycle_lengths
+from .parallel_reps import BatchedCkProgram, BatchedCkTester, BatchedResult
+
+__all__ = [
+    "BatchedCkProgram",
+    "BatchedCkTester",
+    "BatchedResult",
+    "ChordedDetectionResult",
+    "GirthEstimate",
+    "MultiKProgram",
+    "MultiKResult",
+    "build_induced_obstruction_instance",
+    "build_obstruction_instance",
+    "cycle_has_chord",
+    "has_chorded_cycle_through_edge",
+    "has_induced_cycle_through_edge",
+    "oblivious_chorded_detect",
+    "estimate_girth",
+    "oracle_assisted_induced_detect",
+    "scan_cycle_lengths",
+    "witnessed_cycles",
+]

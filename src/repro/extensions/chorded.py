@@ -1,0 +1,153 @@
+"""Operationalising the paper's §4 obstruction: chorded cycles.
+
+The conclusion of the paper explains why its technique does not extend to
+detecting a *k-cycle with a chord*: the pruning rule is oblivious to the
+neighbourhoods of the nodes inside the sequences, so it "may well discard
+the sequence corresponding to the cycle in H, and keep a sequence without
+a chord".
+
+This module turns that paragraph into executable artefacts:
+
+* :func:`has_chorded_cycle_through_edge` — the centralized oracle.
+* :func:`oblivious_chorded_detect` — the natural (and provably
+  insufficient) CONGEST extension: run Algorithm 1 unchanged, and let a
+  rejecting node report "chorded" only when it can *locally* certify a
+  chord on the witnessed cycle (i.e. one incident to itself or contained
+  in the ID-sequences it holds).  Soundness survives; completeness does
+  not.
+* :func:`build_obstruction_instance` — a constructive counterexample: a
+  graph where a chorded k-cycle passes through the probe edge, yet the
+  pruning deterministically keeps only chordless witnesses, so the
+  oblivious detector answers "no chorded cycle".  This is the §4
+  obstruction reproduced end-to-end (see ``tests/test_chorded.py`` and
+  the A3 ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .._types import canonical_edge
+from ..core.algorithm1 import detect_cycle_through_edge
+from ..errors import ConfigurationError
+from ..graphs.cycles import cycles_through_edge
+from ..graphs.graph import Graph
+
+__all__ = [
+    "has_chorded_cycle_through_edge",
+    "cycle_has_chord",
+    "oblivious_chorded_detect",
+    "build_obstruction_instance",
+    "ChordedDetectionResult",
+]
+
+
+def cycle_has_chord(g: Graph, cycle: Tuple[int, ...]) -> bool:
+    """Whether the cycle (vertex tuple, closing edge implicit) has a chord
+    in g — an edge between two non-consecutive cycle vertices."""
+    k = len(cycle)
+    on_cycle = {
+        canonical_edge(cycle[i], cycle[(i + 1) % k]) for i in range(k)
+    }
+    for i in range(k):
+        for j in range(i + 1, k):
+            e = canonical_edge(cycle[i], cycle[j])
+            if e in on_cycle:
+                continue
+            if g.has_edge(*e):
+                return True
+    return False
+
+
+def has_chorded_cycle_through_edge(g: Graph, edge: Tuple[int, int], k: int) -> bool:
+    """Centralized oracle: some k-cycle through ``edge`` has a chord."""
+    if k < 4:
+        raise ConfigurationError("a chorded cycle needs k >= 4")
+    for path in cycles_through_edge(g, edge, k):
+        if cycle_has_chord(g, path):
+            return True
+    return False
+
+
+class ChordedDetectionResult:
+    """Outcome of the oblivious chorded detector."""
+
+    __slots__ = ("cycle_detected", "chord_certified", "evidence")
+
+    def __init__(self, cycle_detected: bool, chord_certified: bool, evidence):
+        self.cycle_detected = cycle_detected
+        #: True only when some rejecting node could locally certify a chord.
+        self.chord_certified = chord_certified
+        self.evidence = evidence
+
+
+def oblivious_chorded_detect(
+    g: Graph, edge: Tuple[int, int], k: int
+) -> ChordedDetectionResult:
+    """Algorithm 1 + local chord certification (the oblivious extension).
+
+    A rejecting node w holds the witnessed cycle's IDs; within CONGEST it
+    can check, without extra rounds, only the chords *incident to
+    itself*.  (Under identity IDs the check below uses the graph directly
+    for chords incident to the detecting node — the information a real
+    node would have.)
+    """
+    if k < 4:
+        raise ConfigurationError("a chorded cycle needs k >= 4")
+    det = detect_cycle_through_edge(g, edge, k)
+    if not det.detected:
+        return ChordedDetectionResult(False, False, None)
+    for v in det.rejecting_vertices:
+        cycle = det.outcomes[v].cycle
+        if cycle is None:
+            continue
+        pos = cycle.index(v) if v in cycle else None
+        if pos is None:
+            continue
+        kk = len(cycle)
+        for j in range(kk):
+            if j == pos or (j - pos) % kk == 1 or (pos - j) % kk == 1:
+                continue  # self or cycle-adjacent: not a chord endpoint
+            if g.has_edge(v, cycle[j]):
+                return ChordedDetectionResult(True, True, cycle)
+    return ChordedDetectionResult(True, False, det.any_cycle_ids())
+
+
+def build_obstruction_instance(k: int) -> Tuple[Graph, Tuple[int, int]]:
+    """A graph + probe edge realising the §4 obstruction.
+
+    Construction: probe edge {u, v} = {0, 1}; ``k`` parallel candidate
+    second-vertices ``a_1 .. a_k`` adjacent to u, funnelling into one
+    relay b, then a fixed tail to v.  Exactly one candidate — chosen to
+    be the one the pruning provably discards at the relay (the largest
+    ID, since the pruner keeps at most ``k - t + 1`` of the length-2
+    sequences in sorted order) — carries a chord.  Every k-cycle through
+    {u, v} uses one candidate; only the discarded one is chorded.
+
+    Works for k >= 6 (the relay prunes at round 3, which exists only for
+    ``⌊k/2⌋ >= 3``).  Returns ``(graph, probe_edge)``.
+    """
+    if k < 6:
+        raise ConfigurationError("the obstruction construction needs k >= 6")
+    # Vertices: 0=u, 1=v, 2..k+1 = candidates a_1..a_k, k+2 = relay b,
+    # then a tail of (k - 4) vertices from b to v.
+    num_candidates = k
+    g = Graph(2 + num_candidates + 1 + (k - 4), [(0, 1)])
+    cands = list(range(2, 2 + num_candidates))
+    relay = 2 + num_candidates
+    for a in cands:
+        g.add_edge(0, a)
+        g.add_edge(a, relay)
+    prev = relay
+    for i in range(k - 4):
+        w = 2 + num_candidates + 1 + i
+        g.add_edge(prev, w)
+        prev = w
+    g.add_edge(prev, 1)
+    # Chord: connect the LAST candidate (largest ID => pruned last, and
+    # discarded once the keep-budget k-3+1 = k-2 of the relay is full)
+    # to the first tail vertex — a chord of its k-cycle.
+    chorded_candidate = cands[-1]
+    first_tail = 2 + num_candidates + 1 if k > 4 else 1
+    g.add_edge(chorded_candidate, first_tail)
+    return g, (0, 1)

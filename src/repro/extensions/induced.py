@@ -1,0 +1,113 @@
+"""The second §4 obstruction: *induced* cycles.
+
+The conclusion also notes the technique does not extend to induced
+subgraph detection: "our pruning mechanism is not adapted to detect an
+induced cycle.  It may well discard a sequence corresponding to the
+induced cycle, and keep a sequence with chords."
+
+We realise this constructively, mirroring :mod:`repro.extensions.chorded`
+but with the roles swapped: the construction plants chords on exactly the
+candidates the pruning keeps, so an induced k-cycle through the probe
+edge exists while every surviving witness is chorded.  Even an
+*oracle-assisted* detector — one allowed to check the witnessed cycle for
+chords with full knowledge of the graph — must answer "no induced cycle
+seen", because the pruning already discarded the only induced witnesses.
+This is a strictly stronger failure than the chorded case: no amount of
+local post-processing of Algorithm 1's output can fix it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.algorithm1 import detect_cycle_through_edge
+from ..errors import ConfigurationError
+from ..graphs.cycles import cycles_through_edge
+from ..graphs.graph import Graph
+from .chorded import cycle_has_chord
+
+__all__ = [
+    "has_induced_cycle_through_edge",
+    "witnessed_cycles",
+    "oracle_assisted_induced_detect",
+    "build_induced_obstruction_instance",
+]
+
+
+def has_induced_cycle_through_edge(g: Graph, edge: Tuple[int, int], k: int) -> bool:
+    """Centralized oracle: some *chordless* k-cycle passes through edge."""
+    if k < 4:
+        raise ConfigurationError("induced-cycle questions need k >= 4")
+    for path in cycles_through_edge(g, edge, k):
+        if not cycle_has_chord(g, path):
+            return True
+    return False
+
+
+def witnessed_cycles(g: Graph, edge: Tuple[int, int], k: int) -> List[Tuple[int, ...]]:
+    """All cycle witnesses produced by Algorithm 1's rejecting nodes
+    (vertex tuples under identity IDs)."""
+    det = detect_cycle_through_edge(g, edge, k)
+    out = []
+    for v in sorted(det.rejecting_vertices):
+        cyc = det.outcomes[v].cycle
+        if cyc is not None:
+            out.append(cyc)
+    return out
+
+
+def oracle_assisted_induced_detect(
+    g: Graph, edge: Tuple[int, int], k: int
+) -> Tuple[bool, Optional[Tuple[int, ...]]]:
+    """The strongest detector Algorithm 1's output permits: collect every
+    witnessed cycle and check each for chordlessness *with full graph
+    knowledge*.  Returns ``(induced_cycle_certified, witness_or_None)``.
+
+    On the obstruction instances this returns ``(False, None)`` although
+    an induced k-cycle through the edge exists — the §4 point.
+    """
+    if k < 4:
+        raise ConfigurationError("induced-cycle questions need k >= 4")
+    for cyc in witnessed_cycles(g, edge, k):
+        if not cycle_has_chord(g, cyc):
+            return True, cyc
+    return False, None
+
+
+def build_induced_obstruction_instance(k: int) -> Tuple[Graph, Tuple[int, int]]:
+    """A graph + probe edge where induced-Ck detection via Algorithm 1's
+    witnesses is impossible.
+
+    The skeleton matches
+    :func:`repro.extensions.chorded.build_obstruction_instance` — probe
+    edge {u, v}, ``k`` candidate second-vertices funnelling into a relay,
+    then a tail to v — but here chords ``a_i — w_1`` are added for every
+    candidate the relay's pruning *keeps* (the ``k − 2`` smallest), while
+    the two discarded candidates stay chordless.  Hence: the only induced
+    k-cycles through {u, v} run through discarded candidates; every
+    surviving witness is chorded.  Works for k >= 6.
+    """
+    if k < 6:
+        raise ConfigurationError("the obstruction construction needs k >= 6")
+    num_candidates = k
+    g = Graph(2 + num_candidates + 1 + (k - 4), [(0, 1)])
+    cands = list(range(2, 2 + num_candidates))
+    relay = 2 + num_candidates
+    for a in cands:
+        g.add_edge(0, a)
+        g.add_edge(a, relay)
+    prev = relay
+    first_tail = None
+    for i in range(k - 4):
+        w = 2 + num_candidates + 1 + i
+        if first_tail is None:
+            first_tail = w
+        g.add_edge(prev, w)
+        prev = w
+    g.add_edge(prev, 1)
+    assert first_tail is not None  # k >= 6 implies a non-empty tail
+    # Chord every candidate the relay keeps (the k-2 smallest IDs); the
+    # two largest stay chordless and are exactly the ones pruned away.
+    for a in cands[: num_candidates - 2]:
+        g.add_edge(a, first_tail)
+    return g, (0, 1)

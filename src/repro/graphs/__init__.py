@@ -1,0 +1,144 @@
+"""Graph substrate: data structure, generators, ground truth, farness.
+
+Public surface re-exported here; see the submodules for full docs:
+
+* :mod:`repro.graphs.graph` — the :class:`Graph` type.
+* :mod:`repro.graphs.generators` — instance families (deterministic,
+  random, and the paper-specific stress constructions).
+* :mod:`repro.graphs.behrend` — Behrend/Salem-Spencer AP-free sets and the
+  cycle-Behrend hard instances of [20].
+* :mod:`repro.graphs.cycles` — exact centralized cycle queries (oracles).
+* :mod:`repro.graphs.farness` — ε-farness certification machinery.
+* :mod:`repro.graphs.convert` — networkx interop.
+"""
+
+from .graph import Graph
+from .generators import (
+    binary_tree_graph,
+    blowup_graph,
+    chorded_cycle_graph,
+    ck_free_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_cycles_graph,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    figure1_graph,
+    flower_graph,
+    grid_graph,
+    high_girth_graph,
+    hypercube_graph,
+    path_graph,
+    planted_cycle_graph,
+    planted_epsilon_far_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+    theta_graph,
+    torus_graph,
+)
+from .behrend import (
+    behrend_cycle_graph,
+    behrend_set,
+    is_progression_free,
+    salem_spencer_set,
+)
+from .cycles import (
+    count_k_cycles,
+    cycles_through_edge,
+    enumerate_k_cycles,
+    find_cycle_through_edge,
+    find_k_cycle,
+    girth,
+    has_cycle_through_edge,
+    has_k_cycle,
+    is_ck_free,
+    simple_paths,
+)
+from .farness import (
+    farness_bounds,
+    greedy_cycle_packing,
+    is_epsilon_far,
+    lemma4_bound,
+    min_edge_deletions_to_ck_free,
+)
+from .convert import from_networkx, to_networkx
+from .io import dumps, loads, read_edge_list, write_edge_list
+from .properties import (
+    bfs_distances,
+    bipartition,
+    degree_histogram,
+    density,
+    diameter,
+    eccentricity,
+    is_bipartite,
+    is_tree,
+)
+
+__all__ = [
+    "Graph",
+    # generators
+    "binary_tree_graph",
+    "blowup_graph",
+    "chorded_cycle_graph",
+    "ck_free_graph",
+    "complete_bipartite_graph",
+    "complete_graph",
+    "cycle_graph",
+    "disjoint_cycles_graph",
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "figure1_graph",
+    "flower_graph",
+    "grid_graph",
+    "high_girth_graph",
+    "hypercube_graph",
+    "path_graph",
+    "planted_cycle_graph",
+    "planted_epsilon_far_graph",
+    "random_regular_graph",
+    "random_tree",
+    "star_graph",
+    "theta_graph",
+    "torus_graph",
+    # behrend
+    "behrend_cycle_graph",
+    "behrend_set",
+    "is_progression_free",
+    "salem_spencer_set",
+    # cycles
+    "count_k_cycles",
+    "cycles_through_edge",
+    "enumerate_k_cycles",
+    "find_cycle_through_edge",
+    "find_k_cycle",
+    "girth",
+    "has_cycle_through_edge",
+    "has_k_cycle",
+    "is_ck_free",
+    "simple_paths",
+    # farness
+    "farness_bounds",
+    "greedy_cycle_packing",
+    "is_epsilon_far",
+    "lemma4_bound",
+    "min_edge_deletions_to_ck_free",
+    # convert
+    "from_networkx",
+    "to_networkx",
+    # io
+    "dumps",
+    "loads",
+    "read_edge_list",
+    "write_edge_list",
+    # properties
+    "bfs_distances",
+    "bipartition",
+    "degree_histogram",
+    "density",
+    "diameter",
+    "eccentricity",
+    "is_bipartite",
+    "is_tree",
+]

@@ -1,0 +1,178 @@
+"""Behrend-style graph constructions.
+
+Fraigniaud et al. [20] used explicit *Behrend graphs* to prove that the
+pre-existing distributed testing techniques cannot detect ``C_k`` for most
+``k >= 5`` in constant rounds.  These graphs pack many *edge-disjoint*
+k-cycles while keeping ambient structure sparse, and they are exactly the
+instances on which naive sequence forwarding explodes.  We provide:
+
+* :func:`salem_spencer_set` / :func:`behrend_set` — large progression-free
+  subsets of ``{0..N-1}`` (exact greedy for small N, Behrend's sphere
+  construction for larger N).
+* :func:`behrend_cycle_graph` — the k-partite "cycle-Behrend" graph: parts
+  ``V_0..V_{k-1}``, each a copy of ``Z_M``; for every start ``x`` and
+  stride ``s`` in the AP-free set, the vertices ``x, x+s, x+2s, ...``
+  (one per part, mod M) form a planted k-cycle.  The planted cycles are
+  pairwise edge-disjoint.
+
+For the reproduction, these serve as *hard benchmark instances*: graphs
+with Θ(M·|S|) edge-disjoint k-cycles on which the Lemma-3 message bound is
+stress-tested (experiment T2/F1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .graph import Graph
+
+__all__ = [
+    "is_progression_free",
+    "salem_spencer_set",
+    "behrend_set",
+    "behrend_cycle_graph",
+    "planted_behrend_cycles",
+]
+
+
+def is_progression_free(s: Sequence[int]) -> bool:
+    """Whether the set contains no non-trivial 3-term arithmetic progression
+    (over the integers)."""
+    vals = sorted(set(s))
+    present = set(vals)
+    for i, a in enumerate(vals):
+        for b in vals[i + 1:]:
+            if 2 * b - a in present:
+                return False
+    return True
+
+
+def salem_spencer_set(n: int) -> List[int]:
+    """Greedy progression-free subset of ``{0..n-1}``.
+
+    Exact greedy (digits-in-base-3 characterisation would be denser for
+    some n, but greedy is simple and verifiably AP-free).  Runs in
+    O(n * |S|).
+    """
+    chosen: List[int] = []
+    chosen_set = set()
+    for x in range(n):
+        ok = True
+        for b in chosen:
+            # adding x creates an AP (a, b, x) or (b, x, ...) or (x inside)?
+            # Check the three patterns involving x and one/two chosen:
+            if 2 * b - x in chosen_set:      # (x, b, 2b-x) with x < b
+                ok = False
+                break
+            if (x + b) % 2 == 0 and (x + b) // 2 in chosen_set:  # x, mid, b
+                ok = False
+                break
+            if 2 * x - b in chosen_set:      # (b, x, 2x-b)
+                ok = False
+                break
+        if ok:
+            chosen.append(x)
+            chosen_set.add(x)
+    return chosen
+
+
+def behrend_set(n: int) -> List[int]:
+    """Behrend's construction of a large AP-free subset of ``{0..n-1}``.
+
+    Represents integers in base ``d`` with digits < d/2 and keeps those
+    whose digit vector lies on a common sphere; digit vectors on a sphere
+    contain no 3-term AP, and the digit bound prevents carries, so the
+    integer set is AP-free.  Falls back to the greedy set for small n.
+    """
+    if n < 32:
+        return salem_spencer_set(n)
+    best: List[int] = []
+    # Try a few bases; Behrend's optimum base is ~exp(sqrt(log n)).
+    for d in range(3, max(4, int(math.exp(math.sqrt(math.log(n)))) + 3)):
+        half = (d + 1) // 2  # digits in [0, half)
+        k = max(1, int(math.log(n) / math.log(d)))
+        if d ** k > n:
+            k -= 1
+        if k < 1:
+            continue
+        # bucket digit vectors by squared norm
+        from itertools import product
+
+        buckets = {}
+        for digits in product(range(half), repeat=k):
+            val = 0
+            for dig in digits:
+                val = val * d + dig
+            if val >= n:
+                continue
+            r = sum(dig * dig for dig in digits)
+            buckets.setdefault(r, []).append(val)
+        cand = max(buckets.values(), key=len, default=[])
+        if len(cand) > len(best):
+            best = sorted(cand)
+        if d ** k > 4 * n:
+            break
+    if not best:
+        best = salem_spencer_set(n)
+    return best
+
+
+def behrend_cycle_graph(
+    m_part: int, k: int, strides: Sequence[int] | None = None
+) -> Tuple[Graph, List[Tuple[int, ...]]]:
+    """The k-partite cycle-Behrend graph.
+
+    Parts ``V_0..V_{k-1}``, each ``Z_{m_part}``; global index of element
+    ``x`` of part ``i`` is ``i * m_part + x``.  For each ``x in Z_M`` and
+    stride ``s`` in ``strides`` (default: Behrend set of ``Z_M``), the
+    planted cycle visits part ``i`` at value ``(x + i*s) mod M`` and closes
+    back to part 0.
+
+    Returns ``(graph, planted_cycles)`` where each planted cycle is the
+    tuple of its k global vertex indices in order.  Planted cycles are
+    pairwise edge-disjoint: an edge between parts i, i+1 is
+    ``((x+i s), (x+(i+1)s))`` which determines ``s`` (difference mod M) and
+    then ``x`` — except for the closing edge (part k-1 to part 0) which
+    determines ``(x + (k-1)s, x)``; with s drawn from an AP-free set these
+    collide for no two distinct (x, s) pairs when k >= 3 and strides are
+    distinct mod M.
+    """
+    if k < 3:
+        raise ConfigurationError(f"k must be >= 3, got {k}")
+    if m_part < 2:
+        raise ConfigurationError("m_part must be >= 2")
+    S = list(strides) if strides is not None else behrend_set(max(2, m_part // 2))
+    S = [s % m_part for s in S if s % m_part != 0]
+    # Distinct strides required for edge-disjointness of the closing edges.
+    if len(set(S)) != len(S):
+        raise ConfigurationError("strides must be distinct modulo m_part")
+    g = Graph(k * m_part)
+    planted: List[Tuple[int, ...]] = []
+    seen_edges = set()
+    for s in S:
+        for x in range(m_part):
+            verts = [(i * m_part + (x + i * s) % m_part) for i in range(k)]
+            cyc = tuple(verts)
+            edges = [
+                tuple(sorted((verts[i], verts[(i + 1) % k]))) for i in range(k)
+            ]
+            if any(e in seen_edges for e in edges):
+                # Overlapping plant (possible for adversarial stride sets);
+                # skip to preserve the edge-disjointness guarantee.
+                continue
+            for e in edges:
+                seen_edges.add(e)
+                g.add_edge(e[0], e[1])
+            planted.append(cyc)
+    return g, planted
+
+
+def planted_behrend_cycles(m_part: int, k: int) -> int:
+    """Number of cycles :func:`behrend_cycle_graph` plants for these
+    parameters (with default strides)."""
+    _, planted = behrend_cycle_graph(m_part, k)
+    return len(planted)

@@ -1,0 +1,45 @@
+"""Interoperability with :mod:`networkx`.
+
+Kept in its own module so the simulator's hot path never imports networkx.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from ..errors import GraphError
+from .graph import Graph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(g: Graph):
+    """Convert to an undirected :class:`networkx.Graph` on ``0..n-1``."""
+    import networkx as nx
+
+    out = nx.Graph()
+    out.add_nodes_from(range(g.n))
+    out.add_edges_from(g.edges())
+    return out
+
+
+def from_networkx(nxg) -> "tuple[Graph, Dict[Hashable, int]]":
+    """Convert a networkx graph; returns ``(graph, label_to_index)``.
+
+    Node labels are mapped to contiguous indices in sorted-repr order for
+    determinism.  Directed graphs, self-loops and multigraphs are rejected.
+    """
+    import networkx as nx
+
+    if nxg.is_directed():
+        raise GraphError("directed graphs are not supported")
+    if nxg.is_multigraph():
+        raise GraphError("multigraphs are not supported")
+    labels = sorted(nxg.nodes(), key=repr)
+    index = {lab: i for i, lab in enumerate(labels)}
+    g = Graph(len(labels))
+    for a, b in nxg.edges():
+        if a == b:
+            raise GraphError(f"self-loop at {a!r} not supported")
+        g.add_edge(index[a], index[b], strict=False)
+    return g, index

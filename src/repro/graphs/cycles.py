@@ -1,0 +1,276 @@
+"""Centralised ground-truth cycle queries.
+
+These routines answer, exactly, the questions the distributed algorithm
+answers approximately: *does G contain a k-cycle?*, *does a k-cycle pass
+through a given edge?*.  They are used as oracles in tests and benchmarks.
+
+Two engines are provided:
+
+* a depth-limited DFS path enumerator (simple, good for small graphs), and
+* a meet-in-the-middle joiner for ``cycles_through_edge`` that enumerates
+  half-length simple paths from both endpoints and joins them on their
+  endpoints with disjointness checks — much faster for k >= 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .._types import Edge, canonical_edge
+from ..errors import ConfigurationError
+from .graph import Graph
+
+__all__ = [
+    "simple_paths",
+    "has_cycle_through_edge",
+    "find_cycle_through_edge",
+    "cycles_through_edge",
+    "has_k_cycle",
+    "find_k_cycle",
+    "count_k_cycles",
+    "enumerate_k_cycles",
+    "girth",
+    "is_ck_free",
+]
+
+
+def _check_k(k: int) -> None:
+    if k < 3:
+        raise ConfigurationError(f"cycle length k must be >= 3, got {k}")
+
+
+def simple_paths(
+    g: Graph,
+    source: int,
+    target: int,
+    length: int,
+    *,
+    forbidden_edge: Optional[Edge] = None,
+) -> Iterator[Tuple[int, ...]]:
+    """Yield all simple paths from ``source`` to ``target`` with exactly
+    ``length`` edges, optionally never traversing ``forbidden_edge``.
+    """
+    if length < 1:
+        if length == 0 and source == target:
+            yield (source,)
+        return
+    fe = canonical_edge(*forbidden_edge) if forbidden_edge is not None else None
+    path = [source]
+    on_path = {source}
+
+    def dfs(u: int, remaining: int) -> Iterator[Tuple[int, ...]]:
+        if remaining == 0:
+            if u == target:
+                yield tuple(path)
+            return
+        for v in g.neighbors(u):
+            if v in on_path:
+                continue
+            if fe is not None and canonical_edge(u, v) == fe:
+                continue
+            # Prune: target must stay reachable within remaining-1 hops --
+            # cheap check: if remaining == 1, v must be the target.
+            if remaining == 1 and v != target:
+                continue
+            path.append(v)
+            on_path.add(v)
+            yield from dfs(v, remaining - 1)
+            on_path.discard(v)
+            path.pop()
+
+    yield from dfs(source, length)
+
+
+def cycles_through_edge(g: Graph, edge: Edge, k: int) -> Iterator[Tuple[int, ...]]:
+    """Yield every k-cycle through ``edge`` once, as a vertex tuple
+    ``(u, ..., v)`` starting at ``u`` and ending at ``v`` where
+    ``edge = (u, v)`` (the closing edge is implicit).
+
+    A k-cycle through {u, v} is a simple path of k-1 edges from u to v that
+    does not itself use {u, v}.  Each such path corresponds to exactly one
+    cycle traversal direction, so cycles are enumerated once per direction
+    of the path; we canonicalise by requiring the second vertex to have a
+    smaller index than the second-to-last to avoid double counting... except
+    that paths from u to v are already direction-fixed (u first), so each
+    cycle appears exactly once.
+    """
+    _check_k(k)
+    u, v = edge
+    if not g.has_edge(u, v):
+        return
+    yield from simple_paths(g, u, v, k - 1, forbidden_edge=(u, v))
+
+
+def has_cycle_through_edge(g: Graph, edge: Edge, k: int) -> bool:
+    """Whether at least one k-cycle passes through ``edge``.
+
+    Uses meet-in-the-middle for k >= 7, DFS otherwise.
+    """
+    _check_k(k)
+    u, v = edge
+    if not g.has_edge(u, v):
+        return False
+    if k >= 7:
+        return _mitm_cycle_through_edge(g, (u, v), k) is not None
+    for _ in cycles_through_edge(g, edge, k):
+        return True
+    return False
+
+
+def find_cycle_through_edge(g: Graph, edge: Edge, k: int) -> Optional[Tuple[int, ...]]:
+    """Return one k-cycle through ``edge`` (as a u..v path tuple) or None."""
+    _check_k(k)
+    u, v = edge
+    if not g.has_edge(u, v):
+        return None
+    if k >= 7:
+        return _mitm_cycle_through_edge(g, (u, v), k)
+    for p in cycles_through_edge(g, edge, k):
+        return p
+    return None
+
+
+def _mitm_cycle_through_edge(g: Graph, edge: Edge, k: int) -> Optional[Tuple[int, ...]]:
+    """Meet-in-the-middle search for a (k-1)-edge simple u-v path.
+
+    Enumerate simple paths of ``a = (k-1)//2`` edges from u and of
+    ``b = k-1-a`` edges from v (avoiding the edge {u,v}), bucket the u-side
+    by endpoint, then join: a pair (P, Q) with P ending and Q ending at the
+    same vertex w and internally disjoint yields the cycle.
+    """
+    u, v = edge
+    a = (k - 1) // 2
+    b = (k - 1) - a
+    fe = canonical_edge(u, v)
+
+    # endpoint -> list of (path tuple, interior set)
+    buckets: Dict[int, List[Tuple[Tuple[int, ...], FrozenSet[int]]]] = {}
+    for p in _paths_from(g, u, a, fe):
+        w = p[-1]
+        buckets.setdefault(w, []).append((p, frozenset(p[:-1])))
+    if not buckets:
+        return None
+    for q in _paths_from(g, v, b, fe):
+        w = q[-1]
+        cand = buckets.get(w)
+        if not cand:
+            continue
+        qset = frozenset(q[:-1])
+        for p, pset in cand:
+            # p: u..w (a edges), q: v..w (b edges). Need all vertices
+            # distinct except the shared endpoint w.
+            if pset & qset:
+                continue
+            if w in pset or w in qset:
+                continue
+            # Build the u..v path: p followed by reversed q (dropping w dup).
+            full = p + tuple(reversed(q[:-1]))
+            if len(set(full)) == k:
+                return full
+    return None
+
+
+def _paths_from(
+    g: Graph, source: int, length: int, forbidden: Edge
+) -> Iterator[Tuple[int, ...]]:
+    """All simple paths with exactly ``length`` edges starting at source,
+    never using ``forbidden``."""
+    path = [source]
+    on_path = {source}
+
+    def dfs(u: int, remaining: int) -> Iterator[Tuple[int, ...]]:
+        if remaining == 0:
+            yield tuple(path)
+            return
+        for w in g.neighbors(u):
+            if w in on_path or canonical_edge(u, w) == forbidden:
+                continue
+            path.append(w)
+            on_path.add(w)
+            yield from dfs(w, remaining - 1)
+            on_path.discard(w)
+            path.pop()
+
+    yield from dfs(source, length)
+
+
+def has_k_cycle(g: Graph, k: int) -> bool:
+    """Whether G contains ``C_k`` as a (not necessarily induced) subgraph."""
+    _check_k(k)
+    for e in g.edges():
+        if has_cycle_through_edge(g, e, k):
+            return True
+    return False
+
+
+def find_k_cycle(g: Graph, k: int) -> Optional[Tuple[int, ...]]:
+    """Return the vertex tuple of one k-cycle (closing edge implicit)."""
+    _check_k(k)
+    for e in g.edges():
+        c = find_cycle_through_edge(g, e, k)
+        if c is not None:
+            return c
+    return None
+
+
+def is_ck_free(g: Graph, k: int) -> bool:
+    """Definition 1: G is Ck-free iff it has no k-cycle subgraph."""
+    return not has_k_cycle(g, k)
+
+
+def enumerate_k_cycles(g: Graph, k: int) -> Iterator[Tuple[int, ...]]:
+    """Enumerate every k-cycle exactly once, canonicalised.
+
+    Canonical form: rotate so the smallest vertex comes first, then choose
+    the direction making the second vertex smaller than the last.
+    """
+    _check_k(k)
+    seen: Set[Tuple[int, ...]] = set()
+    for u, v in g.edges():
+        for path in cycles_through_edge(g, (u, v), k):
+            canon = _canonical_cycle(path)
+            if canon not in seen:
+                seen.add(canon)
+                yield canon
+
+
+def _canonical_cycle(path: Tuple[int, ...]) -> Tuple[int, ...]:
+    k = len(path)
+    i = path.index(min(path))
+    rot = path[i:] + path[:i]
+    fwd = rot
+    rev = (rot[0],) + tuple(reversed(rot[1:]))
+    return min(fwd, rev)
+
+
+def count_k_cycles(g: Graph, k: int) -> int:
+    """Number of distinct k-cycle subgraphs."""
+    return sum(1 for _ in enumerate_k_cycles(g, k))
+
+
+def girth(g: Graph) -> Optional[int]:
+    """Length of a shortest cycle, or None for a forest.
+
+    Standard BFS-from-every-vertex bound; exact for unweighted graphs.
+    """
+    best: Optional[int] = None
+    for s in g.vertices():
+        dist = {s: 0}
+        parent = {s: -1}
+        frontier = [s]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for w in g.neighbors(u):
+                    if w not in dist:
+                        dist[w] = dist[u] + 1
+                        parent[w] = u
+                        nxt.append(w)
+                    elif parent[u] != w and parent.get(w) != u:
+                        cyc = dist[u] + dist[w] + 1
+                        if best is None or cyc < best:
+                            best = cyc
+            if best is not None and frontier and 2 * (dist[frontier[0]] + 1) >= best:
+                break
+            frontier = nxt
+    return best

@@ -1,0 +1,147 @@
+"""ε-farness machinery for Ck-freeness (the paper's "sparse model").
+
+Definitions (paper §1.1.1 / §2.2.1): an n-node m-edge graph G is ε-far from
+Ck-free if adding and/or removing at most εm edges cannot make it Ck-free.
+Since *adding* edges can only create cycles, the distance to Ck-freeness is
+exactly the minimum number of edge *removals* that destroy every k-cycle —
+a minimum hitting set over the k-cycles.
+
+Exact computation is NP-hard in general, so we expose:
+
+* :func:`greedy_cycle_packing` — a maximal family of edge-disjoint k-cycles;
+  its size ``c`` certifies distance >= c (Lemma 4 direction: each packed
+  cycle needs its own removal), i.e. farness >= c/m.
+* :func:`min_edge_deletions_to_ck_free` — exact branch-and-bound hitting of
+  k-cycles for small graphs (the upper-bound certificate).
+* :func:`farness_bounds` — (lower, upper) bounds on the true ε.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from .._types import Edge, canonical_edge
+from ..errors import ConfigurationError
+from .cycles import find_k_cycle, has_k_cycle
+from .graph import Graph
+
+__all__ = [
+    "cycle_edges",
+    "greedy_cycle_packing",
+    "min_edge_deletions_to_ck_free",
+    "farness_bounds",
+    "is_epsilon_far",
+    "lemma4_bound",
+]
+
+
+def cycle_edges(cycle: Tuple[int, ...]) -> List[Edge]:
+    """Edges of a cycle given as a vertex tuple (closing edge included)."""
+    k = len(cycle)
+    return [canonical_edge(cycle[i], cycle[(i + 1) % k]) for i in range(k)]
+
+
+def greedy_cycle_packing(
+    g: Graph, k: int, seed=None, max_cycles: Optional[int] = None
+) -> List[Tuple[int, ...]]:
+    """A maximal (not maximum) family of pairwise edge-disjoint k-cycles.
+
+    Repeatedly finds any k-cycle in the residual graph and removes its
+    edges.  Randomising the vertex labels between iterations would improve
+    the packing slightly; we keep it deterministic for reproducibility and
+    note the result is a *lower bound* witness.
+    """
+    if k < 3:
+        raise ConfigurationError(f"k must be >= 3, got {k}")
+    residual = g.copy()
+    packing: List[Tuple[int, ...]] = []
+    while True:
+        cyc = find_k_cycle(residual, k)
+        if cyc is None:
+            break
+        packing.append(cyc)
+        for u, v in cycle_edges(cyc):
+            residual.remove_edge(u, v)
+        if max_cycles is not None and len(packing) >= max_cycles:
+            break
+    return packing
+
+
+def min_edge_deletions_to_ck_free(g: Graph, k: int, budget: Optional[int] = None) -> int:
+    """Exact minimum number of edge deletions making G Ck-free.
+
+    Branch and bound: find a k-cycle, branch on deleting each of its k
+    edges.  Exponential in the answer — intended for the small certified
+    instances used in tests.  ``budget`` caps the search depth; if the
+    optimum exceeds it a :class:`ConfigurationError` is raised.
+    """
+    if k < 3:
+        raise ConfigurationError(f"k must be >= 3, got {k}")
+    hard_cap = budget if budget is not None else g.m
+
+    best: List[int] = [hard_cap + 1]
+
+    def solve(h: Graph, removed: int) -> None:
+        if removed >= best[0]:
+            return
+        cyc = find_k_cycle(h, k)
+        if cyc is None:
+            best[0] = removed
+            return
+        for u, v in cycle_edges(cyc):
+            h.remove_edge(u, v)
+            solve(h, removed + 1)
+            h.add_edge(u, v)
+
+    solve(g.copy(), 0)
+    if best[0] > hard_cap:
+        raise ConfigurationError(
+            f"minimum deletion count exceeds budget {hard_cap}"
+        )
+    return best[0]
+
+
+def farness_bounds(
+    g: Graph, k: int, *, exact: bool = False, seed=None
+) -> Tuple[float, Optional[float]]:
+    """Bounds ``(lo, hi)`` on the farness ε* of G from Ck-freeness.
+
+    * ``lo = |packing| / m`` — always computed (0 for Ck-free graphs).
+    * ``hi``: with ``exact=True``, the exact distance divided by m (may be
+      expensive); otherwise ``None``.
+
+    For a Ck-free graph returns ``(0.0, 0.0)``.
+    """
+    if g.m == 0:
+        return (0.0, 0.0)
+    packing = greedy_cycle_packing(g, k, seed=seed)
+    lo = len(packing) / g.m
+    if not packing:
+        return (0.0, 0.0)
+    hi: Optional[float] = None
+    if exact:
+        hi = min_edge_deletions_to_ck_free(g, k) / g.m
+    return (lo, hi)
+
+
+def is_epsilon_far(g: Graph, k: int, eps: float, *, exact: bool = False, seed=None):
+    """Tri-state ε-farness check.
+
+    Returns ``True`` if certified ε-far (packing bound), ``False`` if
+    certified not ε-far (exact distance < εm, only when ``exact=True``),
+    and ``None`` when the bounds are inconclusive.
+    """
+    lo, hi = farness_bounds(g, k, exact=exact, seed=seed)
+    if lo >= eps:
+        return True
+    if hi is not None and hi < eps:
+        return False
+    return None
+
+
+def lemma4_bound(m: int, k: int, eps: float) -> float:
+    """Lemma 4 ([20]): an ε-far m-edge graph has >= εm/k edge-disjoint
+    k-cycles (``|E(Ck)| = k``)."""
+    return eps * m / k

@@ -1,0 +1,301 @@
+"""Core undirected simple-graph data structure.
+
+The CONGEST model of the paper works on connected simple graphs (no
+self-loops, no parallel edges).  This module provides a small, fast,
+dependency-free graph type tuned for the access patterns of the simulator:
+O(1) adjacency-set lookups, cheap neighbour iteration in deterministic
+(sorted) order, and an optional CSR export for vectorised analyses.
+
+``networkx`` interop lives in :mod:`repro.graphs.convert` so that the hot
+path never imports networkx.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from .._types import Edge, Vertex, canonical_edge
+from ..errors import GraphError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An undirected simple graph on vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops raise :class:`GraphError`;
+        duplicate edges (in either orientation) are collapsed silently only
+        if ``strict=False``, otherwise they raise.
+    strict:
+        When true (default), duplicate edges raise so construction bugs
+        surface early.
+    """
+
+    __slots__ = ("_n", "_m", "_adj", "_sorted_cache")
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Tuple[int, int]] = (),
+        *,
+        strict: bool = True,
+    ) -> None:
+        if n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        self._n = n
+        self._m = 0
+        self._adj: List[Set[int]] = [set() for _ in range(n)]
+        self._sorted_cache: List[Tuple[int, ...]] | None = None
+        for u, v in edges:
+            self.add_edge(u, v, strict=strict)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, *, strict: bool = True) -> None:
+        """Insert the undirected edge ``{u, v}``."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise GraphError(f"self-loop ({u},{v}) not allowed in a simple graph")
+        if v in self._adj[u]:
+            if strict:
+                raise GraphError(f"duplicate edge ({u},{v})")
+            return
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._m += 1
+        self._sorted_cache = None
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the undirected edge ``{u, v}``; raises if absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adj[u]:
+            raise GraphError(f"edge ({u},{v}) not present")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._m -= 1
+        self._sorted_cache = None
+
+    def add_vertex(self) -> int:
+        """Append a fresh isolated vertex and return its index."""
+        self._adj.append(set())
+        self._n += 1
+        self._sorted_cache = None
+        return self._n - 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        if not (0 <= u < self._n and 0 <= v < self._n) or u == v:
+            return False
+        return v in self._adj[u]
+
+    def degree(self, u: int) -> int:
+        """Degree of vertex ``u``."""
+        self._check_vertex(u)
+        return len(self._adj[u])
+
+    def neighbors(self, u: int) -> Tuple[int, ...]:
+        """Neighbours of ``u`` in ascending order (deterministic)."""
+        self._check_vertex(u)
+        if self._sorted_cache is None:
+            self._sorted_cache = [tuple(sorted(s)) for s in self._adj]
+        return self._sorted_cache[u]
+
+    def adjacency_set(self, u: int) -> frozenset:
+        """Neighbour set of ``u`` as an immutable set (O(1) membership)."""
+        self._check_vertex(u)
+        return frozenset(self._adj[u])
+
+    def vertices(self) -> range:
+        """Iterator over vertex indices."""
+        return range(self._n)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate canonical ``(u, v)`` with ``u < v``, ascending."""
+        for u in range(self._n):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, v)
+
+    def edge_list(self) -> List[Edge]:
+        """All canonical edges as a list."""
+        return list(self.edges())
+
+    def max_degree(self) -> int:
+        """Maximum degree (0 for the empty graph)."""
+        return max((len(s) for s in self._adj), default=0)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (vacuously true for n <= 1)."""
+        if self._n <= 1:
+            return True
+        seen = bytearray(self._n)
+        stack = [0]
+        seen[0] = 1
+        count = 1
+        while stack:
+            u = stack.pop()
+            for v in self._adj[u]:
+                if not seen[v]:
+                    seen[v] = 1
+                    count += 1
+                    stack.append(v)
+        return count == self._n
+
+    def connected_components(self) -> List[List[int]]:
+        """Connected components as sorted vertex lists."""
+        seen = bytearray(self._n)
+        comps: List[List[int]] = []
+        for s in range(self._n):
+            if seen[s]:
+                continue
+            seen[s] = 1
+            stack = [s]
+            comp = [s]
+            while stack:
+                u = stack.pop()
+                for v in self._adj[u]:
+                    if not seen[v]:
+                        seen[v] = 1
+                        comp.append(v)
+                        stack.append(v)
+            comps.append(sorted(comp))
+        return comps
+
+    def copy(self) -> "Graph":
+        """Deep copy."""
+        g = Graph(self._n)
+        g._m = self._m
+        g._adj = [set(s) for s in self._adj]
+        return g
+
+    def subgraph(self, vertices: Sequence[int]) -> "Graph":
+        """Induced subgraph, relabelled to ``0..len(vertices)-1``.
+
+        The i-th vertex of the result corresponds to ``vertices[i]``.
+        """
+        index = {v: i for i, v in enumerate(vertices)}
+        if len(index) != len(vertices):
+            raise GraphError("duplicate vertices in subgraph selection")
+        g = Graph(len(vertices))
+        vset = set(vertices)
+        for u in vertices:
+            self._check_vertex(u)
+            for v in self._adj[u]:
+                if v in vset and u < v:
+                    g.add_edge(index[u], index[v])
+        return g
+
+    def relabel(self, permutation: Sequence[int]) -> "Graph":
+        """Return the graph with vertex ``i`` renamed ``permutation[i]``."""
+        if sorted(permutation) != list(range(self._n)):
+            raise GraphError("relabel requires a permutation of 0..n-1")
+        g = Graph(self._n)
+        for u, v in self.edges():
+            g.add_edge(permutation[u], permutation[v])
+        return g
+
+    def disjoint_union(self, other: "Graph") -> "Graph":
+        """Disjoint union; ``other``'s vertices are shifted by ``self.n``."""
+        g = Graph(self._n + other._n)
+        for u, v in self.edges():
+            g.add_edge(u, v)
+        off = self._n
+        for u, v in other.edges():
+            g.add_edge(u + off, v + off)
+        return g
+
+    # ------------------------------------------------------------------
+    # Array export
+    # ------------------------------------------------------------------
+    def to_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Export adjacency as CSR ``(indptr, indices)`` numpy arrays."""
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        for u in range(self._n):
+            indptr[u + 1] = indptr[u] + len(self._adj[u])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for u in range(self._n):
+            nb = self.neighbors(u)
+            indices[int(indptr[u]): int(indptr[u + 1])] = nb
+        return indptr, indices
+
+    def edge_array(self) -> np.ndarray:
+        """Canonical edges as an ``(m, 2)`` numpy array."""
+        arr = np.empty((self._m, 2), dtype=np.int64)
+        for i, (u, v) in enumerate(self.edges()):
+            arr[i, 0] = u
+            arr[i, 1] = v
+        return arr
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def __contains__(self, edge: Tuple[int, int]) -> bool:
+        u, v = edge
+        return self.has_edge(u, v)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._adj == other._adj
+
+    def __hash__(self):  # pragma: no cover - graphs are mutable
+        raise TypeError("Graph is unhashable (mutable)")
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self._m})"
+
+    def _check_vertex(self, u: int) -> None:
+        if not isinstance(u, (int, np.integer)):
+            raise GraphError(f"vertex must be an int, got {type(u).__name__}")
+        if not 0 <= u < self._n:
+            raise GraphError(f"vertex {u} out of range [0, {self._n})")
+
+    # ------------------------------------------------------------------
+    # Validation helper used by generators and tests
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check internal invariants; raises :class:`GraphError` if broken."""
+        m = 0
+        for u in range(self._n):
+            for v in self._adj[u]:
+                if not 0 <= v < self._n:
+                    raise GraphError(f"neighbour {v} of {u} out of range")
+                if v == u:
+                    raise GraphError(f"self-loop at {u}")
+                if u not in self._adj[v]:
+                    raise GraphError(f"asymmetric adjacency {u}->{v}")
+                if u < v:
+                    m += 1
+        if m != self._m:
+            raise GraphError(f"edge count mismatch: counted {m}, stored {self._m}")
+
+
+def edge_set(edges: Iterable[Tuple[int, int]]) -> Set[Edge]:
+    """Canonicalise an iterable of edges into a set of sorted pairs."""
+    return {canonical_edge(u, v) for u, v in edges}

@@ -1,0 +1,71 @@
+"""Plain-text graph serialisation (edge-list format).
+
+Format: optional comment lines (``#``), then a header line ``n m``, then
+one ``u v`` pair per line.  Deterministic output (canonical edge order),
+round-trip safe, and tolerant of blank lines on input.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+from typing import TextIO, Union
+
+from ..errors import GraphError
+from .graph import Graph
+
+__all__ = ["write_edge_list", "read_edge_list", "dumps", "loads"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def dumps(g: Graph, comment: str = "") -> str:
+    """Serialise to the edge-list text format."""
+    buf = io.StringIO()
+    if comment:
+        for line in comment.splitlines():
+            buf.write(f"# {line}\n")
+    buf.write(f"{g.n} {g.m}\n")
+    for u, v in g.edges():
+        buf.write(f"{u} {v}\n")
+    return buf.getvalue()
+
+
+def loads(text: str) -> Graph:
+    """Parse the edge-list text format."""
+    header = None
+    edges = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise GraphError(f"line {lineno}: expected two integers, got {raw!r}")
+        try:
+            a, b = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise GraphError(f"line {lineno}: non-integer token in {raw!r}") from None
+        if header is None:
+            header = (a, b)
+        else:
+            edges.append((a, b))
+    if header is None:
+        raise GraphError("empty edge-list document")
+    n, m = header
+    if n < 0 or m < 0:
+        raise GraphError(f"invalid header n={n}, m={m}")
+    g = Graph(n, edges)
+    if g.m != m:
+        raise GraphError(f"header claims m={m} but {g.m} edges were read")
+    return g
+
+
+def write_edge_list(g: Graph, path: PathLike, comment: str = "") -> None:
+    """Write the graph to ``path``."""
+    pathlib.Path(path).write_text(dumps(g, comment=comment))
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Read a graph from ``path``."""
+    return loads(pathlib.Path(path).read_text())

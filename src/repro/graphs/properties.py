@@ -1,0 +1,103 @@
+"""Structural graph properties used across generators, tests and examples."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from .graph import Graph
+
+__all__ = [
+    "is_bipartite",
+    "bipartition",
+    "diameter",
+    "eccentricity",
+    "degree_histogram",
+    "density",
+    "is_tree",
+    "bfs_distances",
+]
+
+
+def bfs_distances(g: Graph, source: int) -> Dict[int, int]:
+    """Hop distances from ``source`` to every reachable vertex."""
+    dist = {source: 0}
+    q = deque([source])
+    while q:
+        u = q.popleft()
+        for v in g.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                q.append(v)
+    return dist
+
+
+def eccentricity(g: Graph, source: int) -> Optional[int]:
+    """Max distance from ``source``; ``None`` if g is disconnected."""
+    dist = bfs_distances(g, source)
+    if len(dist) != g.n:
+        return None
+    return max(dist.values(), default=0)
+
+
+def diameter(g: Graph) -> Optional[int]:
+    """Exact diameter via all-sources BFS; ``None`` when disconnected.
+
+    O(n·m) — fine for the laptop-scale instances this library targets.
+    """
+    if g.n == 0:
+        return None
+    best = 0
+    for s in g.vertices():
+        ecc = eccentricity(g, s)
+        if ecc is None:
+            return None
+        best = max(best, ecc)
+    return best
+
+
+def bipartition(g: Graph) -> Optional[Tuple[List[int], List[int]]]:
+    """A 2-colouring ``(side0, side1)`` or ``None`` if an odd cycle exists."""
+    colour: Dict[int, int] = {}
+    for s in g.vertices():
+        if s in colour:
+            continue
+        colour[s] = 0
+        q = deque([s])
+        while q:
+            u = q.popleft()
+            for v in g.neighbors(u):
+                if v not in colour:
+                    colour[v] = colour[u] ^ 1
+                    q.append(v)
+                elif colour[v] == colour[u]:
+                    return None
+    side0 = sorted(v for v, c in colour.items() if c == 0)
+    side1 = sorted(v for v, c in colour.items() if c == 1)
+    return side0, side1
+
+
+def is_bipartite(g: Graph) -> bool:
+    """Whether g has no odd cycle."""
+    return bipartition(g) is not None
+
+
+def degree_histogram(g: Graph) -> Dict[int, int]:
+    """``{degree: count}`` over all vertices."""
+    hist: Dict[int, int] = {}
+    for v in g.vertices():
+        d = g.degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def density(g: Graph) -> float:
+    """``m / C(n, 2)`` (0.0 for n < 2)."""
+    if g.n < 2:
+        return 0.0
+    return g.m / (g.n * (g.n - 1) / 2)
+
+
+def is_tree(g: Graph) -> bool:
+    """Connected and acyclic."""
+    return g.n >= 1 and g.m == g.n - 1 and g.is_connected()

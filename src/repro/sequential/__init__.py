@@ -1,0 +1,33 @@
+"""Centralized comparator algorithms.
+
+* :mod:`repro.sequential.kpath` — Monien-style k-path DP over
+  representative families (the sequential twin of the paper's pruning).
+* :mod:`repro.sequential.kcycle` — k-cycle detection on top of it.
+* :mod:`repro.sequential.color_coding` — Alon–Yuster–Zwick color coding.
+"""
+
+from .color_coding import (
+    color_coding_find_k_cycle,
+    color_coding_has_k_cycle,
+    trials_needed,
+)
+from .kcycle import (
+    monien_cycle_through_edge,
+    monien_find_k_cycle,
+    monien_has_cycle_through_edge,
+    monien_has_k_cycle,
+)
+from .kpath import PathFamily, has_k_path, k_path_from_source
+
+__all__ = [
+    "PathFamily",
+    "color_coding_find_k_cycle",
+    "color_coding_has_k_cycle",
+    "has_k_path",
+    "k_path_from_source",
+    "monien_cycle_through_edge",
+    "monien_find_k_cycle",
+    "monien_has_cycle_through_edge",
+    "monien_has_k_cycle",
+    "trials_needed",
+]

@@ -1,0 +1,94 @@
+"""Alon–Yuster–Zwick color coding for k-cycle detection.
+
+The classical randomized sequential comparator: color vertices uniformly
+with k colors; a fixed k-cycle becomes *colorful* (all colors distinct)
+with probability ``k!/k^k >= e^-k``; colorful cycles are found by dynamic
+programming over color subsets in ``O(2^k · m)`` per anchor vertex.
+Repeating ``⌈e^k ln(1/δ)⌉`` times gives failure probability <= δ — a
+1-sided-error structure directly comparable to the paper's tester.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..graphs.graph import Graph
+
+__all__ = ["color_coding_has_k_cycle", "color_coding_find_k_cycle", "trials_needed"]
+
+
+def trials_needed(k: int, delta: float = 1 / 3) -> int:
+    """Trials for failure probability <= delta: ``⌈e^k ln(1/δ)⌉``."""
+    if not 0 < delta < 1:
+        raise ConfigurationError("delta must be in (0,1)")
+    return math.ceil(math.exp(k) * math.log(1.0 / delta))
+
+
+def _colorful_cycle_once(
+    g: Graph, k: int, colors: np.ndarray
+) -> Optional[Tuple[int, ...]]:
+    """Find a colorful k-cycle under the given coloring, or None.
+
+    DP anchored at each vertex ``a`` (restricted to a > all other cycle
+    vertices is not valid for colorful DP, so we anchor at every vertex of
+    the smallest color class to cut work): ``reach[(S, v)]`` = a witness
+    colorful path from ``a`` to ``v`` using color set ``S``.
+    """
+    # Anchor on the least-frequent color class to reduce the outer loop.
+    counts = np.bincount(colors, minlength=k)
+    anchor_color = int(np.argmin(np.where(counts > 0, counts, np.iinfo(np.int64).max)))
+    anchors = [v for v in g.vertices() if colors[v] == anchor_color]
+    full_mask = (1 << k) - 1
+    for a in anchors:
+        a_bit = 1 << int(colors[a])
+        # frontier: {(mask, v): path}
+        frontier: Dict[Tuple[int, int], Tuple[int, ...]] = {(a_bit, a): (a,)}
+        for _ in range(k - 1):
+            nxt: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+            for (mask, v), path in frontier.items():
+                for w in g.neighbors(v):
+                    bit = 1 << int(colors[w])
+                    if mask & bit:
+                        continue
+                    key = (mask | bit, w)
+                    if key not in nxt:
+                        nxt[key] = path + (w,)
+            frontier = nxt
+        for (mask, v), path in frontier.items():
+            if mask == full_mask and g.has_edge(v, a):
+                return path
+    return None
+
+
+def color_coding_find_k_cycle(
+    g: Graph, k: int, *, seed=None, trials: Optional[int] = None
+) -> Optional[Tuple[int, ...]]:
+    """Randomized k-cycle search; returns a witness cycle or ``None``.
+
+    ``None`` means "probably Ck-free": false negatives occur with
+    probability <= 1/3 at the default trial count (1-sided error, like
+    the paper's tester).
+    """
+    if k < 3:
+        raise ConfigurationError(f"k must be >= 3, got {k}")
+    if g.n < k:
+        return None
+    rng = np.random.default_rng(seed)
+    T = trials if trials is not None else trials_needed(k)
+    for _ in range(T):
+        colors = rng.integers(0, k, size=g.n)
+        found = _colorful_cycle_once(g, k, colors)
+        if found is not None:
+            return found
+    return None
+
+
+def color_coding_has_k_cycle(
+    g: Graph, k: int, *, seed=None, trials: Optional[int] = None
+) -> bool:
+    """Boolean wrapper around :func:`color_coding_find_k_cycle`."""
+    return color_coding_find_k_cycle(g, k, seed=seed, trials=trials) is not None

@@ -1,0 +1,57 @@
+"""Sequential k-cycle detection built on the representative-family DP.
+
+A k-cycle through edge ``{u, v}`` is a k-vertex simple path from u to v
+that avoids the edge itself (then the edge closes it).  Correctness of the
+representative-family retention argument is the centralized mirror of the
+paper's Lemma 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..graphs.graph import Graph
+from .kpath import k_path_from_source
+
+__all__ = [
+    "monien_cycle_through_edge",
+    "monien_has_cycle_through_edge",
+    "monien_find_k_cycle",
+    "monien_has_k_cycle",
+]
+
+
+def monien_cycle_through_edge(
+    g: Graph, edge: Tuple[int, int], k: int
+) -> Optional[Tuple[int, ...]]:
+    """A witness k-cycle through ``edge`` (vertex tuple, closing edge
+    implicit), or ``None``."""
+    if k < 3:
+        raise ConfigurationError(f"k must be >= 3, got {k}")
+    u, v = edge
+    if not g.has_edge(u, v):
+        return None
+    paths = k_path_from_source(g, u, k, forbidden_edge=(u, v), targets=[v])
+    return paths.get(v)
+
+
+def monien_has_cycle_through_edge(g: Graph, edge: Tuple[int, int], k: int) -> bool:
+    """Whether a k-cycle passes through ``edge``."""
+    return monien_cycle_through_edge(g, edge, k) is not None
+
+
+def monien_find_k_cycle(g: Graph, k: int) -> Optional[Tuple[int, ...]]:
+    """A witness k-cycle anywhere in G, or ``None``."""
+    if k < 3:
+        raise ConfigurationError(f"k must be >= 3, got {k}")
+    for e in g.edges():
+        cyc = monien_cycle_through_edge(g, e, k)
+        if cyc is not None:
+            return cyc
+    return None
+
+
+def monien_has_k_cycle(g: Graph, k: int) -> bool:
+    """Whether G contains a k-cycle subgraph."""
+    return monien_find_k_cycle(g, k) is not None

@@ -1,0 +1,139 @@
+"""Monien-style k-path detection via representative families.
+
+The paper points out (§1.2) that its pruning is a distributed
+implementation of the Erdős–Hajnal–Moon lemma, which is also the engine of
+Monien's classical *sequential* parametrised algorithm for long paths
+[26].  We implement that centralized twin here: it exercises the exact
+same combinatorial machinery (:mod:`repro.combinatorics.representative`)
+in its original habitat and serves as a fast exact comparator for the
+distributed algorithm in experiment T6.
+
+Algorithm: dynamic programming over path lengths.  ``F[v]`` holds a
+``(k - ℓ)``-representative family of the vertex sets of ℓ-vertex simple
+paths from the source to ``v``; extension by one edge plus greedy
+re-representation keeps every family of size at most ``(k-ℓ+1)^ℓ`` —
+constant for constant k — while the representation property guarantees
+that *some* completable path always survives, mirroring Lemma 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .._types import Edge
+from ..combinatorics.hitting import has_hitting_set
+from ..errors import ConfigurationError
+from ..graphs.graph import Graph
+
+__all__ = ["k_path_from_source", "has_k_path", "PathFamily"]
+
+#: A representative family member: (vertex set, one concrete path).
+Entry = Tuple[FrozenSet[int], Tuple[int, ...]]
+
+
+class PathFamily:
+    """A representative family of source→v paths with witness paths.
+
+    Wraps the greedy rule of
+    :func:`repro.combinatorics.representative.greedy_representative_family`
+    but keeps a concrete path per kept set so witnesses can be returned.
+    """
+
+    def __init__(self, q: int) -> None:
+        self.q = q
+        self.entries: List[Entry] = []
+
+    def offer(self, vertex_set: FrozenSet[int], path: Tuple[int, ...]) -> bool:
+        """Greedy keep/discard decision; returns True if kept."""
+        residues = []
+        for kept_set, _ in self.entries:
+            r = kept_set - vertex_set
+            if not r:
+                return False
+            residues.append(r)
+        if has_hitting_set(residues, self.q):
+            self.entries.append((vertex_set, path))
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def k_path_from_source(
+    g: Graph,
+    source: int,
+    k: int,
+    *,
+    forbidden_edge: Optional[Edge] = None,
+    targets: Optional[Sequence[int]] = None,
+) -> Dict[int, Tuple[int, ...]]:
+    """For every reachable vertex ``v``, a witness simple path on exactly
+    ``k`` vertices from ``source`` to ``v`` — if one exists that the
+    representative-family DP retains (which is guaranteed whenever any
+    ``k``-vertex path from source to v exists *and* v is in ``targets`` or
+    ``targets`` is None... more precisely the representation property
+    guarantees completability, so existence at the final level is exact).
+
+    Returns ``{v: path}`` for the final level ``ℓ = k``.
+
+    Parameters
+    ----------
+    forbidden_edge:
+        An edge the paths must not use (to search cycles through an edge).
+    targets:
+        If given, only these endpoints are reported (saves some work).
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    fe = None
+    if forbidden_edge is not None:
+        a, b = forbidden_edge
+        fe = (a, b) if a < b else (b, a)
+
+    level: Dict[int, PathFamily] = {}
+    fam = PathFamily(q=k - 1)
+    fam.offer(frozenset([source]), (source,))
+    level[source] = fam
+
+    for ell in range(2, k + 1):
+        q = k - ell
+        nxt: Dict[int, PathFamily] = {}
+        for x, family in level.items():
+            for v in g.neighbors(x):
+                if fe is not None and (min(x, v), max(x, v)) == fe:
+                    continue
+                for vertex_set, path in family.entries:
+                    if v in vertex_set:
+                        continue
+                    bucket = nxt.get(v)
+                    if bucket is None:
+                        bucket = PathFamily(q)
+                        nxt[v] = bucket
+                    bucket.offer(vertex_set | {v}, path + (v,))
+        level = nxt
+
+    result: Dict[int, Tuple[int, ...]] = {}
+    wanted = set(targets) if targets is not None else None
+    for v, family in level.items():
+        if wanted is not None and v not in wanted:
+            continue
+        if family.entries:
+            result[v] = family.entries[0][1]
+    return result
+
+
+def has_k_path(g: Graph, k: int) -> bool:
+    """Whether G contains a simple path on exactly ``k`` vertices.
+
+    Runs the representative-family DP from every source (sufficient and
+    simple; Monien's original uses the same per-source driver).
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if k == 1:
+        return g.n > 0
+    for s in g.vertices():
+        if k_path_from_source(g, s, k):
+            return True
+    return False

@@ -1,0 +1,149 @@
+"""Differential fuzzing harness for the detection algorithms.
+
+The test-suite uses hand-rolled differential loops; this module packages
+the same machinery as a public API so downstream changes (new pruners,
+protocol tweaks, alternative schedulers) can be fuzzed with one call:
+
+    from repro.testing import differential_campaign
+    report = differential_campaign(trials=200, seed=0)
+    assert report.ok, report.failures
+
+Every trial draws a random graph, edge and k, runs Algorithm 1 (and
+optionally the naive baseline and the sequential comparators) against the
+exact oracle, and verifies any produced evidence edge-by-edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .baselines.naive import naive_detect_cycle_through_edge
+from .congest.ids import IdentityIds, RandomPermutationIds, ReverseIds
+from .congest.network import Network
+from .core.algorithm1 import detect_cycle_through_edge
+from .core.verify import verify_cycle_evidence
+from .graphs.cycles import has_cycle_through_edge
+from .graphs.generators import erdos_renyi_gnp
+from .graphs.graph import Graph
+from .sequential.kcycle import monien_has_cycle_through_edge
+
+__all__ = ["TrialFailure", "CampaignReport", "check_one", "differential_campaign"]
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """One disagreement, with everything needed to replay it."""
+
+    kind: str
+    k: int
+    edge: tuple
+    edges: tuple
+    n: int
+    detail: str
+
+    def replay_graph(self) -> Graph:
+        return Graph(self.n, list(self.edges))
+
+
+@dataclass
+class CampaignReport:
+    trials: int = 0
+    checks: int = 0
+    failures: List[TrialFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.failures)} FAILURES"
+        return f"CampaignReport({status}, trials={self.trials}, checks={self.checks})"
+
+
+def check_one(
+    g: Graph,
+    edge: tuple,
+    k: int,
+    *,
+    network: Optional[Network] = None,
+    include_naive: bool = False,
+    include_monien: bool = False,
+) -> List[TrialFailure]:
+    """Run every checker on one (graph, edge, k) instance."""
+    failures: List[TrialFailure] = []
+    edges = tuple(g.edges())
+
+    def fail(kind: str, detail: str) -> None:
+        failures.append(
+            TrialFailure(kind=kind, k=k, edge=edge, edges=edges, n=g.n, detail=detail)
+        )
+
+    expected = has_cycle_through_edge(g, edge, k)
+    det = detect_cycle_through_edge(g, edge, k, network=network)
+    if det.detected != expected:
+        fail("algorithm1-verdict", f"expected {expected}, got {det.detected}")
+    if det.detected:
+        ids = det.any_cycle_ids()
+        if not verify_cycle_evidence(
+            g, ids, k, network=network, through_edge=edge
+        ):
+            fail("algorithm1-evidence", f"invalid evidence {ids}")
+    if include_naive:
+        nav = naive_detect_cycle_through_edge(g, edge, k, network=network)
+        if nav.detected != expected:
+            fail("naive-verdict", f"expected {expected}, got {nav.detected}")
+    if include_monien:
+        mon = monien_has_cycle_through_edge(g, edge, k)
+        if mon != expected:
+            fail("monien-verdict", f"expected {expected}, got {mon}")
+    return failures
+
+
+def differential_campaign(
+    *,
+    trials: int = 100,
+    seed=None,
+    n_range: tuple = (5, 12),
+    k_range: tuple = (3, 8),
+    edges_per_graph: int = 4,
+    include_naive: bool = False,
+    include_monien: bool = False,
+    id_assigners: Optional[Sequence] = None,
+) -> CampaignReport:
+    """Random differential campaign across graphs, edges, k and IDs."""
+    rng = np.random.default_rng(seed)
+    assigners = (
+        list(id_assigners)
+        if id_assigners is not None
+        else [IdentityIds(), ReverseIds(), RandomPermutationIds(seed=0)]
+    )
+    report = CampaignReport()
+    for t in range(trials):
+        n = int(rng.integers(n_range[0], n_range[1] + 1))
+        p = float(rng.uniform(0.15, 0.55))
+        g = erdos_renyi_gnp(n, p, seed=int(rng.integers(2**31)))
+        if g.m == 0:
+            continue
+        report.trials += 1
+        assigner = assigners[t % len(assigners)]
+        net = Network(g, assigner)
+        edges = list(g.edges())
+        picks = min(edges_per_graph, len(edges))
+        chosen = rng.choice(len(edges), size=picks, replace=False)
+        k = int(rng.integers(k_range[0], k_range[1] + 1))
+        for idx in chosen:
+            report.checks += 1
+            report.failures.extend(
+                check_one(
+                    g,
+                    edges[int(idx)],
+                    k,
+                    network=net,
+                    include_naive=include_naive,
+                    include_monien=include_monien,
+                )
+            )
+    return report

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite (helpers live in helpers.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import cycle_graph, figure1_graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fig1():
+    return figure1_graph()
+
+
+@pytest.fixture
+def c5():
+    return cycle_graph(5)
+
+
+@pytest.fixture
+def c6():
+    return cycle_graph(6)

@@ -1,0 +1,28 @@
+"""Shared non-fixture helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs import Graph, erdos_renyi_gnp
+
+
+def random_graphs(count: int, n_lo: int = 5, n_hi: int = 12, seed: int = 0):
+    """Deterministic stream of small random graphs for differential tests."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(count):
+        n = int(rng.integers(n_lo, n_hi + 1))
+        p = float(rng.uniform(0.15, 0.55))
+        out.append(erdos_renyi_gnp(n, p, seed=int(rng.integers(2**31))))
+    return out
+
+
+def assert_is_cycle(g: Graph, vertices, k: int) -> None:
+    """Assert that ``vertices`` is a simple k-cycle in g (closing edge
+    implicit)."""
+    assert len(vertices) == k, f"cycle has {len(vertices)} != {k} vertices"
+    assert len(set(vertices)) == k, f"cycle revisits a vertex: {vertices}"
+    for i in range(k):
+        u, v = vertices[i], vertices[(i + 1) % k]
+        assert g.has_edge(u, v), f"missing edge ({u},{v}) in claimed cycle {vertices}"

@@ -1,0 +1,109 @@
+"""Tests for the analysis/experiment harness and table rendering."""
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    format_float,
+    run_detection_rates,
+    run_farness_packing,
+    run_message_bound,
+    run_phase1_statistics,
+    run_pruning_vs_naive,
+    run_round_complexity,
+    run_through_edge_exactness,
+    wilson_interval,
+)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["a", "long column"], title="demo")
+        t.add_row(1, 2.5)
+        t.add_row(1000, "x")
+        out = t.render()
+        lines = out.split("\n")
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "long column" in lines[1]
+        # all data lines equal width
+        assert len(lines[3]) == len(lines[4])
+
+    def test_wrong_arity(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_format_float(self):
+        assert format_float(True) == "yes"
+        assert format_float(False) == "no"
+        assert format_float(0.0) == "0"
+        assert format_float(0.123456) == "0.1235"
+        assert format_float(123456.0) == "1.235e+05"
+        assert format_float("text") == "text"
+
+    def test_str_is_render(self):
+        t = Table(["x"])
+        t.add_row(5)
+        assert str(t) == t.render()
+
+
+class TestWilson:
+    def test_zero_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(7, 10)
+        assert lo < 0.7 < hi
+
+    def test_perfect_success_has_nontrivial_lower(self):
+        lo, hi = wilson_interval(20, 20)
+        assert hi == 1.0
+        assert 0.8 < lo < 1.0
+
+    def test_bounds_clamped(self):
+        lo, hi = wilson_interval(0, 5)
+        assert lo == 0.0
+        assert hi < 1.0
+
+
+class TestExperimentRunners:
+    """Smoke-level runs with tiny configurations; the shape assertions are
+    the ones EXPERIMENTS.md relies on."""
+
+    def test_round_complexity_rows(self):
+        res = run_round_complexity(ns=(32, 64), ks=(3, 5), epsilons=(0.2,))
+        assert len(res.rows) == 4
+        for row in res.rows:
+            assert row["simulated"] == row["per"]
+        assert "T1" in res.experiment
+        assert res.render()
+
+    def test_message_bound_all_ok(self):
+        res = run_message_bound(ks=(5, 6), scale=6)
+        assert res.rows
+        assert all(r["ok"] for r in res.rows)
+
+    def test_detection_rates_guarantees(self):
+        res = run_detection_rates(k=4, eps=0.2, n=40, trials=6, seed=2)
+        rows = {r["cls"]: r for r in res.rows}
+        assert rows["free"]["rate"] == 1.0
+        assert rows["far"]["rate"] >= 2 / 3
+
+    def test_phase1_statistics(self):
+        res = run_phase1_statistics(ms=(4, 16), trials=400, seed=1)
+        assert all(r["ok"] for r in res.rows)
+
+    def test_farness_packing(self):
+        res = run_farness_packing(k=4, eps=0.1, ns=(40, 60), seed=0)
+        assert all(r["ok"] for r in res.rows)
+
+    def test_pruning_vs_naive_shape(self):
+        res = run_pruning_vs_naive(k=7, widths=(2, 4), cap=2000)
+        assert res.rows[-1]["naive"] >= res.rows[0]["naive"]
+        assert all(r["pruned"] <= r["bound"] for r in res.rows)
+
+    def test_through_edge_exactness(self):
+        res = run_through_edge_exactness(ks=(3, 5), n=30, trials_per_k=3, seed=1)
+        for row in res.rows:
+            assert row["detected"] == row["trials"]
+            assert row["false_pos"] == 0

@@ -1,0 +1,123 @@
+"""Tests for the baseline algorithms (naive, gather, triangle tester)."""
+
+import numpy as np
+import pytest
+
+from helpers import random_graphs
+from repro.baselines import (
+    TriangleTesterCHFSV,
+    gather_detect_cycle_through_edge,
+    naive_detect_cycle_through_edge,
+)
+from repro.core import detect_cycle_through_edge, max_sequences_any_round
+from repro.errors import BandwidthExceededError, ConfigurationError
+from repro.graphs import (
+    blowup_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    has_cycle_through_edge,
+    has_k_cycle,
+    path_graph,
+    planted_epsilon_far_graph,
+)
+
+
+class TestNaiveBaseline:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6, 7])
+    def test_correct_on_random_graphs(self, k):
+        """Naive forwarding is complete and sound (it keeps a superset of
+        Algorithm 1's sequences)."""
+        for g in random_graphs(6, seed=300 + k):
+            if g.m == 0:
+                continue
+            for e in list(g.edges())[:4]:
+                expected = has_cycle_through_edge(g, e, k)
+                res = naive_detect_cycle_through_edge(g, e, k)
+                assert res.detected == expected
+
+    def test_blowup_instances_explode(self):
+        """The point of the baseline: message load grows with multiplicity
+        while Algorithm 1 stays below the Lemma 3 constant."""
+        k = 8
+        for w in (4, 6, 8):
+            g = blowup_graph(w, k)
+            naive = naive_detect_cycle_through_edge(g, (0, 1), k)
+            pruned = detect_cycle_through_edge(g, (0, 1), k)
+            assert naive.detected and pruned.detected
+            assert naive.max_sequences_per_message >= w * w  # ~w^(t-1)
+            assert (
+                pruned.run.trace.max_sequences_per_message
+                <= max_sequences_any_round(k)
+            )
+
+    def test_cap_trips_and_truncates(self):
+        g = blowup_graph(8, 8)
+        res = naive_detect_cycle_through_edge(g, (0, 1), 8, max_sequences_cap=10)
+        assert res.cap_tripped
+
+    def test_missing_edge(self):
+        with pytest.raises(ConfigurationError):
+            naive_detect_cycle_through_edge(path_graph(3), (0, 2), 3)
+
+
+class TestGatherBaseline:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_correct_on_random_graphs(self, k):
+        for g in random_graphs(5, seed=400 + k):
+            if g.m == 0:
+                continue
+            for e in list(g.edges())[:3]:
+                expected = has_cycle_through_edge(g, e, k)
+                res = gather_detect_cycle_through_edge(g, e, k)
+                assert res.detected == expected
+
+    def test_violates_congest_on_dense_instances(self):
+        """§1.2's point: ball collection bursts the bandwidth budget."""
+        g = complete_bipartite_graph(24, 24)
+        with pytest.raises(BandwidthExceededError):
+            gather_detect_cycle_through_edge(
+                g, (0, 24), 4, strict_bandwidth=True
+            )
+
+    def test_algorithm1_fits_where_gather_does_not(self):
+        """Same dense instance: Algorithm 1 stays within budget."""
+        g = complete_bipartite_graph(24, 24)
+        det = detect_cycle_through_edge(g, (0, 24), 4, strict_bandwidth=True)
+        assert det.detected  # and no BandwidthExceededError raised
+
+    def test_gather_message_bits_dominate(self):
+        g = complete_graph(12)
+        gather = gather_detect_cycle_through_edge(g, (0, 1), 5)
+        pruned = detect_cycle_through_edge(g, (0, 1), 5)
+        assert gather.max_message_bits > pruned.run.trace.max_message_bits
+
+
+class TestTriangleTester:
+    def test_one_sided_on_triangle_free(self):
+        g = complete_bipartite_graph(6, 6)  # triangle-free, dense in C4s
+        tester = TriangleTesterCHFSV(0.3, repetitions=50)
+        res = tester.run(g, seed=1)
+        assert res.accepted
+
+    def test_rejects_triangle_rich_graphs(self):
+        g = complete_graph(12)  # every probe is a triangle probe
+        tester = TriangleTesterCHFSV(0.3)
+        res = tester.run(g, seed=2)
+        assert not res.accepted
+
+    def test_eps_far_rejected(self):
+        g, _ = planted_epsilon_far_graph(60, 3, 0.1, seed=3)
+        tester = TriangleTesterCHFSV(0.1)
+        res = tester.run(g, seed=4)
+        assert not res.accepted
+
+    def test_round_budget(self):
+        tester = TriangleTesterCHFSV(0.2, repetitions=7)
+        res = tester.run(path_graph(6), seed=0)
+        assert res.accepted
+        assert res.total_rounds == 7 * 2
+
+    def test_bad_eps(self):
+        with pytest.raises(ConfigurationError):
+            TriangleTesterCHFSV(0.0)

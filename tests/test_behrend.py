@@ -1,0 +1,109 @@
+"""Tests for Behrend/Salem-Spencer sets and cycle-Behrend graphs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    behrend_cycle_graph,
+    behrend_set,
+    count_k_cycles,
+    has_k_cycle,
+    is_progression_free,
+    salem_spencer_set,
+)
+from repro.graphs.behrend import planted_behrend_cycles
+from repro.graphs.farness import cycle_edges
+
+
+class TestProgressionFree:
+    def test_detects_ap(self):
+        assert not is_progression_free([1, 3, 5])
+        assert not is_progression_free([0, 2, 4, 9])
+
+    def test_accepts_ap_free(self):
+        assert is_progression_free([0, 1, 3, 4])  # no 3-AP? 1,?,4 no; 0,2?no
+        assert is_progression_free([1])
+        assert is_progression_free([])
+
+    def test_duplicates_ignored(self):
+        assert is_progression_free([2, 2, 5])
+
+
+class TestSalemSpencer:
+    @pytest.mark.parametrize("n", [1, 5, 20, 64, 200])
+    def test_output_ap_free(self, n):
+        s = salem_spencer_set(n)
+        assert is_progression_free(s)
+        assert all(0 <= x < n for x in s)
+        assert s == sorted(set(s))
+
+    def test_greedy_is_maximal(self):
+        n = 50
+        s = set(salem_spencer_set(n))
+        for x in range(n):
+            if x in s:
+                continue
+            assert not is_progression_free(sorted(s | {x})), (
+                f"{x} could have been added -> greedy not maximal"
+            )
+
+    def test_density(self):
+        # The greedy set on [0,100) is reasonably large (>= 12 elements).
+        assert len(salem_spencer_set(100)) >= 12
+
+
+class TestBehrendSet:
+    @pytest.mark.parametrize("n", [10, 64, 300, 1000])
+    def test_ap_free_and_in_range(self, n):
+        s = behrend_set(n)
+        assert is_progression_free(s)
+        assert all(0 <= x < n for x in s)
+        assert len(s) >= 1
+
+    def test_grows(self):
+        assert len(behrend_set(1000)) > len(behrend_set(50))
+
+
+class TestBehrendCycleGraph:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_planted_cycles_exist(self, k):
+        g, planted = behrend_cycle_graph(7, k)
+        assert planted, "expected at least one planted cycle"
+        for cyc in planted:
+            assert len(cyc) == k
+            for i in range(k):
+                assert g.has_edge(cyc[i], cyc[(i + 1) % k])
+        assert has_k_cycle(g, k)
+
+    def test_planted_cycles_edge_disjoint(self):
+        g, planted = behrend_cycle_graph(11, 5)
+        seen = set()
+        for cyc in planted:
+            for e in cycle_edges(cyc):
+                assert e not in seen, "planted cycles share an edge"
+                seen.add(e)
+
+    def test_k_partite_structure(self):
+        k, M = 4, 6
+        g, _ = behrend_cycle_graph(M, k)
+        assert g.n == k * M
+        # no edge inside a part
+        for u, v in g.edges():
+            assert u // M != v // M
+
+    def test_custom_strides(self):
+        g, planted = behrend_cycle_graph(10, 3, strides=[1, 2])
+        assert len(planted) > 0
+
+    def test_duplicate_strides_rejected(self):
+        with pytest.raises(ConfigurationError):
+            behrend_cycle_graph(10, 3, strides=[1, 11])  # 11 ≡ 1 (mod 10)
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            behrend_cycle_graph(5, 2)
+        with pytest.raises(ConfigurationError):
+            behrend_cycle_graph(1, 3)
+
+    def test_count_helper(self):
+        assert planted_behrend_cycles(7, 3) > 0

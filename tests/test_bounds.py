@@ -1,0 +1,117 @@
+"""Tests for the closed-form bounds module."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    exact_distinct_rank_probability,
+    lemma3_bound,
+    lemma5_bound,
+    max_sequences_any_round,
+    message_bits_bound,
+    per_repetition_detection_bound,
+    repetitions_needed,
+    rounds_per_repetition,
+    total_rounds,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLemma3:
+    def test_values(self):
+        # round 1 always a single sequence
+        for k in range(3, 12):
+            assert lemma3_bound(k, 1) == 1
+        assert lemma3_bound(8, 2) == 7
+        assert lemma3_bound(8, 3) == 36
+        assert lemma3_bound(8, 4) == 125
+
+    def test_max_any_round(self):
+        assert max_sequences_any_round(3) == 1
+        assert max_sequences_any_round(8) == 125
+        # monotone in k
+        vals = [max_sequences_any_round(k) for k in range(3, 12)]
+        assert vals == sorted(vals)
+
+    def test_constant_in_nothing_else(self):
+        with pytest.raises(ConfigurationError):
+            lemma3_bound(6, 4)
+
+
+class TestLemma5:
+    def test_bound_value(self):
+        assert lemma5_bound() == pytest.approx(math.exp(-2))
+
+    def test_exact_probability_monotone_to_limit(self):
+        """(1 - i/m²) products approach a limit > 1/e² as m grows."""
+        vals = [exact_distinct_rank_probability(m) for m in (2, 4, 16, 64, 256)]
+        for v in vals:
+            assert v >= lemma5_bound()
+        # limit is exp(-1/2) ≈ 0.6065
+        assert vals[-1] == pytest.approx(math.exp(-0.5), abs=5e-3)
+
+    def test_m1(self):
+        assert exact_distinct_rank_probability(1) == 1.0
+
+    def test_bad_m(self):
+        with pytest.raises(ConfigurationError):
+            exact_distinct_rank_probability(0)
+
+
+class TestRepetitions:
+    def test_formula(self):
+        assert repetitions_needed(0.1) == math.ceil(math.e**2 * 10 * math.log(3))
+
+    def test_monotone_in_eps(self):
+        assert repetitions_needed(0.05) > repetitions_needed(0.1) > repetitions_needed(0.4)
+
+    def test_per_rep_bound(self):
+        assert per_repetition_detection_bound(0.1) == pytest.approx(
+            0.1 * math.exp(-2)
+        )
+
+    def test_bad_eps(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                repetitions_needed(bad)
+
+    def test_boosting_arithmetic(self):
+        """The paper's boosting claim: with p >= eps/e² per repetition and
+        r = ceil(e²/eps * ln3) repetitions, failure prob <= 1/3."""
+        for eps in (0.05, 0.1, 0.2, 0.4):
+            p = per_repetition_detection_bound(eps)
+            r = repetitions_needed(eps)
+            assert (1 - p) ** r <= 1 / 3 + 1e-12
+
+
+class TestRounds:
+    def test_rounds_per_repetition(self):
+        assert rounds_per_repetition(3) == 2
+        assert rounds_per_repetition(8) == 5
+        with pytest.raises(ConfigurationError):
+            rounds_per_repetition(2)
+
+    def test_total_rounds(self):
+        assert total_rounds(5, 0.1) == repetitions_needed(0.1) * 3
+        assert total_rounds(5, 0.1, repetitions=7) == 21
+
+    def test_total_rounds_o_one_over_eps(self):
+        """O(1/ε): eps -> eps/2 at most ~doubles the rounds (+1 ceil)."""
+        for eps in (0.4, 0.2, 0.1):
+            a = total_rounds(6, eps)
+            b = total_rounds(6, eps / 2)
+            assert b <= 2 * a + rounds_per_repetition(6)
+
+
+class TestMessageBits:
+    def test_formula(self):
+        # k=5, t=2: 4 sequences * (2*10 + 8) + 8
+        assert message_bits_bound(5, 2, id_bits=10) == 4 * 28 + 8
+
+    def test_log_n_scaling(self):
+        """For fixed k the bound is linear in id_bits = Θ(log n)."""
+        k, t = 7, 3
+        b1 = message_bits_bound(k, t, id_bits=10)
+        b2 = message_bits_bound(k, t, id_bits=20)
+        assert b2 < 2 * b1

@@ -1,0 +1,92 @@
+"""Tests for the §4 obstruction module (chorded cycles)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extensions import (
+    build_obstruction_instance,
+    cycle_has_chord,
+    has_chorded_cycle_through_edge,
+    oblivious_chorded_detect,
+)
+from repro.graphs import (
+    chorded_cycle_graph,
+    complete_graph,
+    cycle_graph,
+    has_cycle_through_edge,
+)
+
+
+class TestChordOracle:
+    def test_plain_cycle_has_no_chord(self):
+        g = cycle_graph(6)
+        assert not cycle_has_chord(g, tuple(range(6)))
+
+    def test_chorded_cycle_detected(self):
+        g = chorded_cycle_graph(6, chord=(0, 2))
+        assert cycle_has_chord(g, tuple(range(6)))
+
+    def test_complete_graph_everything_chorded(self):
+        g = complete_graph(6)
+        assert has_chorded_cycle_through_edge(g, (0, 1), 5)
+
+    def test_chordless_instance(self):
+        g = cycle_graph(7)
+        assert not has_chorded_cycle_through_edge(g, (0, 1), 7)
+
+    def test_needs_k4(self):
+        with pytest.raises(ConfigurationError):
+            has_chorded_cycle_through_edge(cycle_graph(4), (0, 1), 3)
+
+
+class TestObliviousDetector:
+    def test_certifies_when_chord_is_local(self):
+        """On K6 every witnessed cycle has chords at the detector."""
+        g = complete_graph(6)
+        res = oblivious_chorded_detect(g, (0, 1), 5)
+        assert res.cycle_detected
+        assert res.chord_certified
+
+    def test_no_cycle_no_detection(self):
+        g = cycle_graph(9)
+        res = oblivious_chorded_detect(g, (0, 1), 5)
+        assert not res.cycle_detected
+        assert not res.chord_certified
+
+    def test_chordless_cycle_not_certified(self):
+        g = cycle_graph(6)
+        res = oblivious_chorded_detect(g, (0, 1), 6)
+        assert res.cycle_detected
+        assert not res.chord_certified
+
+
+class TestSection4Obstruction:
+    """The paper's concluding obstruction, reproduced constructively."""
+
+    @pytest.mark.parametrize("k", [6, 7, 8, 9])
+    def test_obstruction_realised(self, k):
+        g, e = build_obstruction_instance(k)
+        # A chorded k-cycle through e genuinely exists...
+        assert has_chorded_cycle_through_edge(g, e, k)
+        # ...and a chordless one too (the survivors).
+        assert has_cycle_through_edge(g, e, k)
+        res = oblivious_chorded_detect(g, e, k)
+        # Algorithm 1 still detects *a* cycle (Lemma 2 is intact)...
+        assert res.cycle_detected
+        # ...but the pruning kept only chordless witnesses: the oblivious
+        # extension cannot certify the chord. This is §4's point.
+        assert not res.chord_certified
+        # And indeed the surviving evidence is chordless:
+        assert not cycle_has_chord(g, res.evidence)
+
+    def test_construction_shape(self):
+        k = 7
+        g, e = build_obstruction_instance(k)
+        assert e == (0, 1)
+        assert g.has_edge(*e)
+        # k candidates + u + v + relay + (k-4) tail vertices
+        assert g.n == 2 + k + 1 + (k - 4)
+
+    def test_needs_k6(self):
+        with pytest.raises(ConfigurationError):
+            build_obstruction_instance(5)

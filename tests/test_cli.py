@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_test_command_parses(self):
+        args = build_parser().parse_args(
+            ["test", "--generator", "cycle", "--n", "8", "--k", "5"]
+        )
+        assert args.k == 5
+        assert args.generator == "cycle"
+
+
+class TestTestCommand:
+    def test_reject_exit_code(self, capsys):
+        # C6 tested for C6-freeness: must reject -> exit code 1
+        rc = main(["test", "--generator", "cycle", "--n", "6", "--k", "6",
+                   "--eps", "0.3", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "reject" in out
+        assert "evidence" in out
+
+    def test_accept_exit_code(self, capsys):
+        rc = main(["test", "--generator", "ck-free", "--n", "30", "--k", "5",
+                   "--eps", "0.2", "--repetitions", "5", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "accept" in out
+
+    def test_eps_far_generator_reports_certificate(self, capsys):
+        rc = main(["test", "--generator", "eps-far", "--n", "60", "--k", "4",
+                   "--eps", "0.1", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert "certified farness" in out
+        assert rc == 1
+
+    def test_unknown_generator(self):
+        with pytest.raises(SystemExit):
+            main(["test", "--generator", "nope", "--k", "3"])
+
+
+class TestDetectCommand:
+    def test_figure1(self, capsys):
+        rc = main(["detect", "--generator", "figure1", "--k", "5",
+                   "--edge", "0", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "detected=True" in out
+        assert "max_seqs/msg=" in out
+
+    def test_no_cycle(self, capsys):
+        rc = main(["detect", "--generator", "cycle", "--n", "9", "--k", "5",
+                   "--edge", "0", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "detected=False" in out
+
+    def test_theta_generator(self, capsys):
+        rc = main(["detect", "--generator", "theta", "--paths", "3",
+                   "--path-length", "3", "--k", "6", "--edge", "0", "2"])
+        assert rc == 0
+        assert "detected=True" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_single_experiment(self, capsys):
+        rc = main(["experiment", "T4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Lemma 5" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "T99"])
+
+
+class TestTimelineFlag:
+    def test_detect_with_timeline(self, capsys):
+        rc = main(["detect", "--generator", "figure1", "--k", "5",
+                   "--edge", "0", "1", "--timeline"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "busiest edge" in out
+        assert "total:" in out
+
+
+class TestFuzzCommand:
+    def test_clean_campaign(self, capsys):
+        rc = main(["fuzz", "--trials", "12", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ok" in out

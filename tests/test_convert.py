@@ -1,0 +1,65 @@
+"""Tests for networkx interoperability."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import Graph, cycle_graph, from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_roundtrip_structure(self):
+        g = cycle_graph(6)
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == 6
+        assert nxg.number_of_edges() == 6
+        assert nx.is_connected(nxg)
+
+    def test_isolated_vertices_kept(self):
+        g = Graph(4, [(0, 1)])
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == 4
+
+
+class TestFromNetworkx:
+    def test_basic(self):
+        nxg = nx.cycle_graph(5)
+        g, index = from_networkx(nxg)
+        assert g.n == 5
+        assert g.m == 5
+        assert set(index.keys()) == set(range(5))
+
+    def test_string_labels(self):
+        nxg = nx.Graph([("a", "b"), ("b", "c")])
+        g, index = from_networkx(nxg)
+        assert g.n == 3
+        assert g.has_edge(index["a"], index["b"])
+        assert g.has_edge(index["b"], index["c"])
+        assert not g.has_edge(index["a"], index["c"])
+
+    def test_deterministic_labelling(self):
+        nxg = nx.Graph([("x", "y"), ("y", "z")])
+        _, i1 = from_networkx(nxg)
+        _, i2 = from_networkx(nx.Graph([("y", "z"), ("x", "y")]))
+        assert i1 == i2
+
+    def test_rejects_directed(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_rejects_multigraph(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.MultiGraph([(0, 1), (0, 1)]))
+
+    def test_rejects_self_loop(self):
+        nxg = nx.Graph()
+        nxg.add_edge(0, 0)
+        with pytest.raises(GraphError):
+            from_networkx(nxg)
+
+    def test_full_roundtrip(self):
+        g = cycle_graph(7)
+        g2, index = from_networkx(to_networkx(g))
+        # identity labelling for integer nodes 0..6 sorted by repr:
+        # repr order of ints 0..6 is lexicographic '0'..'6' == numeric here
+        assert g2 == g

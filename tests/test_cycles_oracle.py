@@ -1,0 +1,173 @@
+"""Tests for the centralized ground-truth cycle queries."""
+
+import pytest
+
+from helpers import assert_is_cycle, random_graphs
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    Graph,
+    complete_bipartite_graph,
+    complete_graph,
+    count_k_cycles,
+    cycle_graph,
+    cycles_through_edge,
+    enumerate_k_cycles,
+    find_cycle_through_edge,
+    find_k_cycle,
+    girth,
+    grid_graph,
+    has_cycle_through_edge,
+    has_k_cycle,
+    is_ck_free,
+    path_graph,
+    simple_paths,
+)
+
+
+class TestSimplePaths:
+    def test_exact_length(self):
+        g = path_graph(5)
+        paths = list(simple_paths(g, 0, 4, 4))
+        assert paths == [(0, 1, 2, 3, 4)]
+        assert list(simple_paths(g, 0, 4, 3)) == []
+
+    def test_zero_length(self):
+        g = path_graph(2)
+        assert list(simple_paths(g, 0, 0, 0)) == [(0,)]
+        assert list(simple_paths(g, 0, 1, 0)) == []
+
+    def test_forbidden_edge(self):
+        g = cycle_graph(4)
+        # paths 0->1 of length 3 avoiding the direct edge: 0-3-2-1
+        paths = list(simple_paths(g, 0, 1, 3, forbidden_edge=(0, 1)))
+        assert paths == [(0, 3, 2, 1)]
+
+    def test_count_in_complete_graph(self):
+        g = complete_graph(5)
+        # simple paths 0->1 with 2 edges: choose the middle from 3 others
+        assert len(list(simple_paths(g, 0, 1, 2))) == 3
+        # with 3 edges: ordered pairs from remaining 3: 3*2 = 6
+        assert len(list(simple_paths(g, 0, 1, 3))) == 6
+
+
+class TestThroughEdge:
+    @pytest.mark.parametrize("k", range(3, 12))
+    def test_pure_cycle(self, k):
+        g = cycle_graph(k)
+        assert has_cycle_through_edge(g, (0, 1), k)
+        assert not has_cycle_through_edge(g, (0, 1), k + 1)
+        if k > 3:
+            assert not has_cycle_through_edge(g, (0, 1), k - 1)
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6, 7, 8, 9])
+    def test_find_returns_valid_path(self, k):
+        g = complete_graph(max(k, 5))
+        path = find_cycle_through_edge(g, (0, 1), k)
+        assert path is not None
+        assert path[0] == 0 and path[-1] == 1
+        assert_is_cycle(g, path, k)
+
+    def test_missing_edge(self):
+        g = path_graph(4)
+        assert not has_cycle_through_edge(g, (0, 2), 3)
+        assert find_cycle_through_edge(g, (0, 2), 3) is None
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            has_cycle_through_edge(cycle_graph(3), (0, 1), 2)
+
+    def test_mitm_matches_dfs(self):
+        """Meet-in-the-middle (k>=7) agrees with DFS enumeration."""
+        for g in random_graphs(12, n_lo=7, n_hi=11, seed=42):
+            if g.m == 0:
+                continue
+            for e in list(g.edges())[:5]:
+                for k in (7, 8, 9):
+                    dfs = any(True for _ in cycles_through_edge(g, e, k))
+                    assert has_cycle_through_edge(g, e, k) == dfs
+
+    def test_enumeration_is_exhaustive_on_k4(self):
+        g = complete_graph(4)
+        # C4s through edge (0,1): 0-a-b-1 with {a,b}={2,3}: 2 orderings
+        assert len(list(cycles_through_edge(g, (0, 1), 4))) == 2
+
+
+class TestWholeGraph:
+    def test_k_cycle_in_grid(self):
+        g = grid_graph(3, 3)
+        assert has_k_cycle(g, 4)
+        assert has_k_cycle(g, 6)
+        assert has_k_cycle(g, 8)
+        assert not has_k_cycle(g, 3)
+        assert not has_k_cycle(g, 5)  # grids are bipartite
+
+    def test_bipartite_no_odd(self):
+        g = complete_bipartite_graph(3, 3)
+        for k in (3, 5, 7):
+            assert is_ck_free(g, k)
+        for k in (4, 6):
+            assert has_k_cycle(g, k)
+
+    def test_find_k_cycle_witness(self):
+        g = complete_graph(6)
+        for k in (3, 4, 5, 6):
+            cyc = find_k_cycle(g, k)
+            assert cyc is not None
+            assert_is_cycle(g, cyc, k)
+
+    def test_counts_complete_graph(self):
+        # #C3 in K5 = C(5,3) = 10; #C4 = C(5,4)*3 = 15; #C5 = 4!/2 = 12
+        g = complete_graph(5)
+        assert count_k_cycles(g, 3) == 10
+        assert count_k_cycles(g, 4) == 15
+        assert count_k_cycles(g, 5) == 12
+
+    def test_counts_cycle_graph(self):
+        assert count_k_cycles(cycle_graph(7), 7) == 1
+
+    def test_enumerate_unique(self):
+        g = complete_graph(5)
+        cycles = list(enumerate_k_cycles(g, 4))
+        assert len(cycles) == len(set(cycles)) == 15
+
+    def test_counts_vs_networkx(self):
+        """Cross-check triangle counts against networkx on random graphs."""
+        import networkx as nx
+
+        from repro.graphs import to_networkx
+
+        for g in random_graphs(8, seed=5):
+            nxg = to_networkx(g)
+            expected = sum(nx.triangles(nxg).values()) // 3
+            assert count_k_cycles(g, 3) == expected
+
+
+class TestGirth:
+    def test_forest(self):
+        assert girth(path_graph(5)) is None
+        assert girth(Graph(3)) is None
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 8, 11])
+    def test_cycle(self, k):
+        assert girth(cycle_graph(k)) == k
+
+    def test_complete(self):
+        assert girth(complete_graph(5)) == 3
+
+    def test_petersen(self):
+        # The Petersen graph has girth 5.
+        outer = [(i, (i + 1) % 5) for i in range(5)]
+        inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+        spokes = [(i, i + 5) for i in range(5)]
+        g = Graph(10, outer + inner + spokes)
+        assert girth(g) == 5
+
+    def test_girth_via_smallest_k(self):
+        """girth == min k with a k-cycle, on random graphs."""
+        for g in random_graphs(10, seed=6):
+            expected = None
+            for k in range(3, g.n + 1):
+                if has_k_cycle(g, k):
+                    expected = k
+                    break
+            assert girth(g) == expected

@@ -1,0 +1,65 @@
+"""Small targeted tests for the error types and message containers."""
+
+import pytest
+
+from repro.congest import SequenceBundle, SizeModel, tag_order_key
+from repro.errors import (
+    BandwidthExceededError,
+    CongestError,
+    ConfigurationError,
+    GraphError,
+    ProtocolError,
+    ReproError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_are_repro_errors(self):
+        for exc in (GraphError, CongestError, ProtocolError, ConfigurationError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(BandwidthExceededError, CongestError)
+
+    def test_bandwidth_error_payload(self):
+        err = BandwidthExceededError(3, (1, 2), bits=500, budget=100)
+        assert err.round_index == 3
+        assert err.edge == (1, 2)
+        assert err.bits == 500
+        assert err.budget == 100
+        assert "round 3" in str(err)
+        assert "500 bits" in str(err)
+
+
+class TestSequenceBundle:
+    def test_tag_none_without_rank(self):
+        b = SequenceBundle(frozenset({(1, 2)}))
+        assert b.tag is None
+
+    def test_tag_with_rank(self):
+        b = SequenceBundle(frozenset({(1, 2)}), rank=7, edge=(0, 5))
+        assert b.tag == (7, (0, 5))
+
+    def test_len_and_empty(self):
+        assert len(SequenceBundle(frozenset())) == 0
+        assert SequenceBundle(frozenset()).is_empty()
+        assert not SequenceBundle(frozenset({(1,)})).is_empty()
+
+    def test_tag_total_order(self):
+        tags = [(3, (0, 1)), (1, (9, 10)), (1, (2, 3)), (2, (0, 1))]
+        ordered = sorted(tags, key=tag_order_key)
+        assert ordered == [(1, (2, 3)), (1, (9, 10)), (2, (0, 1)), (3, (0, 1))]
+
+
+class TestSizeModelEdges:
+    def test_minimum_bits(self):
+        model = SizeModel.for_network(1, 1)
+        assert model.id_bits >= 1
+        assert model.rank_bits >= 1
+
+    def test_budget_floor(self):
+        model = SizeModel(id_bits=4, budget_factor=8)
+        assert model.budget_bits(2) == 8  # 8 * ceil(log2(2))
+        assert model.budget_bits(1) == 8  # clamped log
+
+    def test_empty_bundle_costs_header_only(self):
+        model = SizeModel(id_bits=10)
+        assert model.bundle_bits(SequenceBundle(frozenset())) == 8

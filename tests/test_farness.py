@@ -1,0 +1,137 @@
+"""Tests for ε-farness machinery (packing, exact distance, Lemma 4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    disjoint_cycles_graph,
+    farness_bounds,
+    flower_graph,
+    greedy_cycle_packing,
+    is_epsilon_far,
+    lemma4_bound,
+    min_edge_deletions_to_ck_free,
+    path_graph,
+    planted_epsilon_far_graph,
+)
+from repro.graphs.farness import cycle_edges
+
+
+class TestCycleEdges:
+    def test_closes_cycle(self):
+        assert cycle_edges((0, 1, 2)) == [(0, 1), (1, 2), (0, 2)]
+
+    def test_canonical(self):
+        edges = cycle_edges((3, 1, 2, 0))
+        assert all(u < v for u, v in edges)
+        assert len(edges) == 4
+
+
+class TestPacking:
+    def test_single_cycle(self):
+        g = cycle_graph(5)
+        packing = greedy_cycle_packing(g, 5)
+        assert len(packing) == 1
+
+    def test_ck_free(self):
+        assert greedy_cycle_packing(path_graph(6), 4) == []
+
+    def test_disjoint_cycles_all_found(self):
+        g = disjoint_cycles_graph(4, 5, connect=True)
+        packing = greedy_cycle_packing(g, 5)
+        assert len(packing) == 4
+
+    def test_packing_is_edge_disjoint(self):
+        g = complete_graph(7)
+        packing = greedy_cycle_packing(g, 3)
+        seen = set()
+        for cyc in packing:
+            for e in cycle_edges(cyc):
+                assert e not in seen
+                seen.add(e)
+
+    def test_max_cycles_cap(self):
+        g = disjoint_cycles_graph(4, 4)
+        assert len(greedy_cycle_packing(g, 4, max_cycles=2)) == 2
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            greedy_cycle_packing(cycle_graph(4), 2)
+
+
+class TestExactDistance:
+    def test_single_cycle_distance_one(self):
+        assert min_edge_deletions_to_ck_free(cycle_graph(6), 6) == 1
+
+    def test_ck_free_distance_zero(self):
+        assert min_edge_deletions_to_ck_free(path_graph(5), 3) == 0
+
+    def test_disjoint_cycles(self):
+        g = disjoint_cycles_graph(3, 4, connect=True)
+        assert min_edge_deletions_to_ck_free(g, 4) == 3
+
+    def test_flower_shared_edge(self):
+        """All petals share edge {0,1}... but petals already form k-cycles
+        through the shared edge only; removing the shared edge is NOT
+        enough because each petal + shared edge is the only k-cycle form.
+        Removing {0,1} kills all of them at once -> distance 1."""
+        g = flower_graph(4, 5)
+        assert min_edge_deletions_to_ck_free(g, 5) == 1
+
+    def test_triangle_rich(self):
+        # K4 has 4 triangles; removing 2 non-adjacent edges kills all.
+        assert min_edge_deletions_to_ck_free(complete_graph(4), 3) == 2
+
+    def test_budget_exceeded(self):
+        g = disjoint_cycles_graph(3, 3, connect=False)
+        with pytest.raises(ConfigurationError):
+            min_edge_deletions_to_ck_free(g, 3, budget=1)
+
+
+class TestFarnessBounds:
+    def test_free_graph(self):
+        lo, hi = farness_bounds(path_graph(6), 4)
+        assert (lo, hi) == (0.0, 0.0)
+
+    def test_empty_graph(self):
+        from repro.graphs import Graph
+
+        assert farness_bounds(Graph(3), 3) == (0.0, 0.0)
+
+    def test_bounds_order(self):
+        g = disjoint_cycles_graph(3, 4, connect=True)
+        lo, hi = farness_bounds(g, 4, exact=True)
+        assert 0 < lo <= hi
+        # exact distance is 3, m = 14: hi = 3/14
+        assert hi == pytest.approx(3 / 14)
+
+    def test_packing_lower_bounds_distance(self):
+        """|packing| <= exact removal distance, always."""
+        for cycles, k in [(2, 3), (3, 4), (2, 5)]:
+            g = disjoint_cycles_graph(cycles, k, connect=True)
+            packing = greedy_cycle_packing(g, k)
+            exact = min_edge_deletions_to_ck_free(g, k)
+            assert len(packing) <= exact
+
+    def test_is_epsilon_far_tristate(self):
+        g = disjoint_cycles_graph(4, 4, connect=False)  # m=16, distance=4
+        assert is_epsilon_far(g, 4, 0.2) is True  # 4/16 = 0.25 >= 0.2
+        assert is_epsilon_far(g, 4, 0.3, exact=True) is False
+        # Without exact bound, inconclusive for eps above packing ratio
+        assert is_epsilon_far(g, 4, 0.3) is None
+
+
+class TestLemma4:
+    def test_bound_formula(self):
+        assert lemma4_bound(100, 5, 0.1) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("k,eps", [(3, 0.1), (4, 0.1), (5, 0.08)])
+    def test_planted_instances_satisfy_lemma4(self, k, eps):
+        """Certified ε-far instances must contain >= εm/k edge-disjoint
+        k-cycles (Lemma 4); the greedy packing must witness it here since
+        the construction is a packing."""
+        g, certified = planted_epsilon_far_graph(60, k, eps, seed=3)
+        packing = greedy_cycle_packing(g, k)
+        assert len(packing) >= lemma4_bound(g.m, k, certified) - 1e-9

@@ -1,0 +1,149 @@
+"""Fault-injection tests: soundness survives message loss, completeness
+does not (and we can show exactly why, constructively)."""
+
+import numpy as np
+import pytest
+
+from helpers import assert_is_cycle
+from repro.congest import (
+    DropFaults,
+    FaultyScheduler,
+    Network,
+    TargetedFaults,
+)
+from repro.core import (
+    DetectCkProgram,
+    DetectionOutcome,
+    MultiplexedCkProgram,
+    phase2_rounds,
+    protocol_rounds,
+)
+from repro.graphs import cycle_graph, erdos_renyi_gnp, figure1_graph, path_graph
+
+
+def run_faulty_detect(g, edge, k, faults, network=None):
+    net = network if network is not None else Network(g)
+    edge_ids = net.edge_ids(*edge)
+    sched = FaultyScheduler(net, faults)
+    run = sched.run(
+        lambda ctx: DetectCkProgram(ctx, k, edge_ids),
+        num_rounds=phase2_rounds(k),
+    )
+    return net, run
+
+
+class TestDropFaults:
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            DropFaults(1.5)
+
+    def test_p_zero_is_reliable(self):
+        g = figure1_graph()
+        faults = DropFaults(0.0)
+        _, run = run_faulty_detect(g, (0, 1), 5, faults)
+        assert any(o.rejects for o in run.outputs.values())
+        assert faults.dropped == 0
+
+    def test_p_one_drops_everything(self):
+        g = figure1_graph()
+        faults = DropFaults(1.0, seed=1)
+        _, run = run_faulty_detect(g, (0, 1), 5, faults)
+        assert not any(o.rejects for o in run.outputs.values())
+        assert faults.delivered == 0
+
+    def test_soundness_under_random_loss(self):
+        """Whatever gets dropped, any rejection still certifies a genuine
+        k-cycle — 1-sidedness is fault-tolerant."""
+        rng = np.random.default_rng(3)
+        for trial in range(12):
+            g = erdos_renyi_gnp(10, 0.4, seed=trial)
+            if g.m == 0:
+                continue
+            e = next(iter(g.edges()))
+            faults = DropFaults(0.3, seed=trial)
+            for k in (4, 5, 6):
+                net, run = run_faulty_detect(g, e, k, faults)
+                for v, out in run.outputs.items():
+                    if isinstance(out, DetectionOutcome) and out.rejects:
+                        assert_is_cycle(g, out.cycle, k)
+
+    def test_multiplexed_soundness_under_loss(self):
+        rng = np.random.default_rng(4)
+        for trial in range(8):
+            g = erdos_renyi_gnp(10, 0.35, seed=100 + trial)
+            if g.m == 0:
+                continue
+            net = Network(g)
+            sched = FaultyScheduler(net, DropFaults(0.25, seed=trial))
+            run = sched.run(
+                lambda ctx: MultiplexedCkProgram(ctx, 5, trial),
+                num_rounds=protocol_rounds(5),
+            )
+            for v, out in run.outputs.items():
+                if isinstance(out, DetectionOutcome) and out.rejects:
+                    verts = [net.vertex_of(i) for i in out.cycle]
+                    assert_is_cycle(g, verts, 5)
+
+    def test_counters(self):
+        g = cycle_graph(8)
+        faults = DropFaults(0.5, seed=9)
+        run_faulty_detect(g, (0, 1), 8, faults)
+        assert faults.dropped > 0
+        assert faults.delivered > 0
+
+    def test_reset_between_runs(self):
+        g = cycle_graph(6)
+        faults = DropFaults(0.4, seed=2)
+        net = Network(g)
+        sched = FaultyScheduler(net, faults)
+        r1 = sched.run(
+            lambda ctx: DetectCkProgram(ctx, 6, net.edge_ids(0, 1)),
+            num_rounds=phase2_rounds(6),
+        )
+        d1 = faults.dropped
+        r2 = sched.run(
+            lambda ctx: DetectCkProgram(ctx, 6, net.edge_ids(0, 1)),
+            num_rounds=phase2_rounds(6),
+        )
+        # identical seed reset => identical drop pattern and outputs
+        assert faults.dropped == d1
+        assert {v: o.rejects for v, o in r1.outputs.items()} == {
+            v: o.rejects for v, o in r2.outputs.items()
+        }
+
+
+class TestTargetedFaults:
+    def test_completeness_needs_reliability(self):
+        """Constructive: C_k has exactly one witness flow per direction;
+        censoring the seed edge u->(its cycle neighbour) in round 1 hides
+        the u-rooted sequence family... detection then fails even though
+        the cycle exists — Lemma 2's guarantee genuinely needs reliable
+        links."""
+        k = 6
+        g = cycle_graph(k)
+        # Block u=0's round-1 seed to its non-probe neighbour (vertex 5)
+        # and v=1's seed to vertex 2 — both witness flows die.
+        faults = TargetedFaults({(1, 0, 5), (1, 1, 2)})
+        _, run = run_faulty_detect(g, (0, 1), k, faults)
+        assert not any(o.rejects for o in run.outputs.values())
+        assert faults.dropped == 2
+
+    def test_unrelated_censorship_is_harmless(self):
+        k = 6
+        g = cycle_graph(k)
+        # Censor a link in the "wrong" direction (towards the probe edge):
+        # the cycle witnesses flow the other way and survive.
+        faults = TargetedFaults({(None, 5, 0), (None, 2, 1)})
+        _, run = run_faulty_detect(g, (0, 1), k, faults)
+        assert any(o.rejects for o in run.outputs.values())
+
+    def test_always_blocked_link(self):
+        g = path_graph(4)
+        faults = TargetedFaults({(None, 0, 1)})
+        net = Network(g)
+        sched = FaultyScheduler(net, faults)
+        run = sched.run(
+            lambda ctx: DetectCkProgram(ctx, 4, net.edge_ids(0, 1)),
+            num_rounds=phase2_rounds(4),
+        )
+        assert faults.dropped >= 1

@@ -1,0 +1,254 @@
+"""Tests for the graph generators, including the paper-specific families."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    Graph,
+    binary_tree_graph,
+    blowup_graph,
+    chorded_cycle_graph,
+    ck_free_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_cycles_graph,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    figure1_graph,
+    flower_graph,
+    girth,
+    grid_graph,
+    has_k_cycle,
+    high_girth_graph,
+    hypercube_graph,
+    is_ck_free,
+    path_graph,
+    planted_cycle_graph,
+    planted_epsilon_far_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+    theta_graph,
+    torus_graph,
+)
+
+
+class TestDeterministicFamilies:
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert (g.n, g.m) == (5, 5)
+        assert all(g.degree(v) == 2 for v in g.vertices())
+        assert girth(g) == 5
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ConfigurationError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(6)
+        assert (g.n, g.m) == (6, 5)
+        assert girth(g) is None
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.m == 15
+        assert all(g.degree(v) == 5 for v in g.vertices())
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert (g.n, g.m) == (7, 12)
+        assert girth(g) == 4
+        # bipartite: no odd cycles
+        assert is_ck_free(g, 3)
+        assert is_ck_free(g, 5)
+
+    def test_star(self):
+        g = star_graph(5)
+        assert (g.n, g.m) == (6, 5)
+        assert g.degree(0) == 5
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert girth(g) == 4
+
+    def test_torus(self):
+        g = torus_graph(3, 3)
+        assert g.n == 9
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_torus_min_dims(self):
+        with pytest.raises(ConfigurationError):
+            torus_graph(2, 5)
+
+    def test_hypercube(self):
+        g = hypercube_graph(3)
+        assert (g.n, g.m) == (8, 12)
+        assert girth(g) == 4
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(3)
+        assert g.n == 15
+        assert g.m == 14
+        assert girth(g) is None
+
+
+class TestRandomFamilies:
+    def test_random_tree(self):
+        g = random_tree(20, seed=1)
+        assert g.m == 19
+        assert g.is_connected()
+        assert girth(g) is None
+
+    def test_gnp_reproducible(self):
+        a = erdos_renyi_gnp(30, 0.2, seed=7)
+        b = erdos_renyi_gnp(30, 0.2, seed=7)
+        assert a == b
+
+    def test_gnp_extremes(self):
+        assert erdos_renyi_gnp(10, 0.0, seed=0).m == 0
+        assert erdos_renyi_gnp(10, 1.0, seed=0).m == 45
+
+    def test_gnp_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_gnp(10, 1.5)
+
+    def test_gnm_exact_edges(self):
+        for m in (0, 1, 10, 45):
+            g = erdos_renyi_gnm(10, m, seed=3)
+            assert g.m == m
+            g.validate()
+
+    def test_gnm_too_many(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_gnm(5, 11)
+
+    def test_random_regular(self):
+        g = random_regular_graph(12, 3, seed=5)
+        assert all(g.degree(v) == 3 for v in g.vertices())
+        g.validate()
+
+    def test_random_regular_parity(self):
+        with pytest.raises(ConfigurationError):
+            random_regular_graph(5, 3)
+
+
+class TestPaperFamilies:
+    def test_figure1_exact(self):
+        g = figure1_graph()
+        assert (g.n, g.m) == (5, 7)
+        # The 5-cycle (u, x, z, y, v) = (0, 2, 4, 3, 1) exists.
+        for a, b in [(0, 2), (2, 4), (4, 3), (3, 1), (1, 0)]:
+            assert g.has_edge(a, b)
+
+    def test_theta(self):
+        g = theta_graph(3, 4)
+        assert g.n == 2 + 3 * 3
+        assert g.m == 3 * 4
+        assert g.degree(0) == 3 and g.degree(1) == 3
+        # two paths of length 4 close an 8-cycle
+        assert has_k_cycle(g, 8)
+        assert girth(g) == 8
+
+    def test_theta_args(self):
+        with pytest.raises(ConfigurationError):
+            theta_graph(0, 3)
+        with pytest.raises(ConfigurationError):
+            theta_graph(3, 1)
+
+    def test_flower(self):
+        k, petals = 5, 4
+        g = flower_graph(petals, k)
+        assert g.has_edge(0, 1)
+        assert has_k_cycle(g, k)
+        # every petal + shared edge is a k-cycle: count >= petals cycles
+        from repro.graphs import count_k_cycles
+
+        assert count_k_cycles(g, k) == petals
+
+    def test_blowup_structure(self):
+        k, w = 6, 3
+        g = blowup_graph(w, k)
+        assert g.n == 2 + (k - 2) * w
+        assert g.has_edge(0, 1)
+        assert has_k_cycle(g, k)
+        from repro.graphs import has_cycle_through_edge
+
+        assert has_cycle_through_edge(g, (0, 1), k)
+
+    def test_blowup_k3(self):
+        g = blowup_graph(4, 3)
+        assert g.n == 2 + 4
+        assert has_k_cycle(g, 3)
+
+    def test_chorded_cycle(self):
+        g = chorded_cycle_graph(6)
+        assert g.m == 7
+        assert has_k_cycle(g, 6)
+        with pytest.raises(ConfigurationError):
+            chorded_cycle_graph(5, chord=(0, 1))
+
+    def test_disjoint_cycles(self):
+        g = disjoint_cycles_graph(3, 5, connect=True)
+        assert g.n == 15
+        assert g.m == 15 + 2
+        assert g.is_connected()
+        from repro.graphs import count_k_cycles
+
+        assert count_k_cycles(g, 5) == 3
+
+    def test_disjoint_cycles_unconnected(self):
+        g = disjoint_cycles_graph(2, 4, connect=False)
+        assert not g.is_connected()
+        assert g.m == 8
+
+
+class TestPlantedInstances:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6, 8])
+    def test_planted_cycle(self, k):
+        g, cyc = planted_cycle_graph(20, k, seed=1, extra_edge_prob=0.05)
+        assert len(cyc) == k
+        for i in range(k):
+            assert g.has_edge(cyc[i], cyc[(i + 1) % k])
+
+    def test_planted_cycle_needs_room(self):
+        with pytest.raises(ConfigurationError):
+            planted_cycle_graph(4, 5)
+
+    @pytest.mark.parametrize("k,eps", [(3, 0.1), (4, 0.1), (5, 0.05), (5, 0.15), (6, 0.1)])
+    def test_planted_epsilon_far_certificate(self, k, eps):
+        g, certified = planted_epsilon_far_graph(80, k, eps, seed=2)
+        assert g.n == 80
+        assert certified >= eps
+        assert g.is_connected()
+        assert has_k_cycle(g, k)
+
+    def test_planted_epsilon_far_impossible(self):
+        # eps close to 1 cannot be certified by cycle packing (max 1/k)
+        with pytest.raises(ConfigurationError):
+            planted_epsilon_far_graph(30, 5, 0.9, seed=0)
+
+    def test_planted_epsilon_far_reproducible(self):
+        a, _ = planted_epsilon_far_graph(50, 5, 0.1, seed=9)
+        b, _ = planted_epsilon_far_graph(50, 5, 0.1, seed=9)
+        assert a == b
+
+
+class TestCkFreeInstances:
+    @pytest.mark.parametrize("k", [3, 5, 7])
+    def test_odd_k_bipartite(self, k):
+        g = ck_free_graph(24, k, seed=4)
+        assert is_ck_free(g, k)
+
+    @pytest.mark.parametrize("k", [4, 6])
+    def test_even_k_high_girth(self, k):
+        g = ck_free_graph(30, k, seed=4)
+        assert is_ck_free(g, k)
+
+    def test_high_girth(self):
+        g = high_girth_graph(40, girth_greater_than=6, seed=3)
+        gg = girth(g)
+        assert gg is None or gg > 6

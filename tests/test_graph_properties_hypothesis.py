@@ -1,0 +1,114 @@
+"""Hypothesis property tests on the graph substrate itself."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, dumps, loads
+from repro.graphs.properties import (
+    bipartition,
+    degree_histogram,
+    density,
+    diameter,
+    is_bipartite,
+)
+
+
+@st.composite
+def graphs(draw, n_lo=0, n_hi=12):
+    n = draw(st.integers(n_lo, n_hi))
+    if n < 2:
+        return Graph(n)
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=24))
+    return Graph(n, edges)
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=120, deadline=None)
+    @given(g=graphs())
+    def test_handshake_lemma(self, g):
+        assert sum(g.degree(v) for v in g.vertices()) == 2 * g.m
+
+    @settings(max_examples=120, deadline=None)
+    @given(g=graphs())
+    def test_validate_never_fails_on_legal_graphs(self, g):
+        g.validate()
+
+    @settings(max_examples=100, deadline=None)
+    @given(g=graphs())
+    def test_degree_histogram_totals(self, g):
+        hist = degree_histogram(g)
+        assert sum(hist.values()) == g.n
+        assert sum(d * c for d, c in hist.items()) == 2 * g.m
+
+    @settings(max_examples=100, deadline=None)
+    @given(g=graphs(n_lo=2))
+    def test_density_bounds(self, g):
+        assert 0.0 <= density(g) <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(g=graphs())
+    def test_csr_consistent(self, g):
+        indptr, indices = g.to_csr()
+        assert indptr[-1] == 2 * g.m
+        for u in g.vertices():
+            row = indices[int(indptr[u]): int(indptr[u + 1])]
+            assert tuple(row.tolist()) == g.neighbors(u)
+
+    @settings(max_examples=80, deadline=None)
+    @given(g=graphs())
+    def test_copy_equals_but_is_independent(self, g):
+        h = g.copy()
+        assert h == g
+        if h.n >= 2 and not h.has_edge(0, 1):
+            h.add_edge(0, 1)
+            assert h != g
+
+
+class TestBipartitenessProperty:
+    @settings(max_examples=100, deadline=None)
+    @given(g=graphs())
+    def test_bipartition_is_proper_when_it_exists(self, g):
+        part = bipartition(g)
+        if part is None:
+            return
+        side0, side1 = part
+        s0 = set(side0)
+        assert len(side0) + len(side1) == g.n
+        for u, v in g.edges():
+            assert (u in s0) != (v in s0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(g=graphs(n_lo=3))
+    def test_odd_girth_iff_not_bipartite(self, g):
+        from repro.graphs import girth
+
+        gg = girth(g)
+        has_odd_cycle = False
+        if gg is not None:
+            # check all odd lengths up to n for an odd cycle
+            from repro.graphs import has_k_cycle
+
+            has_odd_cycle = any(
+                has_k_cycle(g, k) for k in range(3, g.n + 1, 2)
+            )
+        assert is_bipartite(g) == (not has_odd_cycle)
+
+
+class TestDiameterProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(g=graphs(n_lo=1))
+    def test_diameter_bounds(self, g):
+        d = diameter(g)
+        if d is None:
+            assert g.n == 0 or not g.is_connected()
+        else:
+            assert 0 <= d <= g.n - 1
+
+
+class TestIoRoundtripProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(g=graphs())
+    def test_roundtrip(self, g):
+        assert loads(dumps(g)) == g

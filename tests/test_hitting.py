@@ -1,0 +1,102 @@
+"""Tests for the bounded hitting-set solver."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combinatorics import (
+    find_hitting_set,
+    has_hitting_set,
+    min_hitting_set_size,
+)
+
+
+def brute_force_min_hitting(family, cap):
+    universe = sorted({x for s in family for x in s})
+    if any(not s for s in family):
+        return None
+    for size in range(0, cap + 1):
+        for combo in combinations(universe, size):
+            cset = set(combo)
+            if all(cset & set(s) for s in family):
+                return size
+    return None
+
+
+class TestBasics:
+    def test_empty_family(self):
+        assert find_hitting_set([], 0) == set()
+        assert has_hitting_set([], 0)
+
+    def test_empty_set_unhittable(self):
+        assert find_hitting_set([set()], 5) is None
+        assert not has_hitting_set([{1}, set()], 5)
+
+    def test_single_set(self):
+        h = find_hitting_set([{1, 2, 3}], 1)
+        assert h is not None and len(h) == 1 and h & {1, 2, 3}
+
+    def test_budget_zero(self):
+        assert not has_hitting_set([{1}], 0)
+        assert has_hitting_set([], 0)
+
+    def test_disjoint_sets_need_one_each(self):
+        family = [{1}, {2}, {3}]
+        assert not has_hitting_set(family, 2)
+        assert has_hitting_set(family, 3)
+
+    def test_shared_element(self):
+        family = [{1, 2}, {1, 3}, {1, 4}]
+        h = find_hitting_set(family, 1)
+        assert h == {1}
+
+    def test_returned_set_hits_everything(self):
+        # The sets are the edges of a 5-cycle; min vertex cover = 3.
+        family = [{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 1}]
+        assert find_hitting_set(family, 2) is None
+        h = find_hitting_set(family, 3)
+        assert h is not None and len(h) <= 3
+        assert all(h & s for s in family)
+
+    def test_min_size(self):
+        family = [{1, 2}, {3, 4}]
+        assert min_hitting_set_size(family, 5) == 2
+        assert min_hitting_set_size([{1}, {2}, {3}], 2) is None
+
+    def test_non_integer_elements(self):
+        family = [{"a", "b"}, {"b", "c"}]
+        assert find_hitting_set(family, 1) == {"b"}
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        family=st.lists(
+            st.frozensets(st.integers(0, 7), min_size=1, max_size=3),
+            min_size=0,
+            max_size=6,
+        ),
+        budget=st.integers(0, 4),
+    )
+    def test_decision_matches_brute_force(self, family, budget):
+        expected = brute_force_min_hitting(family, budget)
+        got = find_hitting_set(family, budget)
+        if expected is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert len(got) <= budget
+            assert all(got & set(s) for s in family)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        family=st.lists(
+            st.frozensets(st.integers(0, 6), min_size=1, max_size=3),
+            min_size=1,
+            max_size=5,
+        ),
+    )
+    def test_min_size_matches_brute_force(self, family):
+        assert min_hitting_set_size(family, 5) == brute_force_min_hitting(family, 5)

@@ -1,0 +1,86 @@
+"""Targeted tests for remaining corner paths across the library."""
+
+import pytest
+
+from repro.analysis import run_scalability
+from repro.congest import (
+    Broadcast,
+    Instrumentation,
+    Network,
+    NodeProgram,
+    SizeModel,
+    SpreadIds,
+    SynchronousScheduler,
+    render_comparison,
+)
+from repro.congest.ids import _is_prime, _next_prime
+from repro.core import detect_cycle_through_edge
+from repro.graphs import cycle_graph, farness_bounds, path_graph
+
+
+class TestScalabilityRunner:
+    def test_rows_and_shape(self):
+        res = run_scalability(k=4, ns=(50, 100), seed=1)
+        assert len(res.rows) == 2
+        assert all(r["seconds"] > 0 for r in res.rows)
+        assert "F3" in res.experiment
+
+
+class TestSpreadIdsInternals:
+    def test_prime_helpers(self):
+        assert _is_prime(2) and _is_prime(13) and not _is_prime(1)
+        assert not _is_prime(9) and not _is_prime(0)
+        assert _next_prime(14) == 17
+        assert _next_prime(2) == 2
+
+    def test_custom_multiplier(self):
+        ids = SpreadIds(a=7, b=3).assign(20)
+        assert len(set(ids)) == 20
+
+    def test_rejects_bad_multiplier(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SpreadIds(a=0)
+
+
+class TestSchedulerCorners:
+    def test_broadcast_none_sends_nothing(self):
+        class Quiet(NodeProgram):
+            def on_start(self, ctx):
+                return Broadcast(None)
+
+            def on_round(self, ctx, r, inbox):
+                return None
+
+            def on_finish(self, ctx, inbox):
+                return len(inbox)
+
+        result = SynchronousScheduler(Network(path_graph(3))).run(
+            lambda ctx: Quiet(), num_rounds=1
+        )
+        assert all(v == 0 for v in result.outputs.values())
+        assert result.trace.total_messages == 0
+
+    def test_observe_outside_round_raises(self):
+        instr = Instrumentation(SizeModel(id_bits=8), n=4)
+        with pytest.raises(RuntimeError):
+            instr.observe(0, 1, "x")
+
+    def test_render_comparison_default_labels(self):
+        g = cycle_graph(5)
+        t = detect_cycle_through_edge(g, (0, 1), 5).run.trace
+        out = render_comparison([t, t])
+        assert "run 0" in out and "run 1" in out
+
+
+class TestFarnessCorners:
+    def test_exact_bounds_on_free_graph(self):
+        lo, hi = farness_bounds(path_graph(5), 3, exact=True)
+        assert (lo, hi) == (0.0, 0.0)
+
+    def test_nonempty_graph_exact(self):
+        g = cycle_graph(4)
+        lo, hi = farness_bounds(g, 4, exact=True)
+        assert lo == pytest.approx(0.25)
+        assert hi == pytest.approx(0.25)

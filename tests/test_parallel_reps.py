@@ -1,0 +1,87 @@
+"""Tests for the batched-repetitions extension (rounds vs bandwidth)."""
+
+import numpy as np
+import pytest
+
+from helpers import assert_is_cycle
+from repro.congest import Network
+from repro.core import CkFreenessTester, protocol_rounds
+from repro.errors import ConfigurationError
+from repro.extensions import BatchedCkProgram, BatchedCkTester
+from repro.graphs import (
+    Graph,
+    ck_free_graph,
+    cycle_graph,
+    disjoint_cycles_graph,
+    path_graph,
+    planted_epsilon_far_graph,
+)
+
+
+class TestConfiguration:
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            BatchedCkTester(2, 0.1)
+        with pytest.raises(ConfigurationError):
+            BatchedCkTester(5, 0.0)
+
+    def test_empty_seed_list(self):
+        with pytest.raises(ConfigurationError):
+            BatchedCkProgram(None, 5, ())  # type: ignore[arg-type]
+
+
+class TestRoundsVsBandwidth:
+    def test_constant_rounds_regardless_of_eps(self):
+        """The headline: batched rounds = 1 + floor(k/2), independent of
+        the repetition count (eps only scales bandwidth)."""
+        g, _ = planted_epsilon_far_graph(60, 5, 0.1, seed=0)
+        for eps in (0.4, 0.1):
+            res = BatchedCkTester(5, eps).run(g, seed=1)
+            assert res.rounds == protocol_rounds(5)
+
+    def test_bandwidth_scales_with_repetitions(self):
+        g = disjoint_cycles_graph(4, 5, connect=True)
+        small = BatchedCkTester(5, 0.5, repetitions=2).run(g, seed=2)
+        large = BatchedCkTester(5, 0.5, repetitions=32).run(g, seed=2)
+        assert large.trace.max_message_bits > 4 * small.trace.max_message_bits
+
+    def test_sequential_uses_more_rounds_same_verdict(self):
+        g, _ = planted_epsilon_far_graph(60, 4, 0.15, seed=4)
+        seq = CkFreenessTester(4, 0.15).run(g, seed=5, stop_on_reject=False)
+        bat = BatchedCkTester(4, 0.15).run(g, seed=5)
+        assert seq.rejected and bat.rejected
+        assert seq.total_rounds > bat.rounds
+
+
+class TestCorrectness:
+    def test_one_sided_on_free_graphs(self):
+        for seed in range(5):
+            g = ck_free_graph(40, 5, seed=seed)
+            res = BatchedCkTester(5, 0.2, repetitions=16).run(g, seed=seed)
+            assert res.accepted, "batched tester broke 1-sidedness"
+
+    def test_detects_single_cycle(self):
+        for k in (3, 4, 5, 6):
+            g = cycle_graph(k)
+            res = BatchedCkTester(k, 0.3, repetitions=4).run(g, seed=1)
+            assert res.rejected
+            assert_is_cycle(g, res.evidence, k)  # identity IDs
+
+    def test_evidence_is_genuine(self):
+        g, _ = planted_epsilon_far_graph(70, 6, 0.1, seed=7)
+        net = Network(g)
+        res = BatchedCkTester(6, 0.1).run(g, seed=8, network=net)
+        assert res.rejected
+        verts = [net.vertex_of(i) for i in res.evidence]
+        assert_is_cycle(g, verts, 6)
+
+    def test_empty_graph(self):
+        res = BatchedCkTester(5, 0.1).run(Graph(4), seed=0)
+        assert res.accepted
+        assert res.rounds == 0
+
+    def test_agrees_with_sequential_on_frees(self):
+        g = path_graph(20)
+        seq = CkFreenessTester(5, 0.2).run(g, seed=3)
+        bat = BatchedCkTester(5, 0.2).run(g, seed=3)
+        assert seq.accepted and bat.accepted

@@ -1,0 +1,126 @@
+"""Tests for the classic CONGEST primitives (leader election, BFS,
+convergecast) — also validation of the scheduler against textbook
+round complexities."""
+
+import pytest
+
+from repro.congest import (
+    Network,
+    ReverseIds,
+    SynchronousScheduler,
+    aggregate,
+    build_bfs_tree,
+    elect_leader,
+)
+from repro.congest.primitives import LeaderElectProgram
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+
+
+class TestLeaderElection:
+    def test_min_id_wins(self):
+        net = Network(cycle_graph(9))
+        leader, _ = elect_leader(net)
+        assert leader == 0
+
+    def test_reverse_ids(self):
+        net = Network(path_graph(5), ReverseIds())
+        leader, _ = elect_leader(net)
+        assert leader == 0  # the *ID* 0, carried by vertex 4
+
+    def test_converges_in_eccentricity_rounds(self):
+        """On a path, ID 0 sits at one end: n-1 rounds are needed and
+        sufficient for all nodes to learn it."""
+        n = 7
+        net = Network(path_graph(n))
+        leader, run = elect_leader(net, rounds=n - 1)
+        assert leader == 0
+        # With too few rounds, the far end has not heard of 0 yet.
+        run_short = SynchronousScheduler(net).run(
+            lambda ctx: LeaderElectProgram(ctx), num_rounds=n - 3
+        )
+        assert run_short.outputs[n - 1] != 0
+
+    def test_disconnected_raises(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ConfigurationError):
+            elect_leader(Network(g))
+
+    def test_quiescence(self):
+        """After convergence no node keeps re-broadcasting: total message
+        volume is O(n * diameter), not O(n * rounds)."""
+        n = 8
+        net = Network(path_graph(n))
+        _, run = elect_leader(net, rounds=3 * n)
+        late = run.trace.rounds[-1]
+        assert late.messages == 0
+
+
+class TestBfsTree:
+    def test_distances_on_grid(self):
+        g = grid_graph(3, 4)
+        net = Network(g)
+        bfs = build_bfs_tree(net, 0)
+        # vertex (r, c) = r*4+c is at L1 distance r+c from the corner
+        for r in range(3):
+            for c in range(4):
+                assert bfs[r * 4 + c].distance == r + c
+
+    def test_parents_form_tree(self):
+        g = random_tree(20, seed=2)
+        net = Network(g)
+        bfs = build_bfs_tree(net, 5)
+        assert bfs[5].parent is None and bfs[5].distance == 0
+        for v in range(20):
+            if v == 5:
+                continue
+            p = bfs[v].parent
+            assert p is not None
+            pv = net.vertex_of(p)
+            assert g.has_edge(v, pv)
+            assert bfs[pv].distance == bfs[v].distance - 1
+
+    def test_unreachable_is_none(self):
+        g = Graph(3, [(0, 1)])
+        bfs = build_bfs_tree(Network(g), 0)
+        assert bfs[2].distance is None
+        assert bfs[2].parent is None
+
+    def test_smallest_id_parent_preferred(self):
+        g = star_graph(3)  # leaves all adjacent to centre 0
+        # add a second feeder: 1-2 edge creates a parent choice for 2
+        g.add_edge(1, 2)
+        bfs = build_bfs_tree(Network(g), 0)
+        assert bfs[2].parent == 0  # distance-1 via centre, not via 1
+
+
+class TestAggregate:
+    def test_sum(self):
+        g = grid_graph(4, 4)
+        net = Network(g)
+        total = aggregate(net, 0, {v: v for v in range(16)}, lambda a, b: a + b)
+        assert total == sum(range(16))
+
+    def test_max(self):
+        g = cycle_graph(11)
+        net = Network(g)
+        best = aggregate(net, 3, {v: (v * 7) % 11 for v in range(11)}, max)
+        assert best == 10
+
+    def test_count_on_tree(self):
+        g = random_tree(25, seed=8)
+        net = Network(g)
+        count = aggregate(net, 0, {v: 1 for v in range(25)}, lambda a, b: a + b)
+        assert count == 25
+
+    def test_single_vertex(self):
+        g = Graph(1)
+        net = Network(g)
+        assert aggregate(net, 0, {0: 42}, max) == 42

@@ -1,0 +1,135 @@
+"""Tests for graph properties, edge-list IO, and trace rendering."""
+
+import pytest
+
+from repro.congest import Network, SynchronousScheduler, render_comparison, render_trace
+from repro.core import DetectCkProgram, detect_cycle_through_edge, phase2_rounds
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    bfs_distances,
+    bipartition,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    degree_histogram,
+    density,
+    diameter,
+    dumps,
+    eccentricity,
+    grid_graph,
+    is_bipartite,
+    is_tree,
+    loads,
+    path_graph,
+    random_tree,
+    read_edge_list,
+    star_graph,
+    write_edge_list,
+)
+
+
+class TestProperties:
+    def test_bfs_distances(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_eccentricity(self):
+        g = path_graph(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2
+
+    def test_eccentricity_disconnected(self):
+        assert eccentricity(Graph(3, [(0, 1)]), 0) is None
+
+    def test_diameter_known_values(self):
+        assert diameter(path_graph(6)) == 5
+        assert diameter(cycle_graph(8)) == 4
+        assert diameter(complete_graph(5)) == 1
+        assert diameter(grid_graph(3, 4)) == 5
+        assert diameter(Graph(1)) == 0
+        assert diameter(Graph(0)) is None
+        assert diameter(Graph(4, [(0, 1)])) is None
+
+    def test_bipartite_families(self):
+        assert is_bipartite(path_graph(7))
+        assert is_bipartite(grid_graph(3, 3))
+        assert is_bipartite(cycle_graph(6))
+        assert not is_bipartite(cycle_graph(5))
+        assert not is_bipartite(complete_graph(3))
+
+    def test_bipartition_is_proper(self):
+        g = complete_bipartite_graph(3, 4)
+        side0, side1 = bipartition(g)
+        assert sorted(side0 + side1) == list(range(7))
+        for u, v in g.edges():
+            assert (u in side0) != (v in side0)
+
+    def test_degree_histogram(self):
+        assert degree_histogram(star_graph(4)) == {4: 1, 1: 4}
+
+    def test_density(self):
+        assert density(complete_graph(6)) == 1.0
+        assert density(Graph(5)) == 0.0
+        assert density(Graph(1)) == 0.0
+
+    def test_is_tree(self):
+        assert is_tree(random_tree(15, seed=2))
+        assert not is_tree(cycle_graph(4))
+        assert not is_tree(Graph(3))  # disconnected forest
+
+
+class TestEdgeListIO:
+    def test_roundtrip_string(self):
+        g = cycle_graph(7)
+        assert loads(dumps(g)) == g
+
+    def test_roundtrip_file(self, tmp_path):
+        g = grid_graph(3, 3)
+        path = tmp_path / "grid.edges"
+        write_edge_list(g, path, comment="3x3 grid\nsecond line")
+        h = read_edge_list(path)
+        assert h == g
+        text = path.read_text()
+        assert text.startswith("# 3x3 grid\n# second line\n")
+
+    def test_isolated_vertices_survive(self):
+        g = Graph(5, [(0, 1)])
+        assert loads(dumps(g)).n == 5
+
+    def test_rejects_garbage(self):
+        with pytest.raises(GraphError):
+            loads("")
+        with pytest.raises(GraphError):
+            loads("3\n")
+        with pytest.raises(GraphError):
+            loads("3 1\n0 x\n")
+        with pytest.raises(GraphError):
+            loads("3 2\n0 1\n")  # header/edge-count mismatch
+
+    def test_blank_lines_tolerated(self):
+        g = loads("# c\n\n3 1\n\n0 2\n")
+        assert g.has_edge(0, 2)
+
+
+class TestTimeline:
+    def test_render_trace_shape(self):
+        g = cycle_graph(8)
+        det = detect_cycle_through_edge(g, (0, 1), 8)
+        out = render_trace(det.run.trace, title="C8 detect")
+        lines = out.split("\n")
+        assert lines[0] == "C8 detect"
+        # header + rule + one line per round + total line
+        assert len(lines) == 3 + phase2_rounds(8) + 1
+        assert "total:" in lines[-1]
+
+    def test_render_comparison(self):
+        g = cycle_graph(6)
+        a = detect_cycle_through_edge(g, (0, 1), 6).run.trace
+        b = detect_cycle_through_edge(g, (1, 2), 6).run.trace
+        out = render_comparison([a, b], labels=["edge01", "edge12"])
+        assert "edge01" in out and "edge12" in out
+
+    def test_render_comparison_label_mismatch(self):
+        with pytest.raises(ValueError):
+            render_comparison([], labels=["x"])

@@ -1,0 +1,157 @@
+"""Protocol-level property tests (hypothesis) tying everything together.
+
+These are the "executable lemmas": soundness, completeness, the Lemma 3
+message bound and Lemma 1 path validity, checked over randomly generated
+graphs and executions rather than hand-picked cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from helpers import assert_is_cycle
+from repro.congest import Network, RandomPermutationIds, SynchronousScheduler
+from repro.core import (
+    DetectCkProgram,
+    DetectionOutcome,
+    MultiplexedCkProgram,
+    detect_cycle_through_edge,
+    lemma3_bound,
+    phase2_rounds,
+    protocol_rounds,
+)
+from repro.graphs import Graph, has_cycle_through_edge
+from repro.graphs.cycles import is_ck_free
+
+
+@st.composite
+def small_graph(draw, n_lo=4, n_hi=10):
+    n = draw(st.integers(n_lo, n_hi))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, min_size=1, max_size=18)
+    )
+    return Graph(n, edges)
+
+
+class TestSoundnessProperty:
+    """1-sidedness of the inner algorithm: a rejection is always backed by
+    a real k-cycle through the probe edge — on arbitrary graphs."""
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(g=small_graph(), k=st.integers(3, 8), data=st.data())
+    def test_evidence_always_real(self, g, k, data):
+        edges = list(g.edges())
+        e = data.draw(st.sampled_from(edges))
+        det = detect_cycle_through_edge(g, e, k)
+        expected = has_cycle_through_edge(g, e, k)
+        assert det.detected == expected
+        if det.detected:
+            ids = det.any_cycle_ids()
+            assert_is_cycle(g, ids, k)
+            on_cycle = {
+                tuple(sorted((ids[i], ids[(i + 1) % k]))) for i in range(k)
+            }
+            assert tuple(sorted(e)) in on_cycle
+
+
+class TestLemma1Property:
+    """Every sequence in every sent bundle is a simple path from u or v
+    ending at the sender (Lemma 1) — checked by instrumenting a run."""
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(g=small_graph(), k=st.integers(4, 8), data=st.data())
+    def test_sent_sequences_are_paths(self, g, k, data):
+        e = data.draw(st.sampled_from(list(g.edges())))
+        net = Network(g)
+        edge_ids = net.edge_ids(*e)
+        sent_log = []
+
+        class Spy(DetectCkProgram):
+            def on_round(self, ctx, round_index, inbox):
+                out = super().on_round(ctx, round_index, inbox)
+                for seq in self._last_sent:
+                    sent_log.append((ctx.my_id, seq))
+                return out
+
+        SynchronousScheduler(net).run(
+            lambda ctx: Spy(ctx, k, edge_ids), num_rounds=phase2_rounds(k)
+        )
+        for sender, seq in sent_log:
+            assert len(set(seq)) == len(seq), "repeated ID in sequence"
+            assert seq[0] in edge_ids, "sequence does not start at u or v"
+            assert seq[-1] == sender, "sequence does not end at sender"
+            verts = [net.vertex_of(i) for i in seq]
+            for a, b in zip(verts, verts[1:]):
+                assert g.has_edge(a, b), "sequence is not a path"
+
+
+class TestLemma3Property:
+    """Per-message sequence counts never exceed (k-t+1)^(t-1)."""
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(g=small_graph(n_lo=5, n_hi=11), k=st.integers(4, 9), data=st.data())
+    def test_bound_by_round(self, g, k, data):
+        e = data.draw(st.sampled_from(list(g.edges())))
+        det = detect_cycle_through_edge(g, e, k)
+        by_round = det.run.trace.max_sequences_by_round()
+        for t, measured in enumerate(by_round, start=1):
+            assert measured <= lemma3_bound(k, t), (
+                f"round {t}: {measured} sequences > bound {lemma3_bound(k, t)}"
+            )
+
+
+class TestFullProtocolProperties:
+    """End-to-end multiplexed protocol on random graphs + random IDs."""
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        g=small_graph(n_lo=5, n_hi=11),
+        k=st.integers(3, 7),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_multiplexed_soundness(self, g, k, seed):
+        """No false rejection, for any graph / seed / ID permutation, and
+        all evidence verifies — even under execution collisions."""
+        net = Network(g, RandomPermutationIds(seed=seed % 1000))
+        run = SynchronousScheduler(net).run(
+            lambda ctx: MultiplexedCkProgram(ctx, k, seed),
+            num_rounds=protocol_rounds(k),
+        )
+        rejected = False
+        for v, out in run.outputs.items():
+            if isinstance(out, DetectionOutcome) and out.rejects:
+                rejected = True
+                verts = [net.vertex_of(i) for i in out.cycle]
+                assert_is_cycle(g, verts, k)
+        if rejected:
+            assert not is_ck_free(g, k), "rejection on a Ck-free graph!"
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        g=small_graph(n_lo=5, n_hi=10),
+        k=st.integers(3, 7),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_multiplexed_lemma3(self, g, k, seed):
+        """The per-message bound also holds under multiplexing (only one
+        execution's sequences occupy any message)."""
+        net = Network(g)
+        run = SynchronousScheduler(net).run(
+            lambda ctx: MultiplexedCkProgram(ctx, k, seed),
+            num_rounds=protocol_rounds(k),
+        )
+        by_round = run.trace.max_sequences_by_round()
+        # Global round 1 is rank exchange (0 sequences); Phase-2 round t is
+        # global round t + 1.
+        for g_round, measured in enumerate(by_round, start=1):
+            if g_round == 1:
+                assert measured == 0
+            else:
+                assert measured <= lemma3_bound(k, g_round - 1)

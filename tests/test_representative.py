@@ -1,0 +1,131 @@
+"""Tests for Erdős–Hajnal–Moon representative families."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combinatorics import (
+    count_k_subsets,
+    disjoint_subsets,
+    ehm_bound,
+    greedy_bound,
+    greedy_representative_family,
+    is_representative,
+    k_subsets,
+)
+
+
+class TestSubsetUtilities:
+    def test_k_subsets_count(self):
+        subs = list(k_subsets([1, 2, 3, 4], 2))
+        assert len(subs) == 6
+        assert all(len(s) == 2 for s in subs)
+
+    def test_k_subsets_zero(self):
+        assert list(k_subsets([1, 2], 0)) == [frozenset()]
+
+    def test_k_subsets_negative(self):
+        with pytest.raises(ValueError):
+            list(k_subsets([1], -1))
+
+    def test_count(self):
+        assert count_k_subsets(5, 2) == 10
+        assert count_k_subsets(3, 5) == 0
+        assert count_k_subsets(3, -1) == 0
+
+    def test_disjoint_subsets(self):
+        subs = list(disjoint_subsets([1, 2, 3, 4], 2, avoid=[1]))
+        assert all(1 not in s for s in subs)
+        assert len(subs) == 3
+
+
+class TestGreedyFamily:
+    def test_empty_family(self):
+        assert greedy_representative_family([], 2) == []
+
+    def test_first_always_kept(self):
+        fam = greedy_representative_family([{1, 2}], 0)
+        assert fam == [frozenset({1, 2})]
+
+    def test_duplicate_sets_collapse(self):
+        fam = greedy_representative_family([{1, 2}, {2, 1}], 3)
+        assert len(fam) == 1
+
+    def test_subset_domination(self):
+        # {1} ⊆ {1, 2}: once {1} is kept, {1,2} must be discarded.
+        fam = greedy_representative_family([{1}, {1, 2}], 3)
+        assert fam == [frozenset({1})]
+
+    def test_q_zero_keeps_one(self):
+        # q=0: the only witness is the empty set, consumed by the first.
+        fam = greedy_representative_family([{1}, {2}, {3}], 0)
+        assert len(fam) == 1
+
+    def test_singletons_keep_q_plus_one(self):
+        """Pairwise disjoint singletons: greedy keeps exactly q+1 (the
+        (q+1)^p bound with p=1 is tight)."""
+        family = [{i} for i in range(10)]
+        for q in range(0, 5):
+            fam = greedy_representative_family(family, q)
+            assert len(fam) == q + 1
+
+    def test_negative_q(self):
+        with pytest.raises(ValueError):
+            greedy_representative_family([{1}], -1)
+
+    def test_respects_greedy_bound(self):
+        family = [frozenset(c) for c in combinations(range(8), 2)]
+        for q in (1, 2, 3):
+            fam = greedy_representative_family(family, q)
+            assert len(fam) <= greedy_bound(2, q)
+
+
+class TestRepresentationProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        family=st.lists(
+            st.frozensets(st.integers(0, 6), min_size=1, max_size=3),
+            min_size=1,
+            max_size=8,
+        ),
+        q=st.integers(0, 3),
+    )
+    def test_greedy_output_is_representative(self, family, q):
+        """The core EHM property, brute-forced over the ground set."""
+        sub = greedy_representative_family(family, q)
+        ground = sorted({x for s in family for x in s})
+        assert is_representative(sub, family, q, ground)
+
+    def test_is_representative_detects_failure(self):
+        # family {1},{2}; subfamily {1}; C={1} of size 1: {2} disjoint from
+        # C but subfamily has nothing disjoint from C.
+        assert not is_representative([{1}], [{1}, {2}], 1, [1, 2])
+
+    def test_is_representative_accepts_full_family(self):
+        family = [{1, 2}, {3}]
+        assert is_representative(family, family, 2, [1, 2, 3, 4])
+
+
+class TestBounds:
+    def test_ehm_bound(self):
+        assert ehm_bound(2, 3) == 10
+        assert ehm_bound(0, 5) == 1
+
+    def test_greedy_bound(self):
+        assert greedy_bound(2, 3) == 16
+        assert greedy_bound(3, 0) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        family=st.lists(
+            st.frozensets(st.integers(0, 8), min_size=2, max_size=2),
+            min_size=0,
+            max_size=12,
+        ),
+        q=st.integers(0, 3),
+    )
+    def test_greedy_size_bound_p2(self, family, q):
+        fam = greedy_representative_family(family, q)
+        assert len(fam) <= greedy_bound(2, q)

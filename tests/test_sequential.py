@@ -1,0 +1,154 @@
+"""Tests for the sequential comparators (Monien k-path, color coding)."""
+
+import numpy as np
+import pytest
+
+from helpers import assert_is_cycle, random_graphs
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    has_cycle_through_edge,
+    has_k_cycle,
+    path_graph,
+    star_graph,
+)
+from repro.sequential import (
+    PathFamily,
+    color_coding_find_k_cycle,
+    color_coding_has_k_cycle,
+    has_k_path,
+    k_path_from_source,
+    monien_cycle_through_edge,
+    monien_find_k_cycle,
+    monien_has_cycle_through_edge,
+    monien_has_k_cycle,
+    trials_needed,
+)
+
+
+class TestPathFamily:
+    def test_offer_keeps_first(self):
+        fam = PathFamily(q=2)
+        assert fam.offer(frozenset({1}), (1,))
+        assert len(fam) == 1
+
+    def test_subset_blocks(self):
+        fam = PathFamily(q=2)
+        fam.offer(frozenset({1}), (1,))
+        assert not fam.offer(frozenset({1, 2}), (1, 2))
+
+    def test_budget_limits(self):
+        fam = PathFamily(q=1)
+        assert fam.offer(frozenset({1}), (1,))
+        assert fam.offer(frozenset({2}), (2,))
+        assert not fam.offer(frozenset({3}), (3,))  # q+1 = 2 cap
+
+
+class TestKPath:
+    def test_path_graph_exact(self):
+        g = path_graph(6)
+        assert has_k_path(g, 6)
+        assert not has_k_path(g, 7)
+        assert has_k_path(g, 1)
+
+    def test_star_max_path(self):
+        g = star_graph(5)
+        assert has_k_path(g, 3)
+        assert not has_k_path(g, 4)
+
+    def test_from_source_witness_is_path(self):
+        g = grid_graph(3, 3)
+        paths = k_path_from_source(g, 0, 5)
+        assert paths
+        for v, p in paths.items():
+            assert p[0] == 0 and p[-1] == v and len(p) == 5
+            assert len(set(p)) == 5
+            for a, b in zip(p, p[1:]):
+                assert g.has_edge(a, b)
+
+    def test_forbidden_edge_respected(self):
+        g = cycle_graph(5)
+        paths = k_path_from_source(g, 0, 5, forbidden_edge=(0, 1), targets=[1])
+        assert 1 in paths
+        p = paths[1]
+        for a, b in zip(p, p[1:]):
+            assert (min(a, b), max(a, b)) != (0, 1)
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            has_k_path(path_graph(3), 0)
+
+
+class TestMonienCycles:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6, 7, 8])
+    def test_matches_oracle_through_edge(self, k):
+        for g in random_graphs(8, seed=500 + k):
+            if g.m == 0:
+                continue
+            for e in list(g.edges())[:4]:
+                assert monien_has_cycle_through_edge(g, e, k) == \
+                    has_cycle_through_edge(g, e, k)
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_matches_oracle_whole_graph(self, k):
+        for g in random_graphs(6, seed=600 + k):
+            assert monien_has_k_cycle(g, k) == has_k_cycle(g, k)
+
+    def test_witness_is_valid(self):
+        g = complete_graph(7)
+        for k in (3, 5, 7):
+            cyc = monien_find_k_cycle(g, k)
+            assert cyc is not None
+            assert_is_cycle(g, cyc, k)
+
+    def test_witness_through_edge_uses_edge(self):
+        g = complete_graph(6)
+        cyc = monien_cycle_through_edge(g, (0, 1), 5)
+        assert cyc is not None
+        assert cyc[0] == 0 and cyc[-1] == 1
+        assert_is_cycle(g, cyc, 5)
+
+    def test_none_when_absent(self):
+        assert monien_cycle_through_edge(path_graph(5), (0, 1), 4) is None
+        assert monien_find_k_cycle(cycle_graph(6), 5) is None
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            monien_has_k_cycle(cycle_graph(4), 2)
+
+
+class TestColorCoding:
+    def test_trials_formula(self):
+        assert trials_needed(3) >= 20  # e^3 * ln 3 ≈ 22
+        with pytest.raises(ConfigurationError):
+            trials_needed(3, delta=0)
+
+    def test_one_sided_never_false_positive(self):
+        """A returned witness is always a real cycle."""
+        for g in random_graphs(6, seed=700):
+            for k in (3, 4, 5):
+                cyc = color_coding_find_k_cycle(g, k, seed=1, trials=8)
+                if cyc is not None:
+                    assert_is_cycle(g, cyc, k)
+
+    def test_free_graph_never_detected(self):
+        g = path_graph(10)
+        assert not color_coding_has_k_cycle(g, 4, seed=0, trials=30)
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_finds_planted_cycle(self, k):
+        """With the default trial count the failure rate is <= 1/3; over a
+        pure k-cycle instance we allow one retry to keep flakiness ~0."""
+        g = cycle_graph(k)
+        found = color_coding_has_k_cycle(g, k, seed=5) or \
+            color_coding_has_k_cycle(g, k, seed=6)
+        assert found
+
+    def test_small_graph_short_circuit(self):
+        assert color_coding_find_k_cycle(path_graph(3), 4, seed=0) is None
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            color_coding_has_k_cycle(cycle_graph(4), 2, seed=0)

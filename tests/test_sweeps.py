@@ -1,0 +1,58 @@
+"""Tests for the sweep experiments (A5–A7)."""
+
+import pytest
+
+from repro.analysis import run_boosting_curve, run_epsilon_sweep, run_k_sweep
+from repro.core import repetitions_needed
+
+
+class TestBoostingCurve:
+    def test_rates_dominate_theory(self):
+        res = run_boosting_curve(
+            k=4, eps=0.2, n=40, rep_counts=(1, 4, 8), trials=10, seed=1
+        )
+        for row in res.rows:
+            # Empirical rejection must be at least the theoretical lower
+            # bound (up to binomial noise - use the Wilson upper bound).
+            assert row["hi"] >= row["bound"]
+
+    def test_monotone_bound(self):
+        res = run_boosting_curve(
+            k=4, eps=0.2, n=40, rep_counts=(1, 2, 4), trials=5, seed=2
+        )
+        bounds = [r["bound"] for r in res.rows]
+        assert bounds == sorted(bounds)
+
+    def test_renders(self):
+        # eps must stay below the packing ceiling of the generator
+        # (~c/m with bridge+padding overhead, i.e. a bit under 1/(k+1)).
+        res = run_boosting_curve(
+            k=4, eps=0.15, n=30, rep_counts=(1,), trials=3, seed=3
+        )
+        assert "A5" in res.render()
+
+
+class TestEpsilonSweep:
+    def test_inverse_scaling(self):
+        res = run_epsilon_sweep(k=5, epsilons=(0.4, 0.2, 0.1))
+        rows = res.rows
+        # rounds * eps is (nearly) constant: within ceil slack.
+        products = [r["total"] * r["eps"] for r in rows]
+        assert max(products) - min(products) < 3 * 1.0  # 3 rounds of slack
+
+    def test_matches_formula(self):
+        res = run_epsilon_sweep(k=3, epsilons=(0.1,))
+        assert res.rows[0]["reps"] == repetitions_needed(0.1)
+
+
+class TestKSweep:
+    def test_rounds_and_ceilings(self):
+        res = run_k_sweep(ks=(3, 5, 7), width=4)
+        for row in res.rows:
+            assert row["rounds"] == 1 + row["k"] // 2
+            assert row["measured"] <= row["ceiling"]
+
+    def test_ceiling_monotone(self):
+        res = run_k_sweep(ks=(4, 6, 8), width=3)
+        ceilings = [r["ceiling"] for r in res.rows]
+        assert ceilings == sorted(ceilings)

@@ -1,0 +1,155 @@
+"""Tests for the full distributed Ck-freeness tester (Theorem 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from helpers import assert_is_cycle
+from repro.congest import Network
+from repro.core import CkFreenessTester, repetitions_needed, test_ck_freeness
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    Graph,
+    ck_free_graph,
+    cycle_graph,
+    disjoint_cycles_graph,
+    path_graph,
+    planted_epsilon_far_graph,
+)
+
+
+class TestConfiguration:
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            CkFreenessTester(2, 0.1)
+
+    def test_bad_eps(self):
+        with pytest.raises(ConfigurationError):
+            CkFreenessTester(5, 0.0)
+        with pytest.raises(ConfigurationError):
+            CkFreenessTester(5, 1.0)
+
+    def test_bad_repetitions(self):
+        with pytest.raises(ConfigurationError):
+            CkFreenessTester(5, 0.1, repetitions=0)
+
+    def test_default_repetitions_formula(self):
+        t = CkFreenessTester(5, 0.1)
+        assert t.repetitions == repetitions_needed(0.1)
+        assert t.repetitions == math.ceil((math.e ** 2 / 0.1) * math.log(3))
+
+
+class TestOneSidedError:
+    """If G is Ck-free, every node accepts with probability 1 — verified
+    over many seeds (any failure would disprove 1-sidedness outright)."""
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_free_graphs_always_accepted(self, k):
+        rng = np.random.default_rng(k)
+        for trial in range(6):
+            g = ck_free_graph(18, k, seed=int(rng.integers(2**31)))
+            res = test_ck_freeness(
+                g, k, 0.2, seed=int(rng.integers(2**31)), repetitions=5
+            )
+            assert res.accepted
+            assert res.evidence is None
+
+    def test_trees_accepted_full_repetitions(self):
+        res = test_ck_freeness(path_graph(12), 5, 0.1, seed=0)
+        assert res.accepted
+        assert res.repetitions_run == res.repetitions_planned
+
+    def test_empty_graph(self):
+        res = test_ck_freeness(Graph(5), 4, 0.1, seed=0)
+        assert res.accepted
+        assert res.repetitions_run == 0
+
+
+class TestDetection:
+    def test_single_cycle_rejected_quickly(self):
+        """C_k itself: the minimum-rank edge is always on the cycle."""
+        for k in (3, 4, 5, 6, 7):
+            res = test_ck_freeness(cycle_graph(k), k, 0.3, seed=11)
+            assert res.rejected
+            assert res.evidence is not None
+
+    def test_eps_far_rejected_with_good_probability(self):
+        """Empirical rejection rate on certified ε-far instances must meet
+        the paper's 2/3 bound (it is far higher in practice since every
+        repetition where the min edge is on a cycle succeeds)."""
+        k, eps, trials = 5, 0.1, 12
+        rng = np.random.default_rng(5)
+        rejected = 0
+        for _ in range(trials):
+            g, _ = planted_epsilon_far_graph(
+                60, k, eps, seed=int(rng.integers(2**31))
+            )
+            res = test_ck_freeness(g, k, eps, seed=int(rng.integers(2**31)))
+            rejected += int(res.rejected)
+        assert rejected / trials >= 2 / 3
+
+    def test_evidence_verified_against_graph(self):
+        g, _ = planted_epsilon_far_graph(50, 4, 0.1, seed=2)
+        net = Network(g)
+        res = test_ck_freeness(g, 4, 0.1, seed=3, network=net)
+        assert res.rejected
+        verts = [net.vertex_of(i) for i in res.evidence]
+        assert_is_cycle(g, verts, 4)
+
+    def test_stop_on_reject_behaviour(self):
+        g = disjoint_cycles_graph(6, 4, connect=False)
+        tester = CkFreenessTester(4, 0.2, repetitions=10)
+        eager = tester.run(g, seed=1, stop_on_reject=True)
+        assert eager.rejected
+        assert eager.repetitions_run <= 10
+        full = tester.run(g, seed=1, stop_on_reject=False)
+        assert full.rejected
+        assert full.repetitions_run == 10
+        # same seed => the repetition reports agree on shared prefix
+        for a, b in zip(eager.reports, full.reports):
+            assert a.rejected == b.rejected
+
+
+class TestRoundComplexity:
+    def test_rounds_per_repetition(self):
+        for k in (3, 4, 5, 6, 7, 8):
+            tester = CkFreenessTester(k, 0.1, repetitions=1)
+            res = tester.run(cycle_graph(k + 2), seed=0, keep_traces=True)
+            assert res.rounds_per_repetition == 1 + k // 2
+            assert res.traces[0].num_rounds == 1 + k // 2
+
+    def test_total_rounds_independent_of_n(self):
+        counts = set()
+        for n in (12, 48, 96):
+            tester = CkFreenessTester(5, 0.2, repetitions=3)
+            res = tester.run(path_graph(n), seed=0, stop_on_reject=False)
+            counts.add(res.total_rounds)
+        assert len(counts) == 1
+
+    def test_total_rounds_scale_inverse_eps(self):
+        r1 = repetitions_needed(0.1)
+        r2 = repetitions_needed(0.2)
+        assert r1 >= 2 * r2 - 2  # ~inverse proportional
+
+    def test_traces_kept_on_request(self):
+        tester = CkFreenessTester(4, 0.2, repetitions=2)
+        res = tester.run(path_graph(8), seed=0, keep_traces=True)
+        assert len(res.traces) == 2
+
+
+class TestResultObject:
+    def test_repr_mentions_verdict(self):
+        res = test_ck_freeness(path_graph(6), 3, 0.2, seed=0, repetitions=2)
+        assert "accept" in repr(res)
+        res2 = test_ck_freeness(cycle_graph(3), 3, 0.2, seed=0, repetitions=4)
+        assert "reject" in repr(res2)
+
+    def test_reports_indexed(self):
+        res = test_ck_freeness(path_graph(6), 3, 0.2, seed=0, repetitions=3)
+        assert [r.index for r in res.reports] == [0, 1, 2]
+
+    def test_max_sequences_property(self):
+        tester = CkFreenessTester(5, 0.2, repetitions=2)
+        res = tester.run(cycle_graph(9), seed=0, keep_traces=True)
+        assert res.max_sequences_per_message >= 0

@@ -1,0 +1,49 @@
+"""Tests for the public differential-fuzzing harness."""
+
+import pytest
+
+from repro.graphs import Graph, cycle_graph, path_graph
+from repro.testing import CampaignReport, TrialFailure, check_one, differential_campaign
+
+
+class TestCheckOne:
+    def test_clean_instance(self):
+        failures = check_one(cycle_graph(5), (0, 1), 5)
+        assert failures == []
+
+    def test_with_all_checkers(self):
+        failures = check_one(
+            cycle_graph(6), (0, 1), 6, include_naive=True, include_monien=True
+        )
+        assert failures == []
+
+    def test_negative_instance(self):
+        failures = check_one(path_graph(6), (0, 1), 4, include_monien=True)
+        assert failures == []
+
+
+class TestCampaign:
+    def test_small_campaign_is_clean(self):
+        report = differential_campaign(trials=25, seed=3)
+        assert report.ok, report.failures
+        assert report.checks > 0
+        assert "ok" in repr(report)
+
+    def test_campaign_with_comparators(self):
+        report = differential_campaign(
+            trials=10, seed=4, include_naive=True, include_monien=True,
+            k_range=(3, 6),
+        )
+        assert report.ok, report.failures
+
+    def test_failure_replay_carries_instance(self):
+        f = TrialFailure(
+            kind="x", k=4, edge=(0, 1), edges=((0, 1), (1, 2)), n=3, detail="d"
+        )
+        g = f.replay_graph()
+        assert g.n == 3 and g.m == 2
+
+    def test_deterministic_given_seed(self):
+        a = differential_campaign(trials=8, seed=9)
+        b = differential_campaign(trials=8, seed=9)
+        assert (a.trials, a.checks) == (b.trials, b.checks)

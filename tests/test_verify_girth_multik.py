@@ -1,0 +1,139 @@
+"""Tests for evidence verification, girth estimation and multi-k scans."""
+
+import pytest
+
+from helpers import random_graphs
+from repro.congest import Network, RandomPermutationIds
+from repro.core import test_ck_freeness, verify_cycle_evidence
+from repro.errors import ConfigurationError
+from repro.extensions import estimate_girth, scan_cycle_lengths
+from repro.graphs import (
+    Graph,
+    complete_bipartite_graph,
+    cycle_graph,
+    girth,
+    grid_graph,
+    has_k_cycle,
+    path_graph,
+    planted_epsilon_far_graph,
+    random_tree,
+    torus_graph,
+)
+
+
+class TestVerifyEvidence:
+    def test_accepts_genuine_evidence(self):
+        g, _ = planted_epsilon_far_graph(60, 5, 0.1, seed=1)
+        net = Network(g, RandomPermutationIds(seed=2))
+        res = test_ck_freeness(g, 5, 0.1, seed=3, network=net)
+        assert res.rejected
+        assert verify_cycle_evidence(g, res.evidence, 5, network=net)
+
+    def test_rejects_wrong_length(self):
+        g = cycle_graph(5)
+        assert not verify_cycle_evidence(g, (0, 1, 2, 3, 4), 4)
+
+    def test_rejects_none(self):
+        assert not verify_cycle_evidence(cycle_graph(5), None, 5)
+
+    def test_rejects_non_cycle(self):
+        g = path_graph(5)
+        assert not verify_cycle_evidence(g, (0, 1, 2, 3, 4), 5)
+
+    def test_rejects_repeated_vertex(self):
+        g = cycle_graph(5)
+        assert not verify_cycle_evidence(g, (0, 1, 2, 1, 4), 5)
+
+    def test_rejects_unknown_ids(self):
+        g = cycle_graph(5)
+        net = Network(g)
+        assert not verify_cycle_evidence(g, (90, 91, 92, 93, 94), 5, network=net)
+
+    def test_through_edge_constraint(self):
+        g = cycle_graph(5)
+        assert verify_cycle_evidence(g, (0, 1, 2, 3, 4), 5, through_edge=(0, 1))
+        g2 = cycle_graph(5)
+        g2.add_edge(0, 2)
+        # the 5-cycle does not pass through the chord (0, 2)
+        assert not verify_cycle_evidence(
+            g2, (0, 1, 2, 3, 4), 5, through_edge=(0, 2)
+        )
+
+
+class TestGirthEstimation:
+    @pytest.mark.parametrize("n", [3, 5, 7, 9])
+    def test_exact_on_cycle_graphs(self, n):
+        est = estimate_girth(cycle_graph(n), k_max=n + 1, seed=1)
+        assert est.girth_upper_bound == n
+        assert est.witness is not None
+
+    def test_torus(self):
+        g = torus_graph(4, 4)
+        est = estimate_girth(g, k_max=6, seed=2)
+        assert est.girth_upper_bound == 4
+
+    def test_forest_finds_nothing(self):
+        est = estimate_girth(random_tree(20, seed=1), k_max=8, seed=3)
+        assert est.girth_upper_bound is None
+        assert est.ks_probed == (3, 4, 5, 6, 7, 8)
+
+    def test_empty_graph(self):
+        est = estimate_girth(Graph(4), k_max=5, seed=0)
+        assert est.girth_upper_bound is None
+        assert est.rounds_used == 0
+
+    def test_never_underestimates(self):
+        """Soundness: any reported bound is a real cycle length, hence
+        >= the true girth."""
+        for g in random_graphs(10, seed=42):
+            est = estimate_girth(g, k_max=8, seed=7)
+            true = girth(g)
+            if est.girth_upper_bound is not None:
+                assert true is not None
+                assert est.girth_upper_bound >= true
+
+    def test_bad_kmax(self):
+        with pytest.raises(ConfigurationError):
+            estimate_girth(cycle_graph(4), k_max=2)
+
+
+class TestMultiKScan:
+    def test_grid_spectrum(self):
+        g = grid_graph(4, 4)
+        res = scan_cycle_lengths(g, [3, 4, 5, 6, 8], seed=0)
+        assert res.detected[4] and res.detected[6] and res.detected[8]
+        assert not res.detected[3] and not res.detected[5]  # bipartite
+
+    def test_evidence_verifies(self):
+        g = torus_graph(4, 5)
+        res = scan_cycle_lengths(g, [4, 5], seed=1, repetitions=12)
+        for k, found in res.detected.items():
+            if found:
+                assert verify_cycle_evidence(g, res.evidence[k], k)
+
+    def test_soundness_never_fabricates(self):
+        """A detected k must truly have a k-cycle — for all random runs."""
+        for g in random_graphs(8, seed=11):
+            if g.m == 0:
+                continue
+            res = scan_cycle_lengths(g, [3, 4, 5, 6], seed=5, repetitions=3)
+            for k, found in res.detected.items():
+                if found:
+                    assert has_k_cycle(g, k)
+                    assert verify_cycle_evidence(g, res.evidence[k], k)
+
+    def test_rounds_shared_across_ks(self):
+        """One multi-k execution costs the rounds of the largest k only."""
+        g = complete_bipartite_graph(4, 4)
+        res = scan_cycle_lengths(g, [4, 6, 8], seed=2, repetitions=1)
+        assert res.rounds == 1 + 8 // 2
+
+    def test_empty_graph(self):
+        res = scan_cycle_lengths(Graph(3), [3, 4], seed=0)
+        assert not any(res.detected.values())
+
+    def test_bad_ks(self):
+        with pytest.raises(ConfigurationError):
+            scan_cycle_lengths(cycle_graph(4), [])
+        with pytest.raises(ConfigurationError):
+            scan_cycle_lengths(cycle_graph(4), [2, 4])
