@@ -1,0 +1,26 @@
+"""Repo-level pytest configuration: opt-in gate for slow campaign tests.
+
+Tests marked ``@pytest.mark.slow`` (full campaigns, large grids) are
+skipped by default so the tier-1 suite stays fast; run them with
+``pytest --runslow`` (CI runs the default fast set).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (full experiment campaigns)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -2,50 +2,56 @@
 
 Examples::
 
-    repro-cycles test --generator gnp --n 200 --p 0.05 --k 5 --eps 0.1
-    repro-cycles detect --generator figure1 --k 5 --edge 0 1
-    repro-cycles experiment T2
-    repro-cycles experiment all
+    repro test --generator gnp --n 200 --p 0.05 --k 5 --eps 0.1
+    repro detect --generator figure1 --k 5 --edge 0 1
+    repro experiment T2
+    repro campaign define --preset smoke --out smoke.json
+    repro campaign run --spec smoke.json --store smoke.jsonl --workers 4
+    repro campaign report --store smoke.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from . import analysis
 from .core.algorithm1 import detect_cycle_through_edge
 from .core.tester import CkFreenessTester
-from .graphs import generators
+from .errors import ReproError
 from .graphs.graph import Graph
+from .runner import registry
+from .runner.aggregate import DEFAULT_GROUP_BY, summarize_store
+from .runner.executor import run_campaign
+from .runner.runtable import ALGORITHM_NAMES, CampaignSpec
+from .runner.store import CampaignStore
 
 __all__ = ["main", "build_parser"]
 
+#: Parameters handled by the subcommands themselves rather than the
+#: auto-generated per-family graph options.
+_RESERVED_PARAMS = ("k", "eps")
+
 
 def _build_graph(args: argparse.Namespace) -> Graph:
-    gen = args.generator
-    if gen == "gnp":
-        return generators.erdos_renyi_gnp(args.n, args.p, seed=args.seed)
-    if gen == "gnm":
-        return generators.erdos_renyi_gnm(args.n, args.m, seed=args.seed)
-    if gen == "cycle":
-        return generators.cycle_graph(args.n)
-    if gen == "theta":
-        return generators.theta_graph(args.paths, args.path_length)
-    if gen == "flower":
-        return generators.flower_graph(args.paths, args.k)
-    if gen == "figure1":
-        return generators.figure1_graph()
-    if gen == "eps-far":
-        g, certified = generators.planted_epsilon_far_graph(
-            args.n, args.k, args.eps, seed=args.seed
-        )
-        print(f"# planted eps-far instance, certified farness {certified:.4f}")
-        return g
-    if gen == "ck-free":
-        return generators.ck_free_graph(args.n, args.k, seed=args.seed)
-    raise SystemExit(f"unknown generator {gen!r}")
+    """Build the requested instance through the generator registry."""
+    spec = registry.get(args.generator)
+    supplied = {
+        name: getattr(args, name, None) for name in registry.PARAMETERS
+    }
+    g, info = spec.build_with_info(seed=args.seed, **supplied)
+    for key, value in info.items():
+        label = key.replace("_", " ")
+        if isinstance(value, float):
+            print(f"# {args.generator} instance, {label} {value:.4f}")
+        elif isinstance(value, (list, tuple)) and len(value) > 8:
+            print(f"# {args.generator} instance, {len(value)} {label}")
+        else:
+            print(f"# {args.generator} instance, {label}: {value}")
+    return g
 
 
 def _cmd_test(args: argparse.Namespace) -> int:
@@ -125,23 +131,187 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+# ---------------------------------------------------------------------------
+# campaign subcommand
+# ---------------------------------------------------------------------------
+#: Built-in campaign presets (factor grids); ``smoke`` is CI-sized.
+_PRESETS: Dict[str, Callable[[int], CampaignSpec]] = {
+    "smoke": lambda seed: CampaignSpec(
+        name="smoke",
+        generators=[
+            {"family": "gnp", "params": {"n": [24, 36], "p": 0.08}},
+            {"family": "eps-far", "params": {"n": 40}},
+        ],
+        ks=[4, 5],
+        epsilons=[0.15],
+        algorithms=["tester", "detect"],
+        repetitions=2,
+        seed=seed,
+    ),
+    "grid": lambda seed: CampaignSpec(
+        name="grid",
+        generators=[
+            {"family": "gnp", "params": {"n": [64, 128], "p": 0.05}},
+            {"family": "ba", "params": {"n": [64, 128], "attach": 3}},
+            {"family": "ws", "params": {"n": [64, 128], "d": 4, "beta": 0.1}},
+            {"family": "powerlaw", "params": {"n": [64, 128], "exponent": 2.5}},
+            {"family": "eps-far", "params": {"n": 96}},
+            {"family": "ck-free", "params": {"n": 96}},
+        ],
+        ks=[4, 5, 6],
+        epsilons=[0.1],
+        algorithms=["tester", "detect", "naive"],
+        repetitions=3,
+        seed=seed,
+    ),
+}
+
+
+def _csv(cast: Callable[[str], object]) -> Callable[[str], List[object]]:
+    def parse(text: str) -> List[object]:
+        return [cast(item) for item in text.split(",") if item]
+
+    return parse
+
+
+def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    """Resolve the campaign spec: file > preset, then factor overrides."""
+    if getattr(args, "spec", None):
+        path = Path(args.spec)
+        if not path.exists():
+            raise SystemExit(f"error: no campaign spec at {args.spec!r}")
+        try:
+            spec = CampaignSpec.from_json(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"error: {args.spec}: invalid JSON ({exc})") from exc
+    else:
+        preset = getattr(args, "preset", None) or "smoke"
+        spec = _PRESETS[preset](getattr(args, "seed", 0) or 0)
+        if getattr(args, "generators", None) is not None and \
+                getattr(args, "name", None) is None:
+            # An inline grid is not the preset it borrowed defaults from:
+            # don't let it masquerade as (and share a store with) 'smoke'.
+            spec.name = "custom"
+    if getattr(args, "name", None) is not None:
+        spec.name = args.name
+    if getattr(args, "generators", None) is not None:
+        ns = args.ns or [registry.PARAMETERS["n"].default]
+        spec.generators = [
+            {
+                "family": family,
+                "params": ({"n": ns} if "n" in registry.get(family).params else {}),
+            }
+            for family in args.generators
+        ]
+    elif getattr(args, "ns", None) is not None:
+        # --ns without --generators: sweep n across the spec's existing
+        # families (those that take an n at all).
+        spec.generators = [
+            {
+                **entry,
+                "params": {**entry.get("params", {}), "n": args.ns},
+            }
+            if "n" in registry.get(entry["family"]).params
+            else entry
+            for entry in spec.generators
+        ]
+    if getattr(args, "ks", None) is not None:
+        spec.ks = args.ks
+    if getattr(args, "eps_grid", None) is not None:
+        spec.epsilons = args.eps_grid
+    if getattr(args, "algorithms", None) is not None:
+        spec.algorithms = args.algorithms
+    if getattr(args, "repetitions", None) is not None:
+        spec.repetitions = args.repetitions
+    if getattr(args, "seed", None) is not None:
+        spec.seed = args.seed
+    spec.validate()
+    return spec
+
+
+def _cmd_campaign_define(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    text = spec.to_json()
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text + "\n")
+    rows = len(spec.expand())
+    print(f"wrote campaign {spec.name!r} ({rows} run rows) to {out}")
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    table = spec.expand()
+    store_path = args.store or f"campaigns/{spec.name}.jsonl"
+    store = CampaignStore(store_path)
+    report = run_campaign(
+        table, store, workers=args.workers, chunksize=args.chunksize
+    )
+    print(report.render())
+    done = report.executed + report.skipped
+    print(f"results: {store.path} ({done}/{report.total_rows} rows complete)")
+    # Error rows are persisted (and will not be retried), but automation
+    # must still be able to see that the campaign was not clean.
+    return 1 if report.errors else 0
+
+
+#: Columns a result record carries that reports may group by.
+_REPORT_COLUMNS = ("campaign", "generator", "params", "k", "eps",
+                   "algorithm", "repetition", "seed", "n", "m", "status")
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.store)
+    if not store.exists():
+        raise SystemExit(f"no campaign results at {args.store!r}")
+    group_by = args.group_by or list(DEFAULT_GROUP_BY)
+    unknown = [c for c in group_by if c not in _REPORT_COLUMNS]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown group-by column(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(_REPORT_COLUMNS)}"
+        )
+    summary = summarize_store(store, group_by=group_by)
+    print(summary.render())
+    return 0
+
+
+def _add_campaign_factor_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--spec", help="campaign spec JSON (from 'campaign define')")
+    p.add_argument("--preset", choices=sorted(_PRESETS),
+                   help="built-in factor grid (default: smoke)")
+    p.add_argument("--name", help="override the campaign name")
+    p.add_argument("--generators", type=_csv(str), metavar="F1,F2,...",
+                   help=f"families from: {', '.join(registry.names())}")
+    p.add_argument("--ns", type=_csv(int), metavar="N1,N2,...",
+                   help="graph sizes to cross (families with an n parameter)")
+    p.add_argument("--ks", type=_csv(int), metavar="K1,K2,...",
+                   help="cycle lengths to cross")
+    p.add_argument("--eps-grid", type=_csv(float), metavar="E1,E2,...",
+                   help="farness parameters to cross")
+    p.add_argument("--algorithms", type=_csv(str), metavar="A1,A2,...",
+                   help=f"variants from: {', '.join(ALGORITHM_NAMES)}")
+    p.add_argument("--repetitions", type=int, help="replicates per cell")
+    p.add_argument("--seed", type=int, default=None, help="campaign master seed")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-cycles",
+        prog="repro",
         description="Distributed Ck-freeness testing (Fraigniaud & Olivetti, "
         "SPAA 2017) on a simulated CONGEST network.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_graph_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--generator", default="gnp",
-                       choices=["gnp", "gnm", "cycle", "theta", "flower",
-                                "figure1", "eps-far", "ck-free"])
-        p.add_argument("--n", type=int, default=100)
-        p.add_argument("--m", type=int, default=200)
-        p.add_argument("--p", type=float, default=0.05)
-        p.add_argument("--paths", type=int, default=4)
-        p.add_argument("--path-length", type=int, default=3)
+        p.add_argument("--generator", default="gnp", choices=registry.names())
+        for name, param in registry.PARAMETERS.items():
+            if name in _RESERVED_PARAMS:
+                continue  # --k/--eps belong to the tester, added per command
+            p.add_argument(f"--{name.replace('_', '-')}", dest=name,
+                           type=param.type, default=param.default,
+                           help=param.help)
         p.add_argument("--seed", type=int, default=0)
 
     p_test = sub.add_parser("test", help="run the full Ck-freeness tester")
@@ -173,13 +343,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--seed", type=int, default=0)
     p_fuzz.add_argument("--with-baselines", action="store_true")
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="declarative experiment campaigns (define/run/resume/report)",
+    )
+    camp_sub = p_camp.add_subparsers(dest="action", required=True)
+
+    p_define = camp_sub.add_parser(
+        "define", help="write a campaign spec JSON for later runs"
+    )
+    _add_campaign_factor_args(p_define)
+    p_define.add_argument("--out", required=True, help="spec output path")
+    p_define.set_defaults(func=_cmd_campaign_define)
+
+    for action, blurb in [
+        ("run", "expand the grid and execute pending rows"),
+        ("resume", "alias of run: only not-yet-completed rows execute"),
+    ]:
+        p_run = camp_sub.add_parser(action, help=blurb)
+        _add_campaign_factor_args(p_run)
+        p_run.add_argument("--store", help="JSONL results path "
+                           "(default: campaigns/<name>.jsonl)")
+        p_run.add_argument("--workers", type=int, default=4,
+                           help="parallel worker processes (1 = serial)")
+        p_run.add_argument("--chunksize", type=int, default=1,
+                           help="rows per worker dispatch")
+        p_run.set_defaults(func=_cmd_campaign_run)
+
+    p_report = camp_sub.add_parser(
+        "report", help="aggregate a results store into a summary table"
+    )
+    p_report.add_argument("--store", required=True)
+    p_report.add_argument("--group-by", type=_csv(str), default=None,
+                          metavar="C1,C2,...",
+                          help=f"grouping columns (default: "
+                          f"{','.join(DEFAULT_GROUP_BY)})")
+    p_report.set_defaults(func=_cmd_campaign_report)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from exc
 
 
 if __name__ == "__main__":  # pragma: no cover

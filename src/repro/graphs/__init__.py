@@ -14,6 +14,7 @@ Public surface re-exported here; see the submodules for full docs:
 
 from .graph import Graph
 from .generators import (
+    barabasi_albert_graph,
     binary_tree_graph,
     blowup_graph,
     chorded_cycle_graph,
@@ -32,11 +33,13 @@ from .generators import (
     path_graph,
     planted_cycle_graph,
     planted_epsilon_far_graph,
+    powerlaw_configuration_graph,
     random_regular_graph,
     random_tree,
     star_graph,
     theta_graph,
     torus_graph,
+    watts_strogatz_graph,
 )
 from .behrend import (
     behrend_cycle_graph,
@@ -79,6 +82,7 @@ from .properties import (
 __all__ = [
     "Graph",
     # generators
+    "barabasi_albert_graph",
     "binary_tree_graph",
     "blowup_graph",
     "chorded_cycle_graph",
@@ -97,11 +101,13 @@ __all__ = [
     "path_graph",
     "planted_cycle_graph",
     "planted_epsilon_far_graph",
+    "powerlaw_configuration_graph",
     "random_regular_graph",
     "random_tree",
     "star_graph",
     "theta_graph",
     "torus_graph",
+    "watts_strogatz_graph",
     # behrend
     "behrend_cycle_graph",
     "behrend_set",

@@ -41,6 +41,9 @@ __all__ = [
     "erdos_renyi_gnp",
     "erdos_renyi_gnm",
     "random_regular_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "powerlaw_configuration_graph",
     "theta_graph",
     "blowup_graph",
     "figure1_graph",
@@ -220,6 +223,106 @@ def random_regular_graph(n: int, d: int, seed=None, max_tries: int = 200) -> Gra
         if ok:
             return Graph(n, seen)
     raise GraphError(f"failed to sample a simple {d}-regular graph on {n} vertices")
+
+
+def barabasi_albert_graph(n: int, attach: int = 3, seed=None) -> Graph:
+    """Barabási–Albert preferential attachment: each new vertex attaches to
+    ``attach`` distinct existing vertices chosen proportionally to degree.
+
+    Starts from a star on vertices ``0..attach`` (so every vertex has
+    positive degree and the graph is connected), then grows one vertex per
+    step.  The result has exactly ``attach * (n - attach - 1) + attach``
+    edges and a heavy-tailed degree distribution — the scale-free regime
+    where hub vertices sit on many short cycles.
+    """
+    if attach < 1:
+        raise ConfigurationError(f"attach must be >= 1, got {attach}")
+    if n <= attach:
+        raise ConfigurationError(f"need n > attach, got n={n}, attach={attach}")
+    rng = _rng(seed)
+    g = Graph(n)
+    # Seed star: vertex `attach` joined to 0..attach-1.
+    repeated: List[int] = []
+    for i in range(attach):
+        g.add_edge(attach, i)
+        repeated.extend((attach, i))
+    for v in range(attach + 1, n):
+        chosen: set = set()
+        while len(chosen) < attach:
+            chosen.add(repeated[int(rng.integers(0, len(repeated)))])
+        for u in chosen:
+            g.add_edge(v, u)
+            repeated.extend((v, u))
+    return g
+
+
+def watts_strogatz_graph(n: int, d: int = 4, beta: float = 0.1, seed=None) -> Graph:
+    """Watts–Strogatz small world: a ring lattice of even degree ``d``
+    with every lattice edge rewired independently with probability ``beta``.
+
+    Rewiring replaces ``(u, v)`` by ``(u, w)`` for a uniform ``w`` that is
+    neither ``u`` nor a current neighbour of ``u``, so the edge count stays
+    exactly ``n * d / 2`` and the graph stays simple.  ``beta = 0`` is the
+    pure lattice (girth 3 for d >= 4), ``beta = 1`` approaches G(n, m).
+    """
+    if d < 2 or d % 2 != 0:
+        raise ConfigurationError(f"d must be even and >= 2, got {d}")
+    if d >= n:
+        raise ConfigurationError(f"need d < n, got n={n}, d={d}")
+    if not 0.0 <= beta <= 1.0:
+        raise ConfigurationError(f"beta must be in [0,1], got {beta}")
+    rng = _rng(seed)
+    g = Graph(n)
+    for j in range(1, d // 2 + 1):
+        for u in range(n):
+            g.add_edge(u, (u + j) % n, strict=False)
+    for j in range(1, d // 2 + 1):
+        for u in range(n):
+            v = (u + j) % n
+            if not g.has_edge(u, v) or rng.random() >= beta:
+                continue
+            # Up to n attempts to find an admissible endpoint; degenerate
+            # dense cases simply keep the lattice edge.
+            for _ in range(n):
+                w = int(rng.integers(0, n))
+                if w != u and not g.has_edge(u, w):
+                    g.remove_edge(u, v)
+                    g.add_edge(u, w)
+                    break
+    return g
+
+
+def powerlaw_configuration_graph(
+    n: int, exponent: float = 2.5, min_degree: int = 1, seed=None
+) -> Graph:
+    """Erased configuration model with a power-law degree sequence.
+
+    Degrees are sampled i.i.d. from ``P[deg = j] ∝ j^(-exponent)`` on
+    ``[min_degree, n - 1]`` (sum forced even), stubs are paired uniformly,
+    and self-loops / duplicate pairings are erased, yielding a simple
+    graph whose degree distribution follows the target tail up to the
+    erased edges.
+    """
+    if exponent <= 1.0:
+        raise ConfigurationError(f"exponent must be > 1, got {exponent}")
+    if min_degree < 1:
+        raise ConfigurationError(f"min_degree must be >= 1, got {min_degree}")
+    if n <= min_degree:
+        raise ConfigurationError(f"need n > min_degree, got n={n}")
+    rng = _rng(seed)
+    support = np.arange(min_degree, n, dtype=np.int64)
+    weights = support.astype(np.float64) ** (-exponent)
+    weights /= weights.sum()
+    degrees = rng.choice(support, size=n, p=weights)
+    if int(degrees.sum()) % 2 == 1:
+        degrees[0] += 1
+    stubs = np.repeat(np.arange(n), degrees)
+    rng.shuffle(stubs)
+    g = Graph(n)
+    for u, v in stubs.reshape(-1, 2).tolist():
+        if u != v:
+            g.add_edge(int(u), int(v), strict=False)
+    return g
 
 
 # ---------------------------------------------------------------------------

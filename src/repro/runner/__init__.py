@@ -1,0 +1,56 @@
+"""Campaign runner: declarative run tables, parallel execution, resume.
+
+The substrate for systematic experiment campaigns over the reproduction:
+
+* :mod:`repro.runner.registry` — named generator registry (every instance
+  family, old and new, under a stable CLI name);
+* :mod:`repro.runner.runtable` — declarative factor grids expanded into
+  run rows with content-hash ids and deterministic per-run seeds;
+* :mod:`repro.runner.executor` — serial or process-parallel execution
+  with identical (byte-for-byte) results either way;
+* :mod:`repro.runner.store` — append-only JSONL persistence keyed by
+  run id, giving crash-safe resume for free;
+* :mod:`repro.runner.aggregate` — roll-up into the shared analysis
+  tables with Wilson intervals.
+
+Quickstart::
+
+    from repro.runner import CampaignSpec, CampaignStore, run_campaign
+
+    spec = CampaignSpec(
+        name="demo",
+        generators=[{"family": "gnp", "params": {"n": [32, 64], "p": 0.08}}],
+        ks=[4, 5], algorithms=["tester", "detect"], repetitions=3,
+    )
+    report = run_campaign(spec.expand(), CampaignStore("demo.jsonl"), workers=4)
+"""
+
+from . import registry
+from .aggregate import CampaignSummary, aggregate_records, summarize_store
+from .executor import ExecutionReport, execute_row, run_campaign
+from .runtable import (
+    ALGORITHM_NAMES,
+    CampaignSpec,
+    RunRow,
+    RunTable,
+    canonical_json,
+    derive_seed,
+)
+from .store import CampaignStore
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "CampaignSpec",
+    "CampaignStore",
+    "CampaignSummary",
+    "ExecutionReport",
+    "RunRow",
+    "RunTable",
+    "aggregate_records",
+    "canonical_json",
+    "derive_seed",
+    "execute_row",
+    "registry",
+    "run_campaign",
+    "summarize_store",
+]

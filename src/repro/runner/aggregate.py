@@ -1,0 +1,111 @@
+"""Roll-up of persisted campaign results into analysis tables.
+
+Groups the JSONL records of a :class:`~repro.runner.store.CampaignStore`
+by factor coordinates and reports, per group, the rejection/detection
+rate with its Wilson 95% interval (reusing
+:func:`repro.analysis.experiments.wilson_interval`) plus mean congestion
+telemetry, rendered through :class:`repro.analysis.tables.Table` so
+campaign reports look exactly like the DESIGN.md experiment tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from ..analysis.experiments import wilson_interval
+from ..analysis.tables import Table
+from .runtable import canonical_json
+from .store import CampaignStore
+
+__all__ = [
+    "CampaignSummary",
+    "DEFAULT_GROUP_BY",
+    "aggregate_records",
+    "summarize_store",
+]
+
+DEFAULT_GROUP_BY: Tuple[str, ...] = ("generator", "params", "k", "eps", "algorithm")
+
+
+@dataclass
+class CampaignSummary:
+    """Grouped campaign statistics plus a rendered table."""
+
+    group_by: Tuple[str, ...]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    table: Table = None  # type: ignore[assignment]
+
+    def render(self) -> str:
+        return self.table.render() if self.table is not None else ""
+
+
+def _group_key(record: Dict[str, Any], group_by: Sequence[str]) -> Tuple[str, ...]:
+    out = []
+    for col in group_by:
+        value = record.get(col)
+        # params is a dict; canonicalise it so equal grids group together.
+        out.append(canonical_json(value) if isinstance(value, dict) else str(value))
+    return tuple(out)
+
+
+def _positive(record: Dict[str, Any]) -> bool:
+    """Whether the run found a cycle (tester reject / detect hit)."""
+    outcome = record.get("outcome") or {}
+    if "accepted" in outcome:
+        return not outcome["accepted"]
+    return bool(outcome.get("detected"))
+
+
+def aggregate_records(
+    records: Iterable[Dict[str, Any]],
+    *,
+    group_by: Sequence[str] = DEFAULT_GROUP_BY,
+) -> CampaignSummary:
+    """Group result records and compute per-group detection statistics."""
+    groups: Dict[Tuple[str, ...], List[Dict[str, Any]]] = {}
+    for rec in records:
+        groups.setdefault(_group_key(rec, group_by), []).append(rec)
+
+    table = Table(
+        [*group_by, "runs", "errors", "positive rate", "95% CI", "mean seqs/msg"],
+        title="campaign summary",
+    )
+    summary = CampaignSummary(group_by=tuple(group_by), table=table)
+    for key in sorted(groups):
+        recs = groups[key]
+        ok = [r for r in recs if r.get("status") == "ok"]
+        errors = len(recs) - len(ok)
+        positives = sum(_positive(r) for r in ok)
+        rate = positives / len(ok) if ok else 0.0
+        lo, hi = wilson_interval(positives, len(ok))
+        seqs = [
+            r["outcome"]["max_sequences_per_message"]
+            for r in ok
+            if "max_sequences_per_message" in (r.get("outcome") or {})
+        ]
+        mean_seqs = sum(seqs) / len(seqs) if seqs else float("nan")
+        table.add_row(
+            *key, len(recs), errors, rate, f"[{lo:.3f},{hi:.3f}]",
+            mean_seqs if seqs else "-",
+        )
+        summary.rows.append(
+            {
+                **dict(zip(group_by, key)),
+                "runs": len(recs),
+                "errors": errors,
+                "positives": positives,
+                "rate": rate,
+                "lo": lo,
+                "hi": hi,
+                "mean_seqs": mean_seqs if seqs else None,
+            }
+        )
+    return summary
+
+
+def summarize_store(
+    store: CampaignStore, *, group_by: Sequence[str] = DEFAULT_GROUP_BY
+) -> CampaignSummary:
+    """Aggregate everything persisted in ``store``."""
+    return aggregate_records(store.records(), group_by=group_by)

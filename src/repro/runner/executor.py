@@ -1,0 +1,204 @@
+"""Campaign execution: serial or process-parallel, always deterministic.
+
+:func:`execute_row` is a pure function of its :class:`RunRow` — the graph
+is rebuilt from the registry with the row's derived seed, the named
+algorithm variant runs on it, and the returned record contains only
+deterministic fields (no wall-clock timestamps).  That property is what
+lets :func:`run_campaign` promise byte-identical JSONL output whether it
+runs serially or across a :class:`~concurrent.futures.ProcessPoolExecutor`:
+``Executor.map`` yields results in submission order, so the store sees the
+same record stream either way.
+
+Wall-clock throughput is reported separately in the returned
+:class:`ExecutionReport` (and measured by ``benchmarks/bench_campaign.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..baselines.gather import gather_detect_cycle_through_edge
+from ..baselines.naive import naive_detect_cycle_through_edge
+from ..core.algorithm1 import detect_cycle_through_edge
+from ..core.tester import CkFreenessTester
+from ..errors import ConfigurationError, ReproError
+from ..graphs.graph import Graph
+from . import registry
+from .runtable import RunRow, RunTable, derive_seed
+from .store import CampaignStore
+
+__all__ = ["ExecutionReport", "execute_row", "run_campaign"]
+
+
+def _probe_edge(graph: Graph) -> tuple:
+    """Deterministic probe edge for through-edge variants: the canonical
+    smallest edge."""
+    try:
+        return next(iter(graph.edges()))
+    except StopIteration:
+        raise ConfigurationError("graph has no edges to probe") from None
+
+
+def _run_tester(graph: Graph, k: int, eps: float, seed: int) -> Dict[str, Any]:
+    result = CkFreenessTester(k, eps).run(graph, seed=seed)
+    return {
+        "accepted": result.accepted,
+        "repetitions_run": result.repetitions_run,
+        "repetitions_planned": result.repetitions_planned,
+        "rounds_per_repetition": result.rounds_per_repetition,
+        "evidence": list(result.evidence) if result.evidence is not None else None,
+    }
+
+
+def _run_detect(graph: Graph, k: int, eps: float, seed: int) -> Dict[str, Any]:
+    det = detect_cycle_through_edge(graph, _probe_edge(graph), k)
+    return {
+        "detected": det.detected,
+        "rounds": det.run.trace.num_rounds,
+        "max_sequences_per_message": det.run.trace.max_sequences_per_message,
+        "max_message_bits": det.run.trace.max_message_bits,
+    }
+
+
+def _run_naive(graph: Graph, k: int, eps: float, seed: int) -> Dict[str, Any]:
+    res = naive_detect_cycle_through_edge(graph, _probe_edge(graph), k)
+    return {
+        "detected": res.detected,
+        "max_sequences_per_message": res.max_sequences_per_message,
+        "cap_tripped": res.cap_tripped,
+    }
+
+
+def _run_gather(graph: Graph, k: int, eps: float, seed: int) -> Dict[str, Any]:
+    res = gather_detect_cycle_through_edge(graph, _probe_edge(graph), k)
+    return {
+        "detected": res.detected,
+        "max_message_bits": res.max_message_bits,
+    }
+
+
+_ALGORITHMS: Dict[str, Callable[[Graph, int, float, int], Dict[str, Any]]] = {
+    "tester": _run_tester,
+    "detect": _run_detect,
+    "naive": _run_naive,
+    "gather": _run_gather,
+}
+
+
+def execute_row(row: RunRow) -> Dict[str, Any]:
+    """Execute one run row and return its (deterministic) result record.
+
+    Never raises on algorithm/generator errors: failures become records
+    with ``"status": "error"`` so a campaign survives bad factor
+    combinations and the failure is persisted rather than retried forever.
+    """
+    record = dict(row.factors())
+    record["run_id"] = row.run_id
+    record["seed"] = row.seed
+    # Independent sub-seeds for instance sampling and protocol randomness.
+    graph_seed = derive_seed(row.seed, "graph")
+    algo_seed = derive_seed(row.seed, "algorithm")
+    try:
+        algorithm = _ALGORITHMS[row.algorithm]
+    except KeyError:
+        raise ConfigurationError(f"unknown algorithm {row.algorithm!r}") from None
+    try:
+        # The row's k/eps double as family parameters (flower, eps-far, ...)
+        # unless the generator entry pinned its own values.
+        gen_params = {"k": row.k, "eps": row.eps, **row.params_dict()}
+        graph = registry.build_graph(row.generator, seed=graph_seed, **gen_params)
+        record["n"] = graph.n
+        record["m"] = graph.m
+        record["outcome"] = algorithm(graph, row.k, row.eps, algo_seed)
+        record["status"] = "ok"
+    except ReproError as exc:
+        record["status"] = "error"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    return record
+
+
+@dataclass
+class ExecutionReport:
+    """What one ``run_campaign`` invocation actually did."""
+
+    campaign: str
+    total_rows: int
+    executed: int
+    skipped: int
+    errors: int
+    workers: int
+    wall_seconds: float
+    executed_ids: List[str] = field(default_factory=list)
+
+    @property
+    def rows_per_second(self) -> float:
+        return self.executed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def render(self) -> str:
+        return (
+            f"campaign {self.campaign!r}: {self.executed} executed, "
+            f"{self.skipped} skipped (already done), {self.errors} errors, "
+            f"{self.workers} worker(s), {self.wall_seconds:.2f}s "
+            f"({self.rows_per_second:.1f} rows/s)"
+        )
+
+
+def _result_stream(
+    pending: List[RunRow], workers: int, chunksize: int
+) -> Iterator[Dict[str, Any]]:
+    if workers <= 1:
+        for row in pending:
+            yield execute_row(row)
+        return
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # map() preserves submission order, keeping the JSONL stream
+        # identical to the serial one.
+        yield from pool.map(execute_row, pending, chunksize=chunksize)
+
+
+def run_campaign(
+    table: RunTable,
+    store: CampaignStore,
+    *,
+    workers: int = 1,
+    chunksize: int = 1,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> ExecutionReport:
+    """Execute every not-yet-completed row of ``table`` into ``store``.
+
+    Rows whose ``run_id`` already appears in the store are skipped, which
+    makes a second invocation of the same campaign a cheap resume (and a
+    completed campaign a no-op).
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if chunksize < 1:
+        raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
+    done = store.completed_ids()
+    pending = [row for row in table.rows if row.run_id not in done]
+    t0 = time.perf_counter()
+    errors = 0
+    executed_ids: List[str] = []
+    if pending:
+        with store.writer() as write:
+            for record in _result_stream(pending, workers, chunksize):
+                write(record)
+                executed_ids.append(record["run_id"])
+                if record.get("status") == "error":
+                    errors += 1
+                if progress is not None:
+                    progress(record)
+    wall = time.perf_counter() - t0
+    return ExecutionReport(
+        campaign=table.name,
+        total_rows=len(table.rows),
+        executed=len(executed_ids),
+        skipped=len(table.rows) - len(pending),
+        errors=errors,
+        workers=workers,
+        wall_seconds=wall,
+        executed_ids=executed_ids,
+    )

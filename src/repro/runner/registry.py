@@ -1,0 +1,249 @@
+"""Named registry of graph generators.
+
+Every instance family the reproduction knows how to build is registered
+here under a stable CLI-friendly name with a declared parameter list, so
+run tables (:mod:`repro.runner.runtable`), the ``--generator`` flag of the
+CLI and the examples all dispatch through one table instead of hand-rolled
+``if``-chains.
+
+Parameters come from a shared vocabulary (``n``, ``p``, ``k`` ...); see
+:data:`PARAMETERS` for the full list with types and defaults.  A spec only
+receives the parameters it declares — extra keys in a run-table row or an
+argparse namespace are ignored, missing ones fall back to the vocabulary
+default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..graphs import generators
+from ..graphs.behrend import behrend_cycle_graph
+from ..graphs.graph import Graph
+
+__all__ = [
+    "GeneratorSpec",
+    "PARAMETERS",
+    "Parameter",
+    "build_graph",
+    "build_graph_with_info",
+    "get",
+    "names",
+    "register",
+]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One entry of the shared generator-parameter vocabulary."""
+
+    name: str
+    type: Callable[[str], Any]
+    default: Any
+    help: str
+
+
+#: Shared vocabulary: every registered family draws its parameters from
+#: this table, which is also what the CLI turns into ``--<name>`` options.
+PARAMETERS: Dict[str, Parameter] = {
+    p.name: p
+    for p in [
+        Parameter("n", int, 100, "number of vertices"),
+        Parameter("m", int, 200, "number of edges (gnm) / Behrend part size"),
+        Parameter("p", float, 0.05, "edge/noise probability"),
+        Parameter("k", int, 5, "cycle length parameter of the family"),
+        Parameter("eps", float, 0.1, "farness parameter of the family"),
+        Parameter("d", int, 4, "degree (regular / small-world ring)"),
+        Parameter("paths", int, 4, "number of paths/petals (theta, flower)"),
+        Parameter("path_length", int, 3, "path length in edges (theta)"),
+        Parameter("rows", int, 4, "grid/torus rows"),
+        Parameter("cols", int, 4, "grid/torus columns"),
+        Parameter("dim", int, 4, "hypercube dimension"),
+        Parameter("height", int, 4, "binary-tree height"),
+        Parameter("width", int, 4, "blowup layer width"),
+        Parameter("cycles", int, 3, "number of planted cycles"),
+        Parameter("attach", int, 3, "attachment edges per vertex (BA)"),
+        Parameter("beta", float, 0.1, "rewiring probability (WS)"),
+        Parameter("exponent", float, 2.5, "degree-distribution exponent"),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """A named graph family: factory plus declared parameters.
+
+    ``factory`` receives the declared parameters as keywords (plus
+    ``seed=`` when ``seeded``) and returns either a :class:`Graph` or a
+    ``(Graph, extra)`` tuple; the extra value is exposed through
+    :meth:`build_with_info` under ``info_key``.
+    """
+
+    name: str
+    factory: Callable[..., Any]
+    params: Tuple[str, ...] = ()
+    seeded: bool = False
+    info_key: Optional[str] = None
+    description: str = ""
+
+    def resolve_params(self, supplied: Dict[str, Any]) -> Dict[str, Any]:
+        """Declared parameters only, defaulted from the vocabulary."""
+        out: Dict[str, Any] = {}
+        for name in self.params:
+            value = supplied.get(name)
+            out[name] = PARAMETERS[name].default if value is None else value
+        return out
+
+    def build_with_info(
+        self, *, seed=None, **supplied: Any
+    ) -> Tuple[Graph, Dict[str, Any]]:
+        kwargs = self.resolve_params(supplied)
+        if self.seeded:
+            kwargs["seed"] = seed
+        result = self.factory(**kwargs)
+        if self.info_key is not None:
+            graph, extra = result
+            return graph, {self.info_key: extra}
+        return result, {}
+
+    def build(self, *, seed=None, **supplied: Any) -> Graph:
+        return self.build_with_info(seed=seed, **supplied)[0]
+
+
+_REGISTRY: Dict[str, GeneratorSpec] = {}
+
+
+def register(spec: GeneratorSpec) -> GeneratorSpec:
+    """Add a family to the registry (name must be new)."""
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(f"generator {spec.name!r} already registered")
+    for p in spec.params:
+        if p not in PARAMETERS:
+            raise ConfigurationError(
+                f"generator {spec.name!r} declares unknown parameter {p!r}"
+            )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> GeneratorSpec:
+    """Look up a family by name; raises ConfigurationError when unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown generator {name!r}; known: {', '.join(names())}"
+        ) from None
+
+
+def names() -> List[str]:
+    """All registered family names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def build_graph(name: str, *, seed=None, **params: Any) -> Graph:
+    """Build a graph of the named family (certificates dropped)."""
+    return get(name).build(seed=seed, **params)
+
+
+def build_graph_with_info(
+    name: str, *, seed=None, **params: Any
+) -> Tuple[Graph, Dict[str, Any]]:
+    """Build a graph plus the family's certificate/info dict (may be empty)."""
+    return get(name).build_with_info(seed=seed, **params)
+
+
+# ---------------------------------------------------------------------------
+# Built-in families
+# ---------------------------------------------------------------------------
+def _star(n: int) -> Graph:
+    return generators.star_graph(max(n - 1, 1))
+
+
+def _theta(paths: int, path_length: int) -> Graph:
+    return generators.theta_graph(paths, path_length)
+
+
+def _flower(paths: int, k: int) -> Graph:
+    return generators.flower_graph(paths, k)
+
+
+def _disjoint_cycles(cycles: int, k: int) -> Graph:
+    return generators.disjoint_cycles_graph(cycles, k)
+
+
+def _planted_cycle(n: int, k: int, p: float, seed=None):
+    return generators.planted_cycle_graph(n, k, seed=seed, extra_edge_prob=p)
+
+
+def _high_girth(n: int, k: int, seed=None) -> Graph:
+    return generators.high_girth_graph(n, girth_greater_than=k, seed=seed)
+
+
+def _behrend(m: int, k: int):
+    return behrend_cycle_graph(m, k)
+
+
+for _spec in [
+    GeneratorSpec("gnp", generators.erdos_renyi_gnp, ("n", "p"), seeded=True,
+                  description="Erdos-Renyi G(n, p)"),
+    GeneratorSpec("gnm", generators.erdos_renyi_gnm, ("n", "m"), seeded=True,
+                  description="Erdos-Renyi G(n, m)"),
+    GeneratorSpec("ba", generators.barabasi_albert_graph, ("n", "attach"),
+                  seeded=True,
+                  description="Barabasi-Albert preferential attachment"),
+    GeneratorSpec("ws", generators.watts_strogatz_graph, ("n", "d", "beta"),
+                  seeded=True, description="Watts-Strogatz small world"),
+    GeneratorSpec("powerlaw", generators.powerlaw_configuration_graph,
+                  ("n", "exponent"), seeded=True,
+                  description="power-law erased configuration model"),
+    GeneratorSpec("regular", generators.random_regular_graph, ("n", "d"),
+                  seeded=True, description="random d-regular graph"),
+    GeneratorSpec("tree", generators.random_tree, ("n",), seeded=True,
+                  description="uniform random labelled tree"),
+    GeneratorSpec("cycle", generators.cycle_graph, ("n",),
+                  description="the n-cycle C_n"),
+    GeneratorSpec("path", generators.path_graph, ("n",),
+                  description="the n-vertex path"),
+    GeneratorSpec("complete", generators.complete_graph, ("n",),
+                  description="the complete graph K_n"),
+    GeneratorSpec("star", _star, ("n",),
+                  description="star on n vertices (centre + n-1 leaves)"),
+    GeneratorSpec("grid", generators.grid_graph, ("rows", "cols"),
+                  description="rows x cols grid"),
+    GeneratorSpec("torus", generators.torus_graph, ("rows", "cols"),
+                  description="rows x cols torus"),
+    GeneratorSpec("hypercube", generators.hypercube_graph, ("dim",),
+                  description="dim-dimensional hypercube"),
+    GeneratorSpec("btree", generators.binary_tree_graph, ("height",),
+                  description="complete binary tree"),
+    GeneratorSpec("theta", _theta, ("paths", "path_length"),
+                  description="generalised theta graph"),
+    GeneratorSpec("flower", _flower, ("paths", "k"),
+                  description="k-cycle petals sharing one edge"),
+    GeneratorSpec("blowup", generators.blowup_graph, ("width", "k"),
+                  description="layered Lemma-3 blowup instance"),
+    GeneratorSpec("figure1", generators.figure1_graph, (),
+                  description="the paper's Figure 1 graph"),
+    GeneratorSpec("eps-far", generators.planted_epsilon_far_graph,
+                  ("n", "k", "eps"), seeded=True,
+                  info_key="certified_farness",
+                  description="certified eps-far instance"),
+    GeneratorSpec("ck-free", generators.ck_free_graph, ("n", "k"),
+                  seeded=True, description="certified Ck-free instance"),
+    GeneratorSpec("planted-cycle", _planted_cycle, ("n", "k", "p"),
+                  seeded=True, info_key="cycle_vertices",
+                  description="one planted k-cycle plus noise edges"),
+    GeneratorSpec("disjoint-cycles", _disjoint_cycles, ("cycles", "k"),
+                  description="chained vertex-disjoint k-cycles"),
+    GeneratorSpec("high-girth", _high_girth, ("n", "k"), seeded=True,
+                  description="random graph with girth > k"),
+    GeneratorSpec("chorded", generators.chorded_cycle_graph, ("k",),
+                  description="k-cycle with one chord"),
+    GeneratorSpec("behrend", _behrend, ("m", "k"),
+                  info_key="planted_cycles",
+                  description="Behrend-style hard instance"),
+]:
+    register(_spec)

@@ -1,0 +1,253 @@
+"""Declarative run tables for experiment campaigns.
+
+A :class:`CampaignSpec` is a factor grid — generator configurations
+crossed with cycle lengths, farness parameters, algorithm variants and
+replicate indices.  :meth:`CampaignSpec.expand` turns it into a
+:class:`RunTable` of concrete :class:`RunRow` entries, each carrying
+
+* a stable ``run_id`` — a content hash of the row's factors, so the same
+  (campaign, factors) always maps to the same id regardless of grid
+  order, which is what makes resume (:mod:`repro.runner.store`) safe; and
+* a deterministic per-run ``seed`` derived from the campaign master seed
+  and the ``run_id``, so serial and parallel executions (and re-runs on a
+  different machine) produce identical results row by row.
+
+Specs serialise to/from JSON so campaigns can be defined once on disk and
+re-expanded identically by every later ``run``/``resume`` invocation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from . import registry
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "CampaignSpec",
+    "RunRow",
+    "RunTable",
+    "canonical_json",
+    "derive_seed",
+]
+
+#: Algorithm/baseline variants a run row may name (executed by
+#: :mod:`repro.runner.executor`).
+ALGORITHM_NAMES: Tuple[str, ...] = ("tester", "detect", "naive", "gather")
+
+_SEED_MASK = (1 << 63) - 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical compact JSON used for hashing and JSONL persistence."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def derive_seed(master_seed: int, *tokens: Any) -> int:
+    """A 63-bit seed deterministically derived from master seed + tokens.
+
+    Uses SHA-256 (stable across processes and Python versions, unlike
+    ``hash()``), so run tables expand identically everywhere.
+    """
+    digest = hashlib.sha256(
+        canonical_json([master_seed, list(tokens)]).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") & _SEED_MASK
+
+
+@dataclass(frozen=True)
+class RunRow:
+    """One concrete unit of work in a campaign."""
+
+    run_id: str
+    campaign: str
+    generator: str
+    params: Tuple[Tuple[str, Any], ...]  # sorted, hashable generator params
+    k: int
+    eps: float
+    algorithm: str
+    repetition: int
+    seed: int
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def factors(self) -> Dict[str, Any]:
+        """The factor coordinates (everything except run_id and seed)."""
+        return {
+            "campaign": self.campaign,
+            "generator": self.generator,
+            "params": self.params_dict(),
+            "k": self.k,
+            "eps": self.eps,
+            "algorithm": self.algorithm,
+            "repetition": self.repetition,
+        }
+
+
+@dataclass
+class RunTable:
+    """An expanded campaign: ordered, de-duplicated run rows."""
+
+    name: str
+    rows: List[RunRow] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[RunRow]:
+        return iter(self.rows)
+
+    def row_ids(self) -> List[str]:
+        return [r.run_id for r in self.rows]
+
+
+def _expand_params(params: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Cross list-valued parameters: {"n": [64, 128], "p": 0.1} -> 2 dicts."""
+    keys = sorted(params)
+    pools = [
+        params[key] if isinstance(params[key], (list, tuple)) else [params[key]]
+        for key in keys
+    ]
+    for combo in itertools.product(*pools):
+        yield dict(zip(keys, combo))
+
+
+@dataclass
+class CampaignSpec:
+    """Declarative factor grid for a campaign.
+
+    ``generators`` is a list of ``{"family": name, "params": {...}}``
+    entries; list-valued params are crossed (so one entry can sweep n).
+    The full grid is generators x ks x epsilons x algorithms x
+    repetitions.
+    """
+
+    name: str
+    generators: List[Dict[str, Any]]
+    ks: Sequence[int] = (5,)
+    epsilons: Sequence[float] = (0.1,)
+    algorithms: Sequence[str] = ("tester",)
+    repetitions: int = 1
+    seed: int = 0
+
+    def validate(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigurationError("campaign needs a non-empty name")
+        if not isinstance(self.generators, (list, tuple)) or not self.generators:
+            raise ConfigurationError("campaign needs at least one generator")
+        for attr in ("ks", "epsilons", "algorithms"):
+            value = getattr(self, attr)
+            if not isinstance(value, (list, tuple)) or not value:
+                raise ConfigurationError(f"campaign {attr} must be a non-empty list")
+        for entry in self.generators:
+            if not isinstance(entry, dict) or "family" not in entry:
+                raise ConfigurationError(
+                    "each generator entry must be an object with a 'family'"
+                )
+            if not isinstance(entry.get("params", {}), dict):
+                raise ConfigurationError(
+                    f"generator {entry['family']!r}: params must be an object"
+                )
+            registry.get(entry["family"])  # raises on unknown family
+        for k in self.ks:
+            if k < 3:
+                raise ConfigurationError(f"k must be >= 3, got {k}")
+        for eps in self.epsilons:
+            if not 0.0 < eps < 1.0:
+                raise ConfigurationError(f"eps must be in (0,1), got {eps}")
+        for algo in self.algorithms:
+            if algo not in ALGORITHM_NAMES:
+                raise ConfigurationError(
+                    f"unknown algorithm {algo!r}; choose from "
+                    f"{', '.join(ALGORITHM_NAMES)}"
+                )
+        if self.repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+
+    # ------------------------------------------------------------------
+    def expand(self) -> RunTable:
+        """Expand the grid into a RunTable with ids and per-run seeds."""
+        self.validate()
+        table = RunTable(self.name)
+        seen = set()
+        for entry in self.generators:
+            family = entry["family"]
+            for params in _expand_params(entry.get("params", {})):
+                for k, eps, algo, rep in itertools.product(
+                    self.ks, self.epsilons, self.algorithms,
+                    range(self.repetitions),
+                ):
+                    factors = {
+                        "campaign": self.name,
+                        "generator": family,
+                        "params": params,
+                        "k": k,
+                        "eps": eps,
+                        "algorithm": algo,
+                        "repetition": rep,
+                    }
+                    # The master seed is part of a row's identity: the
+                    # same grid under a new seed is a *new* set of rows,
+                    # so resume never serves stale-seed results.
+                    run_id = hashlib.sha256(
+                        canonical_json({**factors, "seed": self.seed}).encode()
+                    ).hexdigest()[:16]
+                    if run_id in seen:
+                        continue  # identical factor combination listed twice
+                    seen.add(run_id)
+                    table.rows.append(
+                        RunRow(
+                            run_id=run_id,
+                            campaign=self.name,
+                            generator=family,
+                            params=tuple(sorted(params.items())),
+                            k=k,
+                            eps=eps,
+                            algorithm=algo,
+                            repetition=rep,
+                            seed=derive_seed(self.seed, run_id),
+                        )
+                    )
+        return table
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "generators": self.generators,
+                "ks": list(self.ks),
+                "epsilons": list(self.epsilons),
+                "algorithms": list(self.algorithms),
+                "repetitions": self.repetitions,
+                "seed": self.seed,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ConfigurationError("campaign spec must be a JSON object")
+        try:
+            spec = cls(
+                name=data["name"],
+                generators=data["generators"],
+                ks=data.get("ks", [5]),
+                epsilons=data.get("epsilons", [0.1]),
+                algorithms=data.get("algorithms", ["tester"]),
+                repetitions=data.get("repetitions", 1),
+                seed=data.get("seed", 0),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(f"campaign spec missing field {exc}") from None
+        spec.validate()
+        return spec

@@ -1,0 +1,143 @@
+"""JSONL persistence for campaign results, with resume support.
+
+One result record per line, serialised canonically (sorted keys, compact
+separators) so that two executions producing the same records produce
+byte-identical files.  Resume works by reading the ``run_id`` of every
+line already on disk and skipping those rows on the next invocation —
+a crash mid-campaign loses at most the in-flight rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, List, Set, Union
+
+from ..errors import ConfigurationError
+from .runtable import canonical_json
+
+__all__ = ["CampaignStore"]
+
+
+class CampaignStore:
+    """Append-only JSONL result store keyed by ``run_id``."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._tail_checked = False
+
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All persisted result records, in file order.
+
+        A final line with no trailing newline that fails to parse is the
+        signature of a writer killed mid-append; it is dropped (loudly),
+        so a crashed campaign loses at most its in-flight row.  Corrupt
+        lines anywhere else still raise.
+        """
+        if not self.path.exists():
+            return []
+        text = self.path.read_text(encoding="utf-8")
+        lines = text.split("\n")
+        out: List[Dict[str, Any]] = []
+        for idx, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                # (A *parseable* newline-less tail is a complete record —
+                # only the unparseable case is treated as torn, here and
+                # in _discard_torn_tail.)
+                torn_tail = idx == len(lines) - 1 and not text.endswith("\n")
+                if torn_tail:
+                    print(
+                        f"warning: {self.path}: dropping torn final line "
+                        f"(crashed writer); the row will be re-executed",
+                        file=sys.stderr,
+                    )
+                    continue
+                raise ConfigurationError(
+                    f"{self.path}:{idx + 1}: corrupt JSONL line ({exc})"
+                ) from None
+        return out
+
+    def completed_ids(self) -> Set[str]:
+        """run_ids of every record already on disk."""
+        return {rec["run_id"] for rec in self.records() if "run_id" in rec}
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    # ------------------------------------------------------------------
+    def _discard_torn_tail(self) -> None:
+        """Repair a final line with no trailing newline (crashed writer)
+        so new appends start on a clean line.
+
+        Mirrors the rule in :meth:`records`: a tail that still parses as
+        JSON is a complete record that lost only its newline — keep it
+        and add the newline; only an unparseable tail is discarded.
+        """
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+        tail = data[keep:]
+        try:
+            json.loads(tail.decode("utf-8"))
+            complete = True
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            complete = False
+        with self.path.open("rb+") as fh:
+            if complete:
+                fh.seek(0, 2)
+                fh.write(b"\n")
+            else:
+                fh.truncate(keep)
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Persist one result record (flushed and fsynced immediately)."""
+        with self.writer() as write:
+            write(record)
+
+    @contextmanager
+    def writer(self, fsync_every: int = 64):
+        """One open handle for bulk appends.
+
+        Yields a ``write(record)`` callable.  Every record is flushed to
+        the OS immediately (a crash loses at most in-flight rows), while
+        the expensive fsync runs every ``fsync_every`` records and on
+        close — so a parallel campaign is not serialised on per-row disk
+        latency.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self._tail_checked:
+            self._discard_torn_tail()
+            self._tail_checked = True
+        with self.path.open("a", encoding="utf-8") as fh:
+            count = 0
+
+            def write(record: Dict[str, Any]) -> None:
+                nonlocal count
+                if "run_id" not in record:
+                    raise ConfigurationError("result record must carry a run_id")
+                fh.write(canonical_json(record) + "\n")
+                fh.flush()
+                count += 1
+                if count % fsync_every == 0:
+                    os.fsync(fh.fileno())
+
+            try:
+                yield write
+            finally:
+                fh.flush()
+                os.fsync(fh.fileno())

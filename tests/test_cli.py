@@ -98,3 +98,165 @@ class TestFuzzCommand:
         out = capsys.readouterr().out
         assert rc == 0
         assert "ok" in out
+
+
+class TestRegistryDrivenGraphArgs:
+    def test_generator_accepts_every_registered_family(self):
+        from repro.runner import registry
+
+        choices = build_parser().parse_args(
+            ["detect", "--generator", "ba", "--k", "4"]
+        )
+        assert choices.generator == "ba"
+        for name in registry.names():
+            args = build_parser().parse_args(
+                ["detect", "--generator", name, "--k", "4"]
+            )
+            assert args.generator == name
+
+    def test_new_family_flags_parse(self):
+        args = build_parser().parse_args(
+            ["test", "--generator", "ws", "--n", "30", "--d", "4",
+             "--beta", "0.3", "--k", "4"]
+        )
+        assert (args.d, args.beta) == (4, 0.3)
+
+    def test_detect_on_new_families(self, capsys):
+        rc = main(["detect", "--generator", "ws", "--n", "20", "--d", "4",
+                   "--beta", "0.0", "--k", "3", "--edge", "0", "1"])
+        assert rc == 0
+        assert "detected=True" in capsys.readouterr().out
+
+    def test_test_on_ba_family(self, capsys):
+        rc = main(["test", "--generator", "ba", "--n", "30", "--attach", "2",
+                   "--k", "4", "--eps", "0.2", "--repetitions", "4",
+                   "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc in (0, 1)
+        assert "TesterResult" in out
+
+
+class TestCampaignCommand:
+    def test_define_run_resume_report(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        store = tmp_path / "results.jsonl"
+
+        rc = main(["campaign", "define", "--preset", "smoke",
+                   "--out", str(spec)])
+        assert rc == 0
+        assert "24 run rows" in capsys.readouterr().out
+
+        rc = main(["campaign", "run", "--spec", str(spec),
+                   "--store", str(store), "--workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "24 executed, 0 skipped" in out
+        assert store.exists()
+        assert len(store.read_text().splitlines()) == 24
+
+        rc = main(["campaign", "resume", "--spec", str(spec),
+                   "--store", str(store), "--workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 executed, 24 skipped" in out
+
+        rc = main(["campaign", "report", "--store", str(store)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "campaign summary" in out
+        assert "95% CI" in out
+
+    def test_inline_factors_without_spec_file(self, tmp_path, capsys):
+        store = tmp_path / "inline.jsonl"
+        rc = main(["campaign", "run", "--name", "inline",
+                   "--generators", "cycle,gnp", "--ns", "12,16",
+                   "--ks", "4", "--eps-grid", "0.2",
+                   "--algorithms", "detect", "--repetitions", "1",
+                   "--seed", "3", "--store", str(store), "--workers", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # cycle (no n sweep... cycle has n param: 2 sizes) + gnp (2 sizes)
+        assert "4 executed" in out
+
+    def test_ns_overrides_preset_sizes(self, tmp_path, capsys):
+        # --ns without --generators must re-size the preset's families,
+        # not be silently ignored.
+        store = tmp_path / "sized.jsonl"
+        rc = main(["campaign", "run", "--preset", "smoke", "--ns", "16",
+                   "--ks", "4", "--algorithms", "detect",
+                   "--repetitions", "1", "--store", str(store),
+                   "--workers", "1"])
+        assert rc == 0
+        capsys.readouterr()
+        import json
+
+        sizes = {json.loads(line)["params"]["n"]
+                 for line in store.read_text().splitlines()}
+        assert sizes == {16}
+
+    def test_report_missing_store(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "report", "--store",
+                  str(tmp_path / "absent.jsonl")])
+
+    def test_report_rejects_unknown_group_by(self, tmp_path, capsys):
+        store = tmp_path / "g.jsonl"
+        main(["campaign", "run", "--generators", "cycle", "--ns", "10",
+              "--ks", "4", "--algorithms", "detect", "--repetitions", "1",
+              "--store", str(store), "--workers", "1"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="unknown group-by column"):
+            main(["campaign", "report", "--store", str(store),
+                  "--group-by", "generater,k"])
+
+    def test_missing_or_invalid_spec_file_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no campaign spec"):
+            main(["campaign", "run", "--spec", str(tmp_path / "nope.json"),
+                  "--store", str(tmp_path / "s.jsonl")])
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="invalid JSON"):
+            main(["campaign", "run", "--spec", str(bad),
+                  "--store", str(tmp_path / "s.jsonl")])
+
+    def test_error_rows_give_nonzero_exit(self, tmp_path, capsys):
+        # eps-far cannot certify eps=0.9: the row becomes a persisted
+        # error record and the command must signal it to automation.
+        store = tmp_path / "err.jsonl"
+        rc = main(["campaign", "run", "--generators", "eps-far",
+                   "--ns", "20", "--ks", "5", "--eps-grid", "0.9",
+                   "--algorithms", "tester", "--repetitions", "1",
+                   "--store", str(store), "--workers", "1"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "1 errors" in out
+
+    def test_inline_grid_not_named_after_preset(self, tmp_path, capsys):
+        store = tmp_path / "c.jsonl"
+        main(["campaign", "run", "--generators", "cycle", "--ns", "10",
+              "--ks", "4", "--algorithms", "detect", "--repetitions", "1",
+              "--store", str(store), "--workers", "1"])
+        out = capsys.readouterr().out
+        assert "campaign 'custom'" in out
+
+    def test_define_rejects_bad_factors(self, tmp_path):
+        with pytest.raises(SystemExit, match="k must be >= 3"):
+            main(["campaign", "define", "--preset", "smoke",
+                  "--ks", "2", "--out", str(tmp_path / "bad.json")])
+
+    def test_explicit_zero_repetitions_rejected_not_ignored(self, tmp_path):
+        with pytest.raises(SystemExit, match="repetitions must be >= 1"):
+            main(["campaign", "define", "--preset", "smoke",
+                  "--repetitions", "0", "--out", str(tmp_path / "bad.json")])
+
+    def test_new_master_seed_reexecutes(self, tmp_path, capsys):
+        store = tmp_path / "seeds.jsonl"
+        base = ["campaign", "run", "--generators", "cycle", "--ns", "10",
+                "--ks", "4", "--algorithms", "detect", "--repetitions", "1",
+                "--store", str(store), "--workers", "1"]
+        assert main(base + ["--seed", "1"]) == 0
+        assert "1 executed" in capsys.readouterr().out
+        assert main(base + ["--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "1 executed" in out, "new seed must not be served stale rows"
+        assert len(store.read_text().splitlines()) == 2

@@ -20,6 +20,7 @@ EXAMPLES = [
     "congest_audit",
     "figure1_walkthrough",
     "girth_probe",
+    "campaign_demo",
 ]
 
 

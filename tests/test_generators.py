@@ -6,6 +6,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.graphs import (
     Graph,
+    barabasi_albert_graph,
     binary_tree_graph,
     blowup_graph,
     chorded_cycle_graph,
@@ -27,11 +28,13 @@ from repro.graphs import (
     path_graph,
     planted_cycle_graph,
     planted_epsilon_far_graph,
+    powerlaw_configuration_graph,
     random_regular_graph,
     random_tree,
     star_graph,
     theta_graph,
     torus_graph,
+    watts_strogatz_graph,
 )
 
 
@@ -134,6 +137,88 @@ class TestRandomFamilies:
     def test_random_regular_parity(self):
         with pytest.raises(ConfigurationError):
             random_regular_graph(5, 3)
+
+
+class TestScaleFreeAndSmallWorld:
+    def test_ba_counts(self):
+        n, attach = 50, 3
+        g = barabasi_albert_graph(n, attach, seed=1)
+        assert g.n == n
+        # seed star contributes `attach` edges, every later vertex `attach`
+        assert g.m == attach + attach * (n - attach - 1)
+        assert g.is_connected()
+
+    def test_ba_hub_emerges(self):
+        g = barabasi_albert_graph(200, 2, seed=3)
+        degrees = sorted(g.degree(v) for v in g.vertices())
+        # preferential attachment: the top hub far exceeds the median
+        assert degrees[-1] >= 4 * degrees[len(degrees) // 2]
+        assert degrees[0] >= 2  # every arrival brings `attach` edges
+
+    def test_ba_reproducible(self):
+        assert barabasi_albert_graph(40, 3, seed=9) == \
+            barabasi_albert_graph(40, 3, seed=9)
+
+    def test_ba_validation(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_graph(3, 3)
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_graph(10, 0)
+
+    @pytest.mark.parametrize("beta", [0.0, 0.2, 1.0])
+    def test_ws_edge_count_preserved(self, beta):
+        n, d = 40, 4
+        g = watts_strogatz_graph(n, d, beta, seed=2)
+        assert (g.n, g.m) == (n, n * d // 2)
+        g.validate()
+
+    def test_ws_lattice_at_beta_zero(self):
+        g = watts_strogatz_graph(30, 4, 0.0, seed=0)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert g.is_connected()
+        from repro.graphs import girth
+
+        assert girth(g) == 3  # d=4 ring lattice has triangles
+
+    def test_ws_rewiring_changes_graph(self):
+        a = watts_strogatz_graph(40, 4, 0.0, seed=5)
+        b = watts_strogatz_graph(40, 4, 0.8, seed=5)
+        assert a != b
+
+    def test_ws_validation(self):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz_graph(10, 3, 0.1)  # odd d
+        with pytest.raises(ConfigurationError):
+            watts_strogatz_graph(4, 4, 0.1)  # d >= n
+        with pytest.raises(ConfigurationError):
+            watts_strogatz_graph(10, 4, 1.5)  # beta out of range
+
+    def test_powerlaw_simple_and_reproducible(self):
+        g = powerlaw_configuration_graph(60, 2.5, seed=4)
+        g.validate()
+        assert g.n == 60
+        assert g.m > 0
+        assert g == powerlaw_configuration_graph(60, 2.5, seed=4)
+
+    def test_powerlaw_tail_heavier_for_smaller_exponent(self):
+        flat = powerlaw_configuration_graph(300, 3.5, seed=6)
+        heavy = powerlaw_configuration_graph(300, 1.8, seed=6)
+        assert heavy.max_degree() > flat.max_degree()
+
+    def test_powerlaw_min_degree_floor(self):
+        g = powerlaw_configuration_graph(80, 2.2, min_degree=2, seed=7)
+        # erased self-loops/duplicates can only lower degrees slightly;
+        # the vast majority must sit at or above the floor
+        low = sum(1 for v in g.vertices() if g.degree(v) < 2)
+        assert low <= g.n // 10
+
+    def test_powerlaw_validation(self):
+        with pytest.raises(ConfigurationError):
+            powerlaw_configuration_graph(50, 1.0)
+        with pytest.raises(ConfigurationError):
+            powerlaw_configuration_graph(50, 2.5, min_degree=0)
+        with pytest.raises(ConfigurationError):
+            powerlaw_configuration_graph(2, 2.5, min_degree=5)
 
 
 class TestPaperFamilies:
