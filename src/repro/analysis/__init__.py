@@ -1,4 +1,25 @@
-"""Experiment harness shared by benchmarks, examples and the CLI."""
+"""Experiment harness shared by benchmarks, examples and the CLI.
+
+Three layers, from raw runs to rendered artefacts:
+
+* :mod:`repro.analysis.experiments` — one ``run_*`` function per
+  DESIGN.md §4 experiment (T1–T5 validations, F1–F3 figures): each
+  builds its instances, drives the tester/Algorithm 1, and returns an
+  :class:`ExperimentResult` holding structured rows plus a rendered
+  table.  The CLI's ``repro experiment`` command and the benchmark
+  suite both dispatch here, so printed artefacts and committed
+  ``benchmarks/results/*.txt`` files always agree.
+* :mod:`repro.analysis.sweeps` — parameter sweeps beyond the paper's
+  tables: the repetition-boosting curve and the ε / k scaling data
+  (A5–A7), plus :func:`wilson_interval` re-exported for confidence
+  bounds on detection rates.
+* :mod:`repro.analysis.tables` — fixed-width :class:`Table` rendering
+  used by every experiment, campaign report and benchmark artefact.
+
+One-off analyses should go through :mod:`repro.runner` campaigns
+instead; this package is for the *named*, reproducible experiments that
+documents cite.
+"""
 
 from .experiments import (
     ExperimentResult,

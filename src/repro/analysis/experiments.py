@@ -58,6 +58,7 @@ class ExperimentResult:
     table: Optional[Table] = None
 
     def render(self) -> str:
+        """Rendered table plus any notes, ready for printing."""
         return self.table.render() if self.table is not None else self.experiment
 
 

@@ -34,6 +34,7 @@ class Table:
         self.rows: List[List[str]] = []
 
     def add_row(self, *cells: Any) -> None:
+        """Append one row; values are formatted at render time."""
         if len(cells) != len(self.columns):
             raise ValueError(
                 f"expected {len(self.columns)} cells, got {len(cells)}"
@@ -41,6 +42,7 @@ class Table:
         self.rows.append([format_float(c) for c in cells])
 
     def render(self) -> str:
+        """The fixed-width table as a single string."""
         widths = [len(c) for c in self.columns]
         for row in self.rows:
             for i, cell in enumerate(row):

@@ -46,11 +46,13 @@ class NeighborhoodGatherProgram(NodeProgram):
         self._fresh: Set[Fact] = set()
 
     def on_start(self, ctx: NodeContext) -> Outbox:
+        """Round 1: broadcast the local adjacency list."""
         mine = {(ctx.my_id, nb) for nb in ctx.neighbor_ids}
         self._known = set(mine)
         return Broadcast(frozenset(mine))
 
     def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        """Forward every newly learned adjacency list (flooding)."""
         incoming: Set[Fact] = set()
         for sender in sorted(inbox):
             incoming.update(inbox[sender])
@@ -61,6 +63,7 @@ class NeighborhoodGatherProgram(NodeProgram):
         return Broadcast(frozenset(fresh))
 
     def on_finish(self, ctx: NodeContext, inbox: Dict) -> bool:
+        """Decide from the gathered ball whether a k-cycle crosses the edge."""
         for sender in sorted(inbox):
             self._known.update(inbox[sender])
         u, v = self._edge
@@ -78,11 +81,13 @@ class NeighborhoodGatherProgram(NodeProgram):
 
 @dataclass
 class GatherResult:
+    """Outcome of the gather baseline: verdict plus bandwidth maxima."""
     detected: bool
     run: RunResult
 
     @property
     def max_message_bits(self) -> int:
+        """Largest single message observed, in bits."""
         return self.run.trace.max_message_bits
 
 

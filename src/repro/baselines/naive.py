@@ -57,6 +57,7 @@ class NaiveAppendForwardProgram(NodeProgram):
         self.cap_tripped = False
 
     def on_start(self, ctx: NodeContext) -> Outbox:
+        """Round 1: the endpoints seed their singleton sequences."""
         if ctx.my_id in self._edge:
             seed = (ctx.my_id,)
             self._last_sent = [seed]
@@ -64,6 +65,7 @@ class NaiveAppendForwardProgram(NodeProgram):
         return None
 
     def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        """Append-and-forward without pruning (the congesting baseline)."""
         received: List[IdSequence] = []
         for sender in sorted(inbox):
             received.extend(inbox[sender].sequences)
@@ -78,6 +80,7 @@ class NaiveAppendForwardProgram(NodeProgram):
         return Broadcast(SequenceBundle(frozenset(send)))
 
     def on_finish(self, ctx: NodeContext, inbox: Dict) -> DetectionOutcome:
+        """Apply the final cardinality rule to the unpruned families."""
         received: List[IdSequence] = []
         for sender in sorted(inbox):
             received.extend(inbox[sender].sequences)
@@ -96,6 +99,7 @@ class NaiveDetectionResult:
 
     @property
     def max_sequences_per_message(self) -> int:
+        """Largest per-message sequence count observed."""
         return self.run.trace.max_sequences_per_message
 
 

@@ -40,6 +40,7 @@ class TriangleProbeProgram(NodeProgram):
         self._found = False
 
     def on_start(self, ctx: NodeContext) -> Outbox:
+        """Round 1: every node broadcasts its neighbour list."""
         if ctx.degree < 2:
             return None
         nbs = list(ctx.neighbor_ids)
@@ -52,6 +53,7 @@ class TriangleProbeProgram(NodeProgram):
 
     def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
         # Round 2: answer the queries received at round 1.
+        """Close triangles from the received adjacency information."""
         answers: Dict[int, bool] = {}
         for asker, w in inbox.items():
             if isinstance(w, int) and w in ctx.neighbor_ids:
@@ -59,12 +61,14 @@ class TriangleProbeProgram(NodeProgram):
         return answers if answers else None
 
     def on_finish(self, ctx: NodeContext, inbox: Dict) -> bool:
+        """Report any witnessed triangle through the probed edge."""
         self._found = any(bool(ans) for ans in inbox.values())
         return self._found
 
 
 @dataclass
 class TriangleTesterResult:
+    """Aggregate verdict of the CHFSV-style triangle tester."""
     accepted: bool
     repetitions_run: int
     repetitions_planned: int
@@ -72,6 +76,7 @@ class TriangleTesterResult:
 
     @property
     def total_rounds(self) -> int:
+        """Communication rounds used across all repetitions."""
         return self.repetitions_run * self.rounds_per_repetition
 
 
@@ -91,6 +96,7 @@ class TriangleTesterCHFSV:
         )
 
     def run(self, graph: Graph, *, seed=None, stop_on_reject: bool = True) -> TriangleTesterResult:
+        """Execute the triangle tester on ``graph`` and aggregate verdicts."""
         net = Network(graph)
         scheduler = SynchronousScheduler(net)
         ss = np.random.SeedSequence(seed)

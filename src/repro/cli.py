@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from . import analysis
+from .congest.engine import ENGINE_NAMES
 from .core.algorithm1 import detect_cycle_through_edge
 from .core.tester import CkFreenessTester
 from .errors import ReproError
@@ -56,7 +57,9 @@ def _build_graph(args: argparse.Namespace) -> Graph:
 
 def _cmd_test(args: argparse.Namespace) -> int:
     g = _build_graph(args)
-    tester = CkFreenessTester(args.k, args.eps, repetitions=args.repetitions)
+    tester = CkFreenessTester(
+        args.k, args.eps, repetitions=args.repetitions, engine=args.engine
+    )
     result = tester.run(g, seed=args.seed)
     print(result)
     if result.rejected:
@@ -67,7 +70,7 @@ def _cmd_test(args: argparse.Namespace) -> int:
 def _cmd_detect(args: argparse.Namespace) -> int:
     g = _build_graph(args)
     u, v = args.edge
-    det = detect_cycle_through_edge(g, (u, v), args.k)
+    det = detect_cycle_through_edge(g, (u, v), args.k, engine=args.engine)
     print(f"k={args.k} edge=({u},{v}) detected={det.detected}")
     if det.detected:
         print(f"cycle (node IDs): {det.any_cycle_ids()}")
@@ -148,6 +151,20 @@ _PRESETS: Dict[str, Callable[[int], CampaignSpec]] = {
         repetitions=2,
         seed=seed,
     ),
+    "engines": lambda seed: CampaignSpec(
+        name="engines",
+        generators=[
+            {"family": "gnp", "params": {"n": [64, 128], "p": 0.05}},
+            {"family": "eps-far", "params": {"n": 64}},
+            {"family": "theta", "params": {"paths": 4, "path_length": 2}},
+        ],
+        ks=[4, 5],
+        epsilons=[0.15],
+        algorithms=["tester", "detect"],
+        engines=["reference", "fast"],
+        repetitions=3,
+        seed=seed,
+    ),
     "grid": lambda seed: CampaignSpec(
         name="grid",
         generators=[
@@ -221,6 +238,8 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         spec.epsilons = args.eps_grid
     if getattr(args, "algorithms", None) is not None:
         spec.algorithms = args.algorithms
+    if getattr(args, "engines", None) is not None:
+        spec.engines = args.engines
     if getattr(args, "repetitions", None) is not None:
         spec.repetitions = args.repetitions
     if getattr(args, "seed", None) is not None:
@@ -258,7 +277,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 #: Columns a result record carries that reports may group by.
 _REPORT_COLUMNS = ("campaign", "generator", "params", "k", "eps",
-                   "algorithm", "repetition", "seed", "n", "m", "status")
+                   "algorithm", "engine", "repetition", "seed", "n", "m",
+                   "status")
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
@@ -292,11 +312,15 @@ def _add_campaign_factor_args(p: argparse.ArgumentParser) -> None:
                    help="farness parameters to cross")
     p.add_argument("--algorithms", type=_csv(str), metavar="A1,A2,...",
                    help=f"variants from: {', '.join(ALGORITHM_NAMES)}")
+    p.add_argument("--engines", type=_csv(str), metavar="E1,E2,...",
+                   help=f"scheduler backends to cross: "
+                   f"{', '.join(ENGINE_NAMES)}")
     p.add_argument("--repetitions", type=int, help="replicates per cell")
     p.add_argument("--seed", type=int, default=None, help="campaign master seed")
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Distributed Ck-freeness testing (Fraigniaud & Olivetti, "
@@ -313,6 +337,9 @@ def build_parser() -> argparse.ArgumentParser:
                            type=param.type, default=param.default,
                            help=param.help)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--engine", default="reference", choices=ENGINE_NAMES,
+                       help="scheduler backend (fast = batched numpy; "
+                       "identical verdicts)")
 
     p_test = sub.add_parser("test", help="run the full Ck-freeness tester")
     add_graph_args(p_test)
@@ -384,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -2,6 +2,8 @@
 
 * :mod:`repro.congest.network` — topology + ID assignment.
 * :mod:`repro.congest.scheduler` — lock-step synchronous rounds.
+* :mod:`repro.congest.engine` — pluggable protocol backends
+  (``reference`` per-node simulation, ``fast`` batched numpy).
 * :mod:`repro.congest.node` — the node-program interface.
 * :mod:`repro.congest.message` — bundles and the bit-exact size model.
 * :mod:`repro.congest.instrumentation` — bandwidth audit.

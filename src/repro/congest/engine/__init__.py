@@ -1,0 +1,102 @@
+"""Pluggable CONGEST execution engines.
+
+One protocol, interchangeable backends (see
+:class:`~repro.congest.engine.base.CongestEngine` for the contract):
+
+* ``reference`` — the original per-node lock-step simulation, with a
+  per-message bit audit.  Always available.
+* ``fast`` — batched numpy execution over CSR adjacency arrays with an
+  aggregate (per-sender) bit audit.  Requires numpy
+  (``pip install repro-cycles[fast]``) and node IDs below ``2**32``.
+
+Select a backend by name::
+
+    from repro.congest.engine import create_engine
+
+    engine = create_engine("fast", network, strict_bandwidth=True)
+    run = engine.run_tester_repetition(k=5, rep_seed=42)
+
+or end to end through ``CkFreenessTester(..., engine="fast")``,
+``detect_cycle_through_edge(..., engine="fast")``, the CLI's
+``--engine`` flag, and the campaign runner's ``engines`` factor.
+
+Both backends are verdict-equivalent under fixed seeds; see
+``docs/engines.md`` and :func:`repro.testing.engine_equivalence_report`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...errors import ConfigurationError, EngineUnavailableError
+from ..network import Network
+from .base import CongestEngine
+
+__all__ = [
+    "ENGINE_NAMES",
+    "CongestEngine",
+    "available_engines",
+    "create_engine",
+    "ensure_engine_available",
+]
+
+#: All backend names, in preference order for documentation/CLI listings.
+ENGINE_NAMES: Tuple[str, ...] = ("reference", "fast")
+
+
+def _numpy_missing() -> str:
+    """Import-check numpy; return an empty string or the failure reason."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError as exc:  # pragma: no cover - numpy ships in [test]
+        return str(exc)
+    return ""
+
+
+def ensure_engine_available(name: str) -> None:
+    """Validate an engine name and this environment's ability to run it.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names
+    and :class:`~repro.errors.EngineUnavailableError` when the backend's
+    dependencies are missing (e.g. ``fast`` without numpy).
+    """
+    if name not in ENGINE_NAMES:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; choose from {', '.join(ENGINE_NAMES)}"
+        )
+    if name == "fast":
+        reason = _numpy_missing()
+        if reason:
+            raise EngineUnavailableError(
+                "the 'fast' engine requires numpy, which is not installed "
+                f"({reason}); install it with `pip install repro-cycles[fast]` "
+                "or run with --engine reference"
+            )
+
+
+def available_engines() -> Tuple[str, ...]:
+    """The subset of :data:`ENGINE_NAMES` that can run here."""
+    out = []
+    for name in ENGINE_NAMES:
+        try:
+            ensure_engine_available(name)
+        except ConfigurationError:
+            continue
+        out.append(name)
+    return tuple(out)
+
+
+def create_engine(name: str, network: Network, **kwargs) -> CongestEngine:
+    """Instantiate the named backend for ``network``.
+
+    ``kwargs`` are forwarded to the engine constructor (``size_model``,
+    ``strict_bandwidth``).
+    """
+    ensure_engine_available(name)
+    if name == "reference":
+        from .reference import ReferenceEngine
+
+        return ReferenceEngine(network, **kwargs)
+    from .fast import FastEngine
+
+    return FastEngine(network, **kwargs)

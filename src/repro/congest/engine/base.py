@@ -1,0 +1,103 @@
+"""Engine interface: one protocol, pluggable execution strategies.
+
+An *engine* executes the paper's two CONGEST protocols on a fixed
+network — Algorithm 1 for one edge (:meth:`CongestEngine.run_detect`)
+and one full repetition of the multiplexed tester
+(:meth:`CongestEngine.run_tester_repetition`) — and returns the same
+:class:`~repro.congest.scheduler.RunResult` either way: per-vertex
+:class:`~repro.core.algorithm1.DetectionOutcome` outputs plus a
+bit-audited :class:`~repro.congest.instrumentation.ExecutionTrace`.
+
+Two backends ship with the reproduction:
+
+``reference``
+    The per-node message-passing simulation
+    (:class:`~repro.congest.scheduler.SynchronousScheduler` driving
+    :class:`~repro.core.phase1.MultiplexedCkProgram` /
+    :class:`~repro.core.algorithm1.DetectCkProgram`).  Every message is
+    an object, every delivery is audited individually.  This is the
+    executable specification.
+
+``fast``
+    Batched numpy execution over CSR adjacency arrays
+    (:mod:`repro.congest.engine.fast`): same verdicts, same round
+    counts, same per-round aggregate audit, at array speed.
+
+Engines are constructed per network (so backends can compile/cach
+topology) and are required to produce **bit-identical verdicts** for
+identical ``(network, k, seed)`` inputs — the contract is enforced by
+``repro.testing.engine_equivalence_report`` and
+``tests/test_engines.py``.  New backends (sharded, async, GPU) plug in
+by subclassing :class:`CongestEngine` and registering a factory in
+:mod:`repro.congest.engine`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+from ...errors import ConfigurationError
+from ..message import SizeModel
+from ..network import Network
+from ..scheduler import RunResult
+
+__all__ = ["CongestEngine"]
+
+
+class CongestEngine(ABC):
+    """Executes the paper's protocols on one fixed network.
+
+    Parameters
+    ----------
+    network:
+        The CONGEST network (topology + ID assignment) to run on.
+    size_model:
+        Bit-cost model for the audit; defaults to the network's own.
+    strict_bandwidth:
+        Raise :class:`~repro.errors.BandwidthExceededError` if any
+        message exceeds the CONGEST budget.
+    """
+
+    #: Stable backend name (the value of ``--engine``).
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        size_model: Optional[SizeModel] = None,
+        strict_bandwidth: bool = False,
+    ) -> None:
+        self._net = network
+        self._size_model = (
+            size_model if size_model is not None else network.default_size_model()
+        )
+        self._strict = strict_bandwidth
+
+    @property
+    def network(self) -> Network:
+        """The network this engine was compiled for."""
+        return self._net
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def run_tester_repetition(
+        self, k: int, rep_seed: int, *, pruner=None
+    ) -> RunResult:
+        """One repetition of the tester: Phase-1 rank exchange, minimum
+        selection, and the prioritized multiplexed Phase 2
+        (``1 + ⌊k/2⌋`` communication rounds)."""
+
+    @abstractmethod
+    def run_detect(
+        self, k: int, edge_ids: Tuple[int, int], *, pruner=None
+    ) -> RunResult:
+        """Algorithm 1 for a fixed edge, given as a pair of node IDs
+        (``⌊k/2⌋`` communication rounds)."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_k(k: int) -> None:
+        if k < 3:
+            raise ConfigurationError(f"k must be >= 3, got {k}")

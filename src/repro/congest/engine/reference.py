@@ -1,0 +1,54 @@
+"""The reference engine: the lock-step scheduler, unchanged.
+
+This is the original per-node simulation promoted behind the engine
+interface — :class:`~repro.congest.scheduler.SynchronousScheduler`
+driving the existing node programs, with identical semantics, identical
+per-message bit audit, and identical traces.  It exists so that every
+other backend has an executable specification to be compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..scheduler import RunResult, SynchronousScheduler
+from .base import CongestEngine
+
+__all__ = ["ReferenceEngine"]
+
+
+class ReferenceEngine(CongestEngine):
+    """Per-node message-passing execution (the executable specification)."""
+
+    name = "reference"
+
+    def _scheduler(self) -> SynchronousScheduler:
+        return SynchronousScheduler(
+            self._net,
+            size_model=self._size_model,
+            strict_bandwidth=self._strict,
+        )
+
+    def run_tester_repetition(
+        self, k: int, rep_seed: int, *, pruner=None
+    ) -> RunResult:
+        """One tester repetition via the lock-step scheduler."""
+        from ...core.phase1 import MultiplexedCkProgram, protocol_rounds
+
+        self._check_k(k)
+        return self._scheduler().run(
+            lambda ctx: MultiplexedCkProgram(ctx, k, rep_seed, pruner=pruner),
+            num_rounds=protocol_rounds(k),
+        )
+
+    def run_detect(
+        self, k: int, edge_ids: Tuple[int, int], *, pruner=None
+    ) -> RunResult:
+        """Algorithm 1 for one edge via the lock-step scheduler."""
+        from ...core.algorithm1 import DetectCkProgram, phase2_rounds
+
+        self._check_k(k)
+        return self._scheduler().run(
+            lambda ctx: DetectCkProgram(ctx, k, edge_ids, pruner=pruner),
+            num_rounds=phase2_rounds(k),
+        )

@@ -60,11 +60,13 @@ class DropFaults(FaultModel):
         self.delivered = 0
 
     def reset(self) -> None:
+        """Re-seed the drop stream so a run can be replayed exactly."""
         self._rng = np.random.default_rng(self._seed)
         self.dropped = 0
         self.delivered = 0
 
     def delivers(self, round_index: int, sender_id: int, receiver_id: int) -> bool:
+        """Whether this (round, edge) delivery survives the fault model."""
         if self.p > 0.0 and self._rng.random() < self.p:
             self.dropped += 1
             return False
@@ -88,9 +90,11 @@ class TargetedFaults(FaultModel):
         self.dropped = 0
 
     def reset(self) -> None:
+        """Clear per-run state (the schedule itself is static)."""
         self.dropped = 0
 
     def delivers(self, round_index: int, sender_id: int, receiver_id: int) -> bool:
+        """Whether this delivery is outside the targeted outage."""
         if (round_index, sender_id, receiver_id) in self._exact or (
             sender_id,
             receiver_id,
@@ -121,6 +125,7 @@ class FaultyScheduler(SynchronousScheduler):
         self._faults = faults
 
     def run(self, make_program, num_rounds: int) -> RunResult:
+        """Run like the synchronous scheduler, dropping faulted deliveries."""
         self._faults.reset()
         return super().run(make_program, num_rounds)
 

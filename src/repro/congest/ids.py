@@ -45,6 +45,7 @@ class IdentityIds(IdAssigner):
     """ID(v) = v."""
 
     def assign(self, n: int) -> List[int]:
+        """Vertex index i gets ID i."""
         return list(range(n))
 
 
@@ -52,6 +53,7 @@ class ReverseIds(IdAssigner):
     """ID(v) = n - 1 - v."""
 
     def assign(self, n: int) -> List[int]:
+        """Vertex index i gets ID n-1-i (order-reversing)."""
         return list(range(n - 1, -1, -1))
 
 
@@ -62,6 +64,7 @@ class RandomPermutationIds(IdAssigner):
         self._seed = seed
 
     def assign(self, n: int) -> List[int]:
+        """A seeded uniform permutation of 0..n-1."""
         if n == 0:
             return []
         rng = np.random.default_rng(self._seed)
@@ -70,6 +73,7 @@ class RandomPermutationIds(IdAssigner):
         return [int(x) for x in ids]
 
     def id_space(self, n: int) -> int:
+        """IDs stay within 0..n-1."""
         return max(2, n * n)
 
 
@@ -86,6 +90,7 @@ class SpreadIds(IdAssigner):
         self._b = b
 
     def assign(self, n: int) -> List[int]:
+        """IDs spread across a polynomial range (stride * index + offset)."""
         p = _next_prime(max(2, n * n))
         seen: Dict[int, int] = {}
         out = []
@@ -100,6 +105,7 @@ class SpreadIds(IdAssigner):
         return out
 
     def id_space(self, n: int) -> int:
+        """The polynomial range the spread IDs live in."""
         return _next_prime(max(2, n * n))
 
 

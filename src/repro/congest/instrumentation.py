@@ -31,6 +31,7 @@ class RoundStats:
     max_edge: Optional[Tuple[int, int]] = None
 
     def record(self, sender: int, receiver: int, bits: int, sequences: int) -> None:
+        """Fold one delivered message into this round's aggregates."""
         self.messages += 1
         self.total_bits += bits
         if bits > self.max_message_bits:
@@ -51,28 +52,35 @@ class ExecutionTrace:
 
     @property
     def num_rounds(self) -> int:
+        """Number of communication rounds recorded."""
         return len(self.rounds)
 
     @property
     def total_messages(self) -> int:
+        """Messages delivered across all rounds."""
         return sum(r.messages for r in self.rounds)
 
     @property
     def total_bits(self) -> int:
+        """Total bits delivered across all rounds."""
         return sum(r.total_bits for r in self.rounds)
 
     @property
     def max_message_bits(self) -> int:
+        """Largest single message of the run, in bits."""
         return max((r.max_message_bits for r in self.rounds), default=0)
 
     @property
     def max_sequences_per_message(self) -> int:
+        """Largest per-message sequence count of the run."""
         return max((r.max_sequences for r in self.rounds), default=0)
 
     def max_sequences_by_round(self) -> List[int]:
+        """Per-round maxima of sequences per message."""
         return [r.max_sequences for r in self.rounds]
 
     def summary(self) -> Dict[str, Any]:
+        """The headline aggregates as a plain dict."""
         return {
             "rounds": self.num_rounds,
             "total_messages": self.total_messages,
@@ -110,10 +118,12 @@ class Instrumentation:
         self._current: Optional[RoundStats] = None
 
     def begin_round(self, round_index: int) -> None:
+        """Open a fresh RoundStats for ``round_index``."""
         self._current = RoundStats(round_index=round_index)
         self.trace.rounds.append(self._current)
 
     def observe(self, sender: int, receiver: int, message: Any) -> None:
+        """Audit one delivery; in strict mode, enforce the bit budget."""
         if self._current is None:
             raise RuntimeError("observe() outside of a round")
         bits = 0

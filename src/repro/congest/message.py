@@ -104,6 +104,7 @@ class SequenceBundle:
         return (self.rank, self.edge)
 
     def is_empty(self) -> bool:
+        """Whether the bundle carries no sequences."""
         return not self.sequences
 
     def __len__(self) -> int:

@@ -59,18 +59,22 @@ class Network:
     # ------------------------------------------------------------------
     @property
     def graph(self) -> Graph:
+        """The underlying topology."""
         return self._graph
 
     @property
     def n(self) -> int:
+        """Number of nodes."""
         return self._graph.n
 
     @property
     def m(self) -> int:
+        """Number of edges."""
         return self._graph.m
 
     @property
     def id_space(self) -> int:
+        """Exclusive upper bound of the ID range."""
         return self._id_space
 
     def node_id(self, vertex: int) -> int:

@@ -64,6 +64,7 @@ class NodeContext:
 
     @property
     def degree(self) -> int:
+        """Number of incident edges."""
         return len(self.neighbor_ids)
 
 

@@ -44,9 +44,11 @@ class LeaderElectProgram(NodeProgram):
         self._best = ctx.my_id
 
     def on_start(self, ctx: NodeContext) -> Outbox:
+        """Round 1: propose own ID."""
         return Broadcast(self._best)
 
     def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        """Flood the smallest ID seen so far."""
         improved = False
         for v in inbox.values():
             if isinstance(v, int) and v < self._best:
@@ -56,6 +58,7 @@ class LeaderElectProgram(NodeProgram):
         return Broadcast(self._best) if improved else None
 
     def on_finish(self, ctx: NodeContext, inbox: Dict) -> int:
+        """Output the final leader candidate."""
         for v in inbox.values():
             if isinstance(v, int) and v < self._best:
                 self._best = v
@@ -102,11 +105,13 @@ class BfsTreeProgram(NodeProgram):
         self._parent: Optional[int] = None
 
     def on_start(self, ctx: NodeContext) -> Outbox:
+        """Round 1: the root announces distance 0."""
         if self._dist == 0:
             return Broadcast(0)
         return None
 
     def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        """Adopt the first announcing neighbour as parent and relay."""
         if self._dist is not None:
             return None  # already settled; BFS frontier has passed
         best_parent = None
@@ -124,6 +129,7 @@ class BfsTreeProgram(NodeProgram):
         return Broadcast(self._dist)
 
     def on_finish(self, ctx: NodeContext, inbox: Dict) -> BfsOutcome:
+        """Output (parent, distance) — the BFS tree edge."""
         if self._dist is None:
             # Last-chance adoption from the final frontier.
             for sender in sorted(inbox):
@@ -177,9 +183,11 @@ class AggregateProgram(NodeProgram):
         return {self._parent: self._acc}
 
     def on_start(self, ctx: NodeContext) -> Outbox:
+        """Round 1: leaves push their values up the tree."""
         return self._maybe_send()
 
     def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        """Combine children's partial aggregates and push upward."""
         for sender, val in inbox.items():
             if sender in self._pending:
                 self._pending.discard(sender)
@@ -187,6 +195,7 @@ class AggregateProgram(NodeProgram):
         return self._maybe_send()
 
     def on_finish(self, ctx: NodeContext, inbox: Dict) -> Any:
+        """The root outputs the aggregate; others output None."""
         for sender, val in inbox.items():
             if sender in self._pending:
                 self._pending.discard(sender)

@@ -10,6 +10,13 @@ Round indexing follows Algorithm 1's convention: ``on_start`` produces the
 round-1 sends; ``on_round(r, inbox)`` (r >= 2) sees messages sent at round
 ``r-1``; after the final round, ``on_finish`` sees the last sends.
 Total communication rounds = ``num_rounds``.
+
+This scheduler is also the ``reference`` backend of the pluggable engine
+layer (:mod:`repro.congest.engine`): protocol-level entry points
+(tester, Algorithm 1) go through an engine so the batched ``fast``
+backend can be swapped in, while arbitrary node programs (primitives,
+extensions, faults) keep using this class directly.  The round-semantics
+contract above is restated in prose in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -45,7 +45,7 @@ from .._types import IdSequence
 from ..congest.message import SequenceBundle
 from ..congest.network import Network
 from ..congest.node import Broadcast, NodeContext, NodeProgram, Outbox
-from ..congest.scheduler import RunResult, SynchronousScheduler
+from ..congest.scheduler import RunResult
 from ..errors import ConfigurationError
 from .pruning import HittingSetPruner, Pruner
 from .sequences import drop_containing, sort_sequences
@@ -115,6 +115,7 @@ class DetectCkProgram(NodeProgram):
 
     # ------------------------------------------------------------------
     def on_start(self, ctx: NodeContext) -> Outbox:
+        """Round 1 (Instr. 1-9): endpoints broadcast their singletons."""
         if ctx.my_id in self._edge:
             seed = (ctx.my_id,)
             self._last_sent = [seed]
@@ -125,6 +126,7 @@ class DetectCkProgram(NodeProgram):
     def on_round(
         self, ctx: NodeContext, round_index: int, inbox: Dict[int, SequenceBundle]
     ) -> Outbox:
+        """Rounds 2..k//2 (Instr. 10-27): drop, prune, append, broadcast."""
         t = round_index  # Phase-2 round number == scheduler round here.
         received = _gather(inbox)
         if received:
@@ -138,6 +140,7 @@ class DetectCkProgram(NodeProgram):
     def on_finish(
         self, ctx: NodeContext, inbox: Dict[int, SequenceBundle]
     ) -> DetectionOutcome:
+        """Final decision (Instr. 31-42) with cycle evidence."""
         received = _gather(inbox)
         if received:
             self._received_any = True
@@ -233,9 +236,11 @@ class EdgeDetectionResult:
 
     @property
     def rejecting_vertices(self) -> List[int]:
+        """Vertex indices that output reject."""
         return [v for v, o in self.outcomes.items() if o.rejects]
 
     def any_cycle_ids(self) -> Optional[Tuple[int, ...]]:
+        """Some witnessed cycle (node IDs), if any node produced one."""
         for o in self.outcomes.values():
             if o.cycle is not None:
                 return o.cycle
@@ -250,6 +255,7 @@ def detect_cycle_through_edge(
     network: Optional[Network] = None,
     pruner: Optional[Pruner] = None,
     strict_bandwidth: bool = False,
+    engine: str = "reference",
 ) -> EdgeDetectionResult:
     """Run Algorithm 1 for ``edge`` (vertex indices) on ``graph``.
 
@@ -268,17 +274,19 @@ def detect_cycle_through_edge(
         Cycle length.
     network:
         Optionally a prebuilt :class:`Network` (to control ID assignment).
+    engine:
+        Scheduler backend (``"reference"`` or ``"fast"``); see
+        :mod:`repro.congest.engine`.
     """
+    from ..congest.engine import create_engine
+
     net = network if network is not None else Network(graph)
     u, v = edge
     if not graph.has_edge(u, v):
         raise ConfigurationError(f"edge {edge} not in graph")
     edge_ids = net.edge_ids(u, v)
-    scheduler = SynchronousScheduler(net, strict_bandwidth=strict_bandwidth)
-    result = scheduler.run(
-        lambda ctx: DetectCkProgram(ctx, k, edge_ids, pruner=pruner),
-        num_rounds=phase2_rounds(k),
-    )
+    eng = create_engine(engine, net, strict_bandwidth=strict_bandwidth)
+    result = eng.run_detect(k, edge_ids, pruner=pruner)
     outcomes: Dict[int, DetectionOutcome] = result.outputs
     detected = any(o.rejects for o in outcomes.values())
     return EdgeDetectionResult(detected=detected, outcomes=outcomes, run=result)

@@ -123,6 +123,7 @@ class MultiplexedCkProgram(NodeProgram):
     # Round 1: rank exchange
     # ------------------------------------------------------------------
     def on_start(self, ctx: NodeContext) -> Outbox:
+        """Round 1: draw and ship ranks for the owned edges."""
         if ctx.degree == 0:
             return None
         draws = draw_ranks(ctx.my_id, ctx.neighbor_ids, ctx.m_hint, self._rng)
@@ -137,6 +138,7 @@ class MultiplexedCkProgram(NodeProgram):
     # Rounds 2..: selection then multiplexed Phase 2
     # ------------------------------------------------------------------
     def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        """Round 2: select the minimum; later rounds: multiplexed Phase 2."""
         if round_index == 2:
             return self._select_and_seed(ctx, inbox)
         return self._phase2_step(ctx, round_index, inbox)
@@ -176,6 +178,7 @@ class MultiplexedCkProgram(NodeProgram):
         return Broadcast(SequenceBundle(frozenset(send), rank=rank, edge=edge))
 
     def on_finish(self, ctx: NodeContext, inbox: Dict) -> DetectionOutcome:
+        """Final decision under the winning tag's sequences."""
         best, received = self._mux(inbox)
         if best is None:
             return DetectionOutcome(rejects=False)

@@ -93,6 +93,7 @@ class ExplicitPruner(Pruner):
     def select(
         self, sequences: Sequence[IdSequence], k: int, t: int
     ) -> List[IdSequence]:
+        """Literal Instructions 15-23 over materialised witness subsets."""
         self._check(sequences, k, t)
         ordered = sort_sequences(sequences)
         if not ordered:
@@ -124,6 +125,7 @@ class HittingSetPruner(Pruner):
     def select(
         self, sequences: Sequence[IdSequence], k: int, t: int
     ) -> List[IdSequence]:
+        """Equivalent lazy rule via hitting sets of kept-set residues."""
         self._check(sequences, k, t)
         ordered = sort_sequences(sequences)
         q = k - t

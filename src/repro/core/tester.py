@@ -22,13 +22,12 @@ from typing import Optional
 
 import numpy as np
 
+from ..congest.engine import ensure_engine_available, create_engine
 from ..congest.network import Network
-from ..congest.scheduler import SynchronousScheduler
 from ..errors import ConfigurationError
 from ..graphs.graph import Graph
 from .algorithm1 import DetectionOutcome
 from .bounds import repetitions_needed, rounds_per_repetition
-from .phase1 import MultiplexedCkProgram, protocol_rounds
 from .pruning import HittingSetPruner, Pruner
 from .verdict import RepetitionReport, TesterResult
 
@@ -50,8 +49,12 @@ class CkFreenessTester:
     pruner:
         Pruning strategy shared by all nodes.
     strict_bandwidth:
-        Forward to the scheduler: raise if any message exceeds the
+        Forward to the engine: raise if any message exceeds the
         CONGEST bit budget.
+    engine:
+        Scheduler backend: ``"reference"`` (per-node simulation) or
+        ``"fast"`` (batched numpy); see :mod:`repro.congest.engine`.
+        Both produce identical verdicts under a fixed seed.
     """
 
     def __init__(
@@ -62,6 +65,7 @@ class CkFreenessTester:
         repetitions: Optional[int] = None,
         pruner: Optional[Pruner] = None,
         strict_bandwidth: bool = False,
+        engine: str = "reference",
     ) -> None:
         if k < 3:
             raise ConfigurationError(f"k must be >= 3, got {k}")
@@ -74,6 +78,8 @@ class CkFreenessTester:
         self.repetitions = (
             repetitions if repetitions is not None else repetitions_needed(epsilon)
         )
+        ensure_engine_available(engine)
+        self.engine = engine
         self._pruner = pruner if pruner is not None else HittingSetPruner()
         self._strict = strict_bandwidth
 
@@ -112,7 +118,7 @@ class CkFreenessTester:
                 rounds_per_repetition=rounds_per_repetition(self.k),
             )
         net = network if network is not None else Network(graph)
-        scheduler = SynchronousScheduler(net, strict_bandwidth=self._strict)
+        eng = create_engine(self.engine, net, strict_bandwidth=self._strict)
         ss = np.random.SeedSequence(seed)
         rep_seeds = ss.generate_state(self.repetitions)
 
@@ -126,11 +132,8 @@ class CkFreenessTester:
         )
         for i in range(self.repetitions):
             rep_seed = int(rep_seeds[i])
-            run = scheduler.run(
-                lambda ctx: MultiplexedCkProgram(
-                    ctx, self.k, rep_seed, pruner=self._pruner
-                ),
-                num_rounds=protocol_rounds(self.k),
+            run = eng.run_tester_repetition(
+                self.k, rep_seed, pruner=self._pruner
             )
             rejecting = tuple(
                 v
@@ -170,9 +173,10 @@ def test_ck_freeness(
     seed=None,
     repetitions: Optional[int] = None,
     network: Optional[Network] = None,
+    engine: str = "reference",
 ) -> TesterResult:
     """One-call convenience wrapper around :class:`CkFreenessTester`."""
-    tester = CkFreenessTester(k, epsilon, repetitions=repetitions)
+    tester = CkFreenessTester(k, epsilon, repetitions=repetitions, engine=engine)
     return tester.run(graph, seed=seed, network=network)
 
 

@@ -44,10 +44,12 @@ class TesterResult:
 
     @property
     def rejected(self) -> bool:
+        """Convenience negation of ``accepted``."""
         return not self.accepted
 
     @property
     def total_rounds(self) -> int:
+        """Communication rounds summed over executed repetitions."""
         return sum(r.rounds for r in self.reports)
 
     @property
@@ -60,6 +62,7 @@ class TesterResult:
 
     @property
     def max_sequences_per_message(self) -> int:
+        """Largest per-message sequence count across kept traces."""
         return max((t.max_sequences_per_message for t in self.traces), default=0)
 
     def __repr__(self) -> str:

@@ -1,9 +1,26 @@
 """Extensions beyond the paper's core results.
 
+Everything here *builds on* the core protocol stack (engines, Phase 1,
+Algorithm 1) without changing it — each module is a worked answer to a
+"what if" the paper raises:
+
 * :mod:`repro.extensions.chorded` — the §4 obstruction (chorded-cycle
-  detection), reproduced constructively.
+  detection), reproduced constructively: why the pruning rule is
+  oblivious to chords, plus the instance family that witnesses it.
+* :mod:`repro.extensions.induced` — the second §4 obstruction
+  (*induced* cycles), with an oracle-assisted detector for contrast.
+* :mod:`repro.extensions.girth` — distributed girth estimation by
+  scanning ``k = 3, 4, ...`` through the detection machinery.
+* :mod:`repro.extensions.multi_k` — motif scanning: several cycle
+  lengths multiplexed into one lock-step execution.
 * :mod:`repro.extensions.parallel_reps` — batched repetitions: the
   rounds-vs-bandwidth tradeoff variant of the tester.
+
+Extensions run on the reference scheduler (they define their own node
+programs); only the core tester/Algorithm 1 paths participate in the
+pluggable engine layer (:mod:`repro.congest.engine`) for now — porting
+an extension to the fast engine means teaching it the extension's
+message shape, which is exactly the seam a future PR would fill.
 """
 
 from .chorded import (

@@ -84,9 +84,11 @@ class MultiKProgram(NodeProgram):
         return view
 
     def on_start(self, ctx: NodeContext) -> Outbox:
+        """Round 1: rank rounds of every sub-protocol, multiplexed."""
         return self._merge(ctx, {k: p.on_start(ctx) for k, p in self._subs.items()})
 
     def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        """Advance each sub-protocol that is still within its rounds."""
         outs: Dict[int, Outbox] = {}
         for k, p in self._subs.items():
             view = self._split(inbox, k)
@@ -98,6 +100,7 @@ class MultiKProgram(NodeProgram):
         return self._merge(ctx, outs)
 
     def on_finish(self, ctx: NodeContext, inbox: Dict) -> Dict[int, DetectionOutcome]:
+        """Collect one DetectionOutcome per tested cycle length."""
         for k, p in self._subs.items():
             if k not in self._verdicts:
                 self._verdicts[k] = p.on_finish(ctx, self._split(inbox, k))

@@ -82,9 +82,11 @@ class BatchedCkProgram(NodeProgram):
 
     # ------------------------------------------------------------------
     def on_start(self, ctx: NodeContext) -> Outbox:
+        """Round 1: rank rounds of all batched repetitions at once."""
         return self._merge(ctx, [p.on_start(ctx) for p in self._subs])
 
     def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict) -> Outbox:
+        """Advance every repetition's Phase 2 in lock-step."""
         outs = [
             p.on_round(ctx, round_index, self._split(inbox, rep))
             for rep, p in enumerate(self._subs)
@@ -92,6 +94,7 @@ class BatchedCkProgram(NodeProgram):
         return self._merge(ctx, outs)
 
     def on_finish(self, ctx: NodeContext, inbox: Dict) -> DetectionOutcome:
+        """Evaluate each repetition's final decision."""
         for rep, p in enumerate(self._subs):
             out = p.on_finish(ctx, self._split(inbox, rep))
             if isinstance(out, DetectionOutcome) and out.rejects:
@@ -113,6 +116,7 @@ class BatchedResult:
 
     @property
     def rejected(self) -> bool:
+        """Whether any repetition rejected."""
         return not self.accepted
 
 
@@ -140,6 +144,7 @@ class BatchedCkTester:
         self._pruner = pruner
 
     def run(self, graph: Graph, *, seed=None, network: Optional[Network] = None) -> BatchedResult:
+        """Run all repetitions inside one widened execution."""
         if graph.m == 0:
             return BatchedResult(True, None, 0, 0, None)
         net = network if network is not None else Network(graph)

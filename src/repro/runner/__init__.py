@@ -13,6 +13,18 @@ The substrate for systematic experiment campaigns over the reproduction:
 * :mod:`repro.runner.aggregate` — roll-up into the shared analysis
   tables with Wilson intervals.
 
+Factor grids cross generators × n × k × ε × algorithm × engine ×
+repetitions; the ``engines`` factor selects the scheduler backend
+(:mod:`repro.congest.engine`) and derives per-run seeds
+engine-independently, so an engine sweep compares backends on identical
+instances (and doubles as an end-to-end equivalence check).
+
+Results persist as append-only JSONL (see ``docs/architecture.md`` for
+the record schema): one canonical-JSON object per line carrying the
+factor coordinates, ``run_id``, derived ``seed``, instance ``n``/``m``,
+an algorithm-specific ``outcome`` object, and ``status`` (``"ok"`` or
+``"error"`` with the message).
+
 Quickstart::
 
     from repro.runner import CampaignSpec, CampaignStore, run_campaign
@@ -30,6 +42,7 @@ from .aggregate import CampaignSummary, aggregate_records, summarize_store
 from .executor import ExecutionReport, execute_row, run_campaign
 from .runtable import (
     ALGORITHM_NAMES,
+    ENGINE_NAMES,
     CampaignSpec,
     RunRow,
     RunTable,
@@ -40,6 +53,7 @@ from .store import CampaignStore
 
 __all__ = [
     "ALGORITHM_NAMES",
+    "ENGINE_NAMES",
     "CampaignSpec",
     "CampaignStore",
     "CampaignSummary",

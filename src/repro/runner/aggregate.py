@@ -25,7 +25,9 @@ __all__ = [
     "summarize_store",
 ]
 
-DEFAULT_GROUP_BY: Tuple[str, ...] = ("generator", "params", "k", "eps", "algorithm")
+DEFAULT_GROUP_BY: Tuple[str, ...] = (
+    "generator", "params", "k", "eps", "algorithm", "engine",
+)
 
 
 @dataclass
@@ -37,6 +39,7 @@ class CampaignSummary:
     table: Table = None  # type: ignore[assignment]
 
     def render(self) -> str:
+        """The summary as a fixed-width table string."""
         return self.table.render() if self.table is not None else ""
 
 

@@ -42,8 +42,10 @@ def _probe_edge(graph: Graph) -> tuple:
         raise ConfigurationError("graph has no edges to probe") from None
 
 
-def _run_tester(graph: Graph, k: int, eps: float, seed: int) -> Dict[str, Any]:
-    result = CkFreenessTester(k, eps).run(graph, seed=seed)
+def _run_tester(
+    graph: Graph, k: int, eps: float, seed: int, engine: str
+) -> Dict[str, Any]:
+    result = CkFreenessTester(k, eps, engine=engine).run(graph, seed=seed)
     return {
         "accepted": result.accepted,
         "repetitions_run": result.repetitions_run,
@@ -53,8 +55,10 @@ def _run_tester(graph: Graph, k: int, eps: float, seed: int) -> Dict[str, Any]:
     }
 
 
-def _run_detect(graph: Graph, k: int, eps: float, seed: int) -> Dict[str, Any]:
-    det = detect_cycle_through_edge(graph, _probe_edge(graph), k)
+def _run_detect(
+    graph: Graph, k: int, eps: float, seed: int, engine: str
+) -> Dict[str, Any]:
+    det = detect_cycle_through_edge(graph, _probe_edge(graph), k, engine=engine)
     return {
         "detected": det.detected,
         "rounds": det.run.trace.num_rounds,
@@ -63,7 +67,11 @@ def _run_detect(graph: Graph, k: int, eps: float, seed: int) -> Dict[str, Any]:
     }
 
 
-def _run_naive(graph: Graph, k: int, eps: float, seed: int) -> Dict[str, Any]:
+def _run_naive(
+    graph: Graph, k: int, eps: float, seed: int, engine: str
+) -> Dict[str, Any]:
+    # Baselines run on the reference scheduler regardless of the engine
+    # factor: their point is the per-message congestion audit.
     res = naive_detect_cycle_through_edge(graph, _probe_edge(graph), k)
     return {
         "detected": res.detected,
@@ -72,7 +80,9 @@ def _run_naive(graph: Graph, k: int, eps: float, seed: int) -> Dict[str, Any]:
     }
 
 
-def _run_gather(graph: Graph, k: int, eps: float, seed: int) -> Dict[str, Any]:
+def _run_gather(
+    graph: Graph, k: int, eps: float, seed: int, engine: str
+) -> Dict[str, Any]:
     res = gather_detect_cycle_through_edge(graph, _probe_edge(graph), k)
     return {
         "detected": res.detected,
@@ -80,7 +90,7 @@ def _run_gather(graph: Graph, k: int, eps: float, seed: int) -> Dict[str, Any]:
     }
 
 
-_ALGORITHMS: Dict[str, Callable[[Graph, int, float, int], Dict[str, Any]]] = {
+_ALGORITHMS: Dict[str, Callable[[Graph, int, float, int, str], Dict[str, Any]]] = {
     "tester": _run_tester,
     "detect": _run_detect,
     "naive": _run_naive,
@@ -112,7 +122,7 @@ def execute_row(row: RunRow) -> Dict[str, Any]:
         graph = registry.build_graph(row.generator, seed=graph_seed, **gen_params)
         record["n"] = graph.n
         record["m"] = graph.m
-        record["outcome"] = algorithm(graph, row.k, row.eps, algo_seed)
+        record["outcome"] = algorithm(graph, row.k, row.eps, algo_seed, row.engine)
         record["status"] = "ok"
     except ReproError as exc:
         record["status"] = "error"
@@ -135,9 +145,11 @@ class ExecutionReport:
 
     @property
     def rows_per_second(self) -> float:
+        """Executed-row throughput of this invocation."""
         return self.executed / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     def render(self) -> str:
+        """One-line human summary of the invocation."""
         return (
             f"campaign {self.campaign!r}: {self.executed} executed, "
             f"{self.skipped} skipped (already done), {self.errors} errors, "

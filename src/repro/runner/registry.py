@@ -99,6 +99,7 @@ class GeneratorSpec:
     def build_with_info(
         self, *, seed=None, **supplied: Any
     ) -> Tuple[Graph, Dict[str, Any]]:
+        """Build an instance plus its certificate/info dict (may be empty)."""
         kwargs = self.resolve_params(supplied)
         if self.seeded:
             kwargs["seed"] = seed
@@ -109,6 +110,7 @@ class GeneratorSpec:
         return result, {}
 
     def build(self, *, seed=None, **supplied: Any) -> Graph:
+        """Build an instance (certificates dropped)."""
         return self.build_with_info(seed=seed, **supplied)[0]
 
 

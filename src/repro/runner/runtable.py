@@ -24,11 +24,13 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Sequence, Tuple
 
+from ..congest.engine import ENGINE_NAMES
 from ..errors import ConfigurationError
 from . import registry
 
 __all__ = [
     "ALGORITHM_NAMES",
+    "ENGINE_NAMES",
     "CampaignSpec",
     "RunRow",
     "RunTable",
@@ -39,6 +41,12 @@ __all__ = [
 #: Algorithm/baseline variants a run row may name (executed by
 #: :mod:`repro.runner.executor`).
 ALGORITHM_NAMES: Tuple[str, ...] = ("tester", "detect", "naive", "gather")
+
+#: Variants that actually take an engine; the baselines always run on the
+#: reference scheduler (their point is the per-message congestion audit),
+#: so the grid expansion pins them there instead of crossing them with
+#: the engines factor — no duplicate work, no mislabeled report rows.
+ENGINE_AWARE_ALGORITHMS: Tuple[str, ...] = ("tester", "detect")
 
 _SEED_MASK = (1 << 63) - 1
 
@@ -73,8 +81,10 @@ class RunRow:
     algorithm: str
     repetition: int
     seed: int
+    engine: str = "reference"
 
     def params_dict(self) -> Dict[str, Any]:
+        """Generator params as a plain dict."""
         return dict(self.params)
 
     def factors(self) -> Dict[str, Any]:
@@ -86,6 +96,7 @@ class RunRow:
             "k": self.k,
             "eps": self.eps,
             "algorithm": self.algorithm,
+            "engine": self.engine,
             "repetition": self.repetition,
         }
 
@@ -104,6 +115,7 @@ class RunTable:
         return iter(self.rows)
 
     def row_ids(self) -> List[str]:
+        """The run_id of every row, in table order."""
         return [r.run_id for r in self.rows]
 
 
@@ -124,8 +136,10 @@ class CampaignSpec:
 
     ``generators`` is a list of ``{"family": name, "params": {...}}``
     entries; list-valued params are crossed (so one entry can sweep n).
-    The full grid is generators x ks x epsilons x algorithms x
-    repetitions.
+    The full grid is generators x ks x epsilons x algorithms x engines x
+    repetitions.  ``engines`` selects the scheduler backend(s)
+    (:data:`~repro.congest.engine.ENGINE_NAMES`); sweeping it turns any
+    campaign into an engine benchmark/equivalence check.
     """
 
     name: str
@@ -133,10 +147,12 @@ class CampaignSpec:
     ks: Sequence[int] = (5,)
     epsilons: Sequence[float] = (0.1,)
     algorithms: Sequence[str] = ("tester",)
+    engines: Sequence[str] = ("reference",)
     repetitions: int = 1
     seed: int = 0
 
     def validate(self) -> None:
+        """Raise ConfigurationError on any invalid factor value."""
         if not isinstance(self.name, str) or not self.name:
             raise ConfigurationError("campaign needs a non-empty name")
         if not isinstance(self.generators, (list, tuple)) or not self.generators:
@@ -167,6 +183,14 @@ class CampaignSpec:
                     f"unknown algorithm {algo!r}; choose from "
                     f"{', '.join(ALGORITHM_NAMES)}"
                 )
+        if not isinstance(self.engines, (list, tuple)) or not self.engines:
+            raise ConfigurationError("campaign engines must be a non-empty list")
+        for eng in self.engines:
+            if eng not in ENGINE_NAMES:
+                raise ConfigurationError(
+                    f"unknown engine {eng!r}; choose from "
+                    f"{', '.join(ENGINE_NAMES)}"
+                )
         if self.repetitions < 1:
             raise ConfigurationError("repetitions must be >= 1")
 
@@ -179,10 +203,14 @@ class CampaignSpec:
         for entry in self.generators:
             family = entry["family"]
             for params in _expand_params(entry.get("params", {})):
-                for k, eps, algo, rep in itertools.product(
-                    self.ks, self.epsilons, self.algorithms,
+                for k, eps, algo, eng, rep in itertools.product(
+                    self.ks, self.epsilons, self.algorithms, self.engines,
                     range(self.repetitions),
                 ):
+                    if algo not in ENGINE_AWARE_ALGORITHMS:
+                        # Engine-independent baseline: collapse the engine
+                        # axis (the run_id dedup below drops the twins).
+                        eng = "reference"
                     factors = {
                         "campaign": self.name,
                         "generator": family,
@@ -194,10 +222,25 @@ class CampaignSpec:
                     }
                     # The master seed is part of a row's identity: the
                     # same grid under a new seed is a *new* set of rows,
-                    # so resume never serves stale-seed results.
-                    run_id = hashlib.sha256(
+                    # so resume never serves stale-seed results.  The
+                    # engine is deliberately left out of this base hash:
+                    # per-run seeds derive from it, so rows that differ
+                    # only in engine draw the *same* instance and the
+                    # same protocol randomness — an engine sweep is an
+                    # apples-to-apples comparison (and, because engines
+                    # are verdict-equivalent, an end-to-end equivalence
+                    # check).  It also keeps every pre-engine campaign
+                    # store resumable with unchanged ids and seeds.
+                    base_id = hashlib.sha256(
                         canonical_json({**factors, "seed": self.seed}).encode()
                     ).hexdigest()[:16]
+                    run_id = base_id if eng == "reference" else (
+                        hashlib.sha256(
+                            canonical_json(
+                                {**factors, "engine": eng, "seed": self.seed}
+                            ).encode()
+                        ).hexdigest()[:16]
+                    )
                     if run_id in seen:
                         continue  # identical factor combination listed twice
                     seen.add(run_id)
@@ -211,13 +254,15 @@ class CampaignSpec:
                             eps=eps,
                             algorithm=algo,
                             repetition=rep,
-                            seed=derive_seed(self.seed, run_id),
+                            seed=derive_seed(self.seed, base_id),
+                            engine=eng,
                         )
                     )
         return table
 
     # ------------------------------------------------------------------
     def to_json(self) -> str:
+        """Serialise the spec (stable key order) for on-disk reuse."""
         return json.dumps(
             {
                 "name": self.name,
@@ -225,6 +270,7 @@ class CampaignSpec:
                 "ks": list(self.ks),
                 "epsilons": list(self.epsilons),
                 "algorithms": list(self.algorithms),
+                "engines": list(self.engines),
                 "repetitions": self.repetitions,
                 "seed": self.seed,
             },
@@ -234,6 +280,7 @@ class CampaignSpec:
 
     @classmethod
     def from_json(cls, text: str) -> "CampaignSpec":
+        """Parse and validate a spec written by :meth:`to_json`."""
         data = json.loads(text)
         if not isinstance(data, dict):
             raise ConfigurationError("campaign spec must be a JSON object")
@@ -244,6 +291,7 @@ class CampaignSpec:
                 ks=data.get("ks", [5]),
                 epsilons=data.get("epsilons", [0.1]),
                 algorithms=data.get("algorithms", ["tester"]),
+                engines=data.get("engines", ["reference"]),
                 repetitions=data.get("repetitions", 1),
                 seed=data.get("seed", 0),
             )

@@ -31,6 +31,7 @@ class CampaignStore:
 
     # ------------------------------------------------------------------
     def exists(self) -> bool:
+        """Whether the store file is present on disk."""
         return self.path.exists()
 
     def records(self) -> List[Dict[str, Any]]:

@@ -1,4 +1,4 @@
-"""Differential fuzzing harness for the detection algorithms.
+"""Testing harnesses: differential fuzzing and engine equivalence.
 
 The test-suite uses hand-rolled differential loops; this module packages
 the same machinery as a public API so downstream changes (new pruners,
@@ -11,16 +11,27 @@ protocol tweaks, alternative schedulers) can be fuzzed with one call:
 Every trial draws a random graph, edge and k, runs Algorithm 1 (and
 optionally the naive baseline and the sequential comparators) against the
 exact oracle, and verifies any produced evidence edge-by-edge.
+
+The second harness checks the engine contract
+(:mod:`repro.congest.engine`): every backend must produce *identical*
+verdicts, evidence and round counts for identical ``(network, k, seed)``
+inputs.  :func:`engine_equivalence_report` sweeps a seeded grid of
+registry instances::
+
+    from repro.testing import engine_equivalence_report
+    report = engine_equivalence_report(seeds=(0, 1, 2))
+    assert report.ok, report.mismatches
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .baselines.naive import naive_detect_cycle_through_edge
+from .congest.engine import create_engine
 from .congest.ids import IdentityIds, RandomPermutationIds, ReverseIds
 from .congest.network import Network
 from .core.algorithm1 import detect_cycle_through_edge
@@ -30,7 +41,17 @@ from .graphs.generators import erdos_renyi_gnp
 from .graphs.graph import Graph
 from .sequential.kcycle import monien_has_cycle_through_edge
 
-__all__ = ["TrialFailure", "CampaignReport", "check_one", "differential_campaign"]
+__all__ = [
+    "TrialFailure",
+    "CampaignReport",
+    "check_one",
+    "differential_campaign",
+    "EngineMismatch",
+    "EquivalenceReport",
+    "DEFAULT_EQUIVALENCE_INSTANCES",
+    "compare_engines_once",
+    "engine_equivalence_report",
+]
 
 
 @dataclass(frozen=True)
@@ -45,17 +66,20 @@ class TrialFailure:
     detail: str
 
     def replay_graph(self) -> Graph:
+        """Rebuild the exact graph of this failure for replay."""
         return Graph(self.n, list(self.edges))
 
 
 @dataclass
 class CampaignReport:
+    """Tally of a differential campaign: trials, checks, failures."""
     trials: int = 0
     checks: int = 0
     failures: List[TrialFailure] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
+        """True when no checker disagreed."""
         return not self.failures
 
     def __repr__(self) -> str:
@@ -146,4 +170,159 @@ def differential_campaign(
                     include_monien=include_monien,
                 )
             )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Engine equivalence harness
+# ---------------------------------------------------------------------------
+#: Registry instances every engine must agree on: the paper's stress
+#: families plus a certified ε-far instance.  ``(family, params)`` pairs
+#: are built through :mod:`repro.runner.registry`.
+DEFAULT_EQUIVALENCE_INSTANCES: Tuple[Tuple[str, Dict], ...] = (
+    ("theta", {"paths": 4, "path_length": 3}),
+    ("flower", {"paths": 4, "k": 5}),
+    ("figure1", {}),
+    ("eps-far", {"n": 40, "k": 5, "eps": 0.1}),
+)
+
+
+@dataclass(frozen=True)
+class EngineMismatch:
+    """One disagreement between two engines, with its coordinates."""
+
+    instance: str
+    what: str  # "tester" or "detect"
+    k: int
+    seed: int
+    field: str
+    detail: str
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of an engine-equivalence sweep."""
+
+    engines: Tuple[str, str] = ("reference", "fast")
+    comparisons: int = 0
+    mismatches: List[EngineMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every comparison matched."""
+        return not self.mismatches
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.mismatches)} MISMATCHES"
+        return (
+            f"EquivalenceReport({self.engines[0]} vs {self.engines[1]}: "
+            f"{status}, comparisons={self.comparisons})"
+        )
+
+
+def _reject_set(run) -> frozenset:
+    return frozenset(v for v, o in run.outputs.items() if o.rejects)
+
+
+def compare_engines_once(
+    graph: Graph,
+    k: int,
+    seed: int,
+    *,
+    engines: Tuple[str, str] = ("reference", "fast"),
+    network: Optional[Network] = None,
+    instance: str = "?",
+    what: str = "tester",
+    edge: Optional[tuple] = None,
+) -> List[EngineMismatch]:
+    """Run both engines on one input and list every observable difference.
+
+    Compared per run: the rejecting-vertex set, each rejector's cycle
+    evidence, the round count, and the per-round audit aggregates
+    (message count, total/max bits, max sequences per message).
+    """
+    net = network if network is not None else Network(graph)
+    runs = []
+    for name in engines:
+        eng = create_engine(name, net)
+        if what == "tester":
+            runs.append(eng.run_tester_repetition(k, seed))
+        else:
+            edge_ids = edge if edge is not None else net.edge_ids(
+                *next(iter(graph.edges()))
+            )
+            runs.append(eng.run_detect(k, edge_ids))
+    a, b = runs
+    out: List[EngineMismatch] = []
+
+    def miss(field_name: str, detail: str) -> None:
+        out.append(
+            EngineMismatch(
+                instance=instance, what=what, k=k, seed=seed,
+                field=field_name, detail=detail,
+            )
+        )
+
+    ra, rb = _reject_set(a), _reject_set(b)
+    if ra != rb:
+        miss("rejecting_vertices", f"{sorted(ra)} != {sorted(rb)}")
+    for v in ra & rb:
+        if a.outputs[v].cycle != b.outputs[v].cycle:
+            miss("cycle", f"vertex {v}: "
+                 f"{a.outputs[v].cycle} != {b.outputs[v].cycle}")
+    if a.trace.num_rounds != b.trace.num_rounds:
+        miss("rounds", f"{a.trace.num_rounds} != {b.trace.num_rounds}")
+    for ra_, rb_ in zip(a.trace.rounds, b.trace.rounds):
+        for attr in ("messages", "total_bits", "max_message_bits",
+                     "max_sequences"):
+            if getattr(ra_, attr) != getattr(rb_, attr):
+                miss(f"round{ra_.round_index}.{attr}",
+                     f"{getattr(ra_, attr)} != {getattr(rb_, attr)}")
+    return out
+
+
+def engine_equivalence_report(
+    *,
+    engines: Tuple[str, str] = ("reference", "fast"),
+    instances: Optional[Sequence[Tuple[str, Dict]]] = None,
+    ks: Sequence[int] = (3, 4, 5, 6, 7),
+    seeds: Sequence[int] = (0, 1),
+    include_detect: bool = True,
+) -> EquivalenceReport:
+    """Sweep a seeded instance grid and compare engines on every cell.
+
+    The default grid is the paper's stress instances
+    (:data:`DEFAULT_EQUIVALENCE_INSTANCES`) crossed with ``ks`` and
+    ``seeds``, for both the full tester repetition and Algorithm 1 on
+    the canonical first edge.
+    """
+    from .runner import registry
+
+    grid = list(instances if instances is not None else
+                DEFAULT_EQUIVALENCE_INSTANCES)
+    report = EquivalenceReport(engines=engines)
+    for family, params in grid:
+        graph = registry.build_graph(family, seed=0, **params)
+        if graph.m == 0:
+            continue
+        net = Network(graph)
+        for k in ks:
+            for seed in seeds:
+                report.comparisons += 1
+                report.mismatches.extend(
+                    compare_engines_once(
+                        graph, k, seed, engines=engines, network=net,
+                        instance=family, what="tester",
+                    )
+                )
+            if include_detect:
+                # Algorithm 1 is deterministic (the seed is unused), so
+                # one detect comparison per (instance, k) suffices.
+                report.comparisons += 1
+                report.mismatches.extend(
+                    compare_engines_once(
+                        graph, k, 0, engines=engines, network=net,
+                        instance=family, what="detect",
+                    )
+                )
     return report

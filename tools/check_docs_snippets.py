@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Execute every Python code block in docs/ (and the README).
+
+Documentation that cannot run is documentation that has drifted.  This
+script extracts fenced ```python blocks from the repo's markdown, runs
+each block in a fresh namespace inside a scratch working directory, and
+fails on the first exception — CI runs it as the docs job, and
+``python tools/check_docs_snippets.py`` reproduces it locally.
+
+Blocks are independent (no state carries over between them), so every
+snippet must be self-contained — which is exactly the property that
+makes it copy-pasteable for a reader.  A block whose first line is
+``# doc-snippet: no-run`` is syntax-checked only (for illustrative
+fragments that need external state).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+_FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.M | re.S)
+NO_RUN_MARK = "# doc-snippet: no-run"
+
+
+def iter_snippets():
+    for path in DOC_FILES:
+        text = path.read_text(encoding="utf-8")
+        for i, match in enumerate(_FENCE.finditer(text), start=1):
+            line = text[: match.start()].count("\n") + 2  # first code line
+            yield path, i, line, match.group(1)
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    checked = executed = 0
+    failures = []
+    for path, index, line, code in iter_snippets():
+        checked += 1
+        rel = path.relative_to(REPO)
+        label = f"{rel}:{line} (snippet {index})"
+        try:
+            compiled = compile(code, f"{rel}#snippet{index}", "exec")
+        except SyntaxError as exc:
+            failures.append((label, f"syntax error: {exc}"))
+            continue
+        if code.lstrip().startswith(NO_RUN_MARK):
+            print(f"  syntax-ok  {label}")
+            continue
+        with tempfile.TemporaryDirectory() as scratch:
+            import os
+
+            cwd = os.getcwd()
+            os.chdir(scratch)  # snippets may write files (stores, specs)
+            try:
+                exec(compiled, {"__name__": "__docs__"})
+                executed += 1
+                print(f"  ran        {label}")
+            except Exception as exc:  # noqa: BLE001 - report and continue
+                failures.append((label, f"{type(exc).__name__}: {exc}"))
+            finally:
+                os.chdir(cwd)
+    print(f"docs snippets: {checked} found, {executed} executed, "
+          f"{len(failures)} failed")
+    for label, detail in failures:
+        print(f"FAILED {label}: {detail}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for ``src/repro`` (no external dependencies).
+
+Counts docstrings on modules, public classes and public
+functions/methods across the package using ``ast`` (nothing is
+imported), prints a per-module table, and fails when total coverage
+drops below the threshold — the same contract as
+``interrogate --fail-under``, kept dependency-free so the CI docs job
+runs on the bare test environment.
+
+Private names (leading underscore) are not counted, and neither is
+``__init__`` — this codebase documents construction parameters in the
+class docstring (the equivalent of interrogate's
+``--ignore-init-method``).  Usage::
+
+    python tools/check_docstrings.py [--fail-under PCT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+PACKAGE = REPO / "src" / "repro"
+
+DEFAULT_FAIL_UNDER = 90.0
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _count_node(node, counts) -> None:
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public(child.name):
+                counts.append((child.name, ast.get_docstring(child) is not None))
+            # nested defs are implementation detail: skip recursion
+        elif isinstance(child, ast.ClassDef):
+            if _is_public(child.name):
+                counts.append((child.name, ast.get_docstring(child) is not None))
+                _count_node(child, counts)
+
+
+def audit(package: Path):
+    rows = []
+    for path in sorted(package.rglob("*.py")):
+        rel = path.relative_to(REPO)
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        counts = [("<module>", ast.get_docstring(tree) is not None)]
+        _count_node(tree, counts)
+        have = sum(1 for _, ok in counts if ok)
+        rows.append((str(rel), have, len(counts)))
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fail-under", type=float, default=DEFAULT_FAIL_UNDER,
+                        help="minimum coverage percentage (default: "
+                        f"{DEFAULT_FAIL_UNDER})")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every module, not just incomplete ones")
+    args = parser.parse_args()
+
+    rows = audit(PACKAGE)
+    total_have = sum(have for _, have, _ in rows)
+    total_all = sum(n for _, _, n in rows)
+    pct = 100.0 * total_have / total_all if total_all else 100.0
+
+    width = max(len(name) for name, _, _ in rows)
+    for name, have, n in rows:
+        if args.verbose or have < n:
+            mark = "ok " if have == n else "GAP"
+            print(f"{mark} {name:<{width}}  {have}/{n}")
+    print(f"docstring coverage: {total_have}/{total_all} = {pct:.1f}% "
+          f"(gate: {args.fail_under:.1f}%)")
+    if pct < args.fail_under:
+        print("FAILED: coverage below the gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
