@@ -1,18 +1,58 @@
-"""Shared helpers for the benchmark suite.
+"""Shared glue for the thin ``bench_<area>.py`` shims.
 
-Every benchmark regenerates one experiment from DESIGN.md §4 and writes
-its rendered table to ``benchmarks/results/<id>.txt`` so EXPERIMENTS.md
-can quote the exact artefacts.  The pytest-benchmark timing machinery
-measures the core operation of each experiment.
+Since the registry-driven harness landed (``repro.bench``, see
+docs/benchmarks.md), every file in this directory is a compatibility
+shim: the benchmark bodies, size grids and correctness assertions live
+in ``src/repro/bench/specs.py``, and the shims just route the historical
+entry points there —
+
+* ``pytest benchmarks/bench_<area>.py`` runs the area's smoke grid as
+  one test (green iff every registered check passes);
+* ``python benchmarks/bench_<area>.py`` runs the same grid and prints
+  the measured table.
+
+:func:`bootstrap` makes both work from a plain checkout with no
+``PYTHONPATH`` and no install: if ``repro`` is not importable, the
+checkout's ``src/`` is prepended to ``sys.path``.
 """
 
 from __future__ import annotations
 
-import pathlib
+import sys
+from pathlib import Path
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+def bootstrap() -> None:
+    """Make ``repro`` importable from a plain (uninstalled) checkout."""
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 
-def save_table(name: str, text: str) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+bootstrap()
+
+from repro.bench import run_suite  # noqa: E402  (needs bootstrap first)
+from repro.bench.cli import format_record_line  # noqa: E402
+
+
+def assert_area_ok(area: str, suite: str = "smoke"):
+    """Run one area's suite without writing artifacts; fail on any error.
+
+    Returns the :class:`repro.bench.BenchRunReport` so callers can make
+    additional assertions on the measured records.
+    """
+    report = run_suite(suite, areas=[area], out_dir="-")
+    assert report.results, f"area {area!r} registered no benchmarks"
+    assert report.ok, report.render()
+    return report
+
+
+def main(area: str) -> int:
+    """Direct-execution entry point for a shim: run + print the area."""
+    suite = sys.argv[1] if len(sys.argv) > 1 else "smoke"
+    report = run_suite(suite, areas=[area], out_dir="-")
+    for record in report.results:
+        print(format_record_line(record))
+    print(report.render())
+    return 0 if report.ok else 1

@@ -1,183 +1,24 @@
-"""Ablations A1–A4: design choices and extensions quantified.
+"""A1/A2 - design-choice ablations: pruner implementations, batching.
 
-* A1 — pruner implementation: literal Instruction-15 enumeration vs the
-  lazy hitting-set pruner (identical outputs, very different cost).
-* A2 — batched vs sequential repetitions: rounds against bandwidth.
-* A3 — the §4 obstruction: oblivious chord certification failure rate.
-* A4 — completeness under message loss: detection rate vs drop rate
-  (soundness stays perfect; completeness decays).
+Thin shim over the registry-driven harness: the benchmark bodies, size
+grids and correctness assertions now live in ``repro.bench.specs``
+(area ``ablations``); see docs/benchmarks.md.  Both historical entry
+points keep working from a plain checkout —
+
+* ``pytest benchmarks/bench_ablations.py``
+* ``python benchmarks/bench_ablations.py [smoke|default|full]``
+
+and the canonical invocations are ``repro bench run --areas ablations``
+or ``python -m repro.bench run --areas ablations``.
 """
 
-import numpy as np
-import pytest
-
-from _bench_utils import save_table
-from repro.analysis.tables import Table
-from repro.congest import DropFaults, FaultyScheduler, Network
-from repro.core import (
-    CkFreenessTester,
-    DetectCkProgram,
-    DetectionOutcome,
-    ExplicitPruner,
-    HittingSetPruner,
-    phase2_rounds,
-    protocol_rounds,
-)
-from repro.extensions import (
-    BatchedCkTester,
-    build_obstruction_instance,
-    has_chorded_cycle_through_edge,
-    oblivious_chorded_detect,
-)
-from repro.graphs import blowup_graph, cycle_graph, planted_epsilon_far_graph
+import _bench_utils
 
 
-# ---------------------------------------------------------------------------
-# A1 — pruner choice
-# ---------------------------------------------------------------------------
-PRUNE_SEQS = [(100 + i, 200 + (i * 3) % 7) for i in range(7)]
+def test_ablations_area():
+    """The registered ``ablations`` smoke grid runs clean (checks included)."""
+    _bench_utils.assert_area_ok("ablations")
 
 
-def test_a1_explicit_pruner(benchmark):
-    out = benchmark(lambda: ExplicitPruner().select(PRUNE_SEQS, 8, 3))
-    assert out == HittingSetPruner().select(PRUNE_SEQS, 8, 3)
-
-
-def test_a1_hitting_pruner(benchmark):
-    out = benchmark(lambda: HittingSetPruner().select(PRUNE_SEQS, 8, 3))
-    assert len(out) >= 1
-
-
-def test_a1_table(benchmark):
-    def build():
-        import time
-
-        table = Table(
-            ["k", "t", "num seqs", "explicit ms", "hitting ms", "same output"],
-            title="A1 - pruner implementations (identical semantics)",
-        )
-        rows = []
-        rng = np.random.default_rng(0)
-        for k, t, n_seq in [(6, 3, 6), (8, 3, 8), (8, 4, 8), (10, 4, 10)]:
-            seqs = []
-            while len(seqs) < n_seq:
-                cand = tuple(
-                    int(x) for x in rng.choice(30, size=t - 1, replace=False)
-                )
-                if cand not in seqs:
-                    seqs.append(cand)
-            t0 = time.perf_counter()
-            slow = ExplicitPruner(max_subsets=5_000_000).select(seqs, k, t)
-            t_slow = (time.perf_counter() - t0) * 1e3
-            t0 = time.perf_counter()
-            fast = HittingSetPruner().select(seqs, k, t)
-            t_fast = (time.perf_counter() - t0) * 1e3
-            same = slow == fast
-            table.add_row(k, t, n_seq, t_slow, t_fast, same)
-            rows.append(same)
-        return table, rows
-
-    table, rows = benchmark.pedantic(build, rounds=1, iterations=1)
-    save_table("A1_pruner_choice", table.render())
-    assert all(rows)
-
-
-# ---------------------------------------------------------------------------
-# A2 — batched vs sequential repetitions
-# ---------------------------------------------------------------------------
-def test_a2_batched_tester(benchmark):
-    g, _ = planted_epsilon_far_graph(100, 5, 0.1, seed=0)
-    res = benchmark.pedantic(
-        lambda: BatchedCkTester(5, 0.1).run(g, seed=1), rounds=2, iterations=1
-    )
-    assert res.rejected
-
-
-def test_a2_table(benchmark):
-    def build():
-        g, _ = planted_epsilon_far_graph(100, 5, 0.1, seed=0)
-        table = Table(
-            ["variant", "reps", "rounds", "max bits/msg", "verdict"],
-            title="A2 - sequential vs batched repetitions (k=5, eps=0.1)",
-        )
-        seq = CkFreenessTester(5, 0.1)
-        r_seq = seq.run(g, seed=1, stop_on_reject=False, keep_traces=True)
-        bits_seq = max(t.max_message_bits for t in r_seq.traces)
-        table.add_row("sequential", r_seq.repetitions_run, r_seq.total_rounds,
-                      bits_seq, "reject" if r_seq.rejected else "accept")
-        bat = BatchedCkTester(5, 0.1)
-        r_bat = bat.run(g, seed=1)
-        table.add_row("batched", r_bat.repetitions, r_bat.rounds,
-                      r_bat.trace.max_message_bits,
-                      "reject" if r_bat.rejected else "accept")
-        return table, (r_seq, bits_seq, r_bat)
-
-    table, (r_seq, bits_seq, r_bat) = benchmark.pedantic(build, rounds=1, iterations=1)
-    save_table("A2_batched_vs_sequential", table.render())
-    # The tradeoff, as claimed: far fewer rounds, far more bits.
-    assert r_bat.rounds < r_seq.total_rounds
-    assert r_bat.trace.max_message_bits > bits_seq
-
-
-# ---------------------------------------------------------------------------
-# A3 — the §4 obstruction
-# ---------------------------------------------------------------------------
-def test_a3_obstruction_table(benchmark):
-    def build():
-        table = Table(
-            ["k", "chorded Ck exists", "cycle detected", "chord certified"],
-            title="A3 - section 4 obstruction: oblivious chord detection fails",
-        )
-        rows = []
-        for k in (6, 7, 8, 9):
-            g, e = build_obstruction_instance(k)
-            oracle = has_chorded_cycle_through_edge(g, e, k)
-            res = oblivious_chorded_detect(g, e, k)
-            table.add_row(k, oracle, res.cycle_detected, res.chord_certified)
-            rows.append((oracle, res.cycle_detected, res.chord_certified))
-        return table, rows
-
-    table, rows = benchmark.pedantic(build, rounds=1, iterations=1)
-    save_table("A3_chorded_obstruction", table.render())
-    for oracle, detected, certified in rows:
-        assert oracle and detected and not certified
-
-
-# ---------------------------------------------------------------------------
-# A4 — completeness under message loss
-# ---------------------------------------------------------------------------
-def test_a4_fault_table(benchmark):
-    def build():
-        k = 6
-        g = cycle_graph(k)
-        trials = 60
-        table = Table(
-            ["drop prob", "trials", "detection rate", "false alarms"],
-            title=f"A4 - detection vs message loss (C{k}, probe on the cycle)",
-        )
-        rows = []
-        for p in (0.0, 0.1, 0.3, 0.6):
-            hits = 0
-            for s in range(trials):
-                net = Network(g)
-                sched = FaultyScheduler(net, DropFaults(p, seed=s))
-                run = sched.run(
-                    lambda ctx: DetectCkProgram(ctx, k, net.edge_ids(0, 1)),
-                    num_rounds=phase2_rounds(k),
-                )
-                if any(
-                    o.rejects for o in run.outputs.values()
-                    if isinstance(o, DetectionOutcome)
-                ):
-                    hits += 1
-            rate = hits / trials
-            table.add_row(p, trials, rate, 0)
-            rows.append((p, rate))
-        return table, rows
-
-    table, rows = benchmark.pedantic(build, rounds=1, iterations=1)
-    save_table("A4_fault_injection", table.render())
-    rates = dict(rows)
-    assert rates[0.0] == 1.0            # reliable links: deterministic
-    assert rates[0.6] < rates[0.0]      # loss erodes completeness
-    assert rates[0.6] <= rates[0.1] + 0.05  # roughly monotone decay
+if __name__ == "__main__":
+    raise SystemExit(_bench_utils.main("ablations"))

@@ -1,129 +1,24 @@
-"""Campaign runner throughput: serial vs process-parallel execution.
+"""Campaign runner throughput through the process-parallel executor.
 
-Measures a fixed >= 24-row factor grid executed by the campaign runner
-with 1 worker (serial) and with a worker pool, verifies the two runs
-produce byte-identical JSONL, and reports the speedup.  On hosts with
->= 4 cores the parallel run must beat serial by a clear margin; on
-smaller/CI containers the speedup is reported but not asserted
-(process-pool overhead cannot be amortised without real parallel
-hardware).
+Thin shim over the registry-driven harness: the benchmark bodies, size
+grids and correctness assertions now live in ``repro.bench.specs``
+(area ``campaign``); see docs/benchmarks.md.  Both historical entry
+points keep working from a plain checkout —
+
+* ``pytest benchmarks/bench_campaign.py``
+* ``python benchmarks/bench_campaign.py [smoke|default|full]``
+
+and the canonical invocations are ``repro bench run --areas campaign``
+or ``python -m repro.bench run --areas campaign``.
 """
 
-import os
-import tempfile
-import time
-from pathlib import Path
-
-import pytest
-
-from _bench_utils import save_table
-from repro.analysis.tables import Table
-from repro.runner import CampaignSpec, CampaignStore, run_campaign
-
-PARALLEL_WORKERS = 4
+import _bench_utils
 
 
-def _grid_spec() -> CampaignSpec:
-    # 4 generator cells x 2 ks x 2 algorithms x 2 reps = 32 rows, with
-    # tester rows heavy enough for parallelism to matter.
-    return CampaignSpec(
-        name="bench",
-        generators=[
-            {"family": "gnp", "params": {"n": [72, 96], "p": 0.06}},
-            {"family": "ba", "params": {"n": 72, "attach": 3}},
-            {"family": "eps-far", "params": {"n": 80}},
-        ],
-        ks=[4, 5],
-        epsilons=[0.12],
-        algorithms=["tester", "detect"],
-        repetitions=2,
-        seed=0,
-    )
+def test_campaign_area():
+    """The registered ``campaign`` smoke grid runs clean (checks included)."""
+    _bench_utils.assert_area_ok("campaign")
 
 
-def _run(table, path: Path, workers: int) -> float:
-    t0 = time.perf_counter()
-    report = run_campaign(table, CampaignStore(path), workers=workers,
-                          chunksize=2)
-    wall = time.perf_counter() - t0
-    assert report.executed == len(table)
-    assert report.errors == 0
-    return wall
-
-
-def test_campaign_parallel_throughput(benchmark):
-    table = _grid_spec().expand()
-    assert len(table) >= 24
-
-    with tempfile.TemporaryDirectory() as tmp:
-        serial_path = Path(tmp) / "serial.jsonl"
-        parallel_path = Path(tmp) / "parallel.jsonl"
-
-        serial_s = _run(table, serial_path, workers=1)
-        parallel_s = benchmark.pedantic(
-            lambda: _run(table, parallel_path, workers=PARALLEL_WORKERS),
-            setup=lambda: parallel_path.unlink(missing_ok=True),
-            rounds=1,
-            iterations=1,
-        )
-
-        # Parallelism must never change the results.
-        assert serial_path.read_bytes() == parallel_path.read_bytes()
-
-        # Resume: a second invocation re-executes nothing.
-        resume = run_campaign(table, CampaignStore(serial_path),
-                              workers=PARALLEL_WORKERS)
-        assert resume.executed == 0 and resume.skipped == len(table)
-
-        speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
-        cores = os.cpu_count() or 1
-        t = Table(
-            ["rows", "workers", "serial s", "parallel s", "speedup",
-             "rows/s parallel", "host cores"],
-            title="CAMPAIGN - serial vs parallel campaign throughput",
-        )
-        t.add_row(len(table), PARALLEL_WORKERS, serial_s, parallel_s,
-                  speedup, len(table) / parallel_s, cores)
-        save_table("CAMPAIGN_throughput", t.render())
-
-        # Pool startup cannot be amortised over a 32-row grid without
-        # real parallel hardware; gate the hard assertion accordingly.
-        if cores >= 4:
-            assert speedup > 1.5, (
-                f"expected >1.5x parallel speedup on {cores} cores, "
-                f"got {speedup:.2f}x"
-            )
-
-
-@pytest.mark.slow
-def test_campaign_large_grid_scaling(benchmark):
-    """Opt-in (--runslow): a bigger grid to exercise chunking and scaling."""
-    spec = CampaignSpec(
-        name="bench-large",
-        generators=[
-            {"family": "gnp", "params": {"n": [64, 96, 128], "p": 0.05}},
-            {"family": "ba", "params": {"n": [64, 96], "attach": 3}},
-            {"family": "ws", "params": {"n": [64, 96], "d": 4, "beta": 0.1}},
-            {"family": "eps-far", "params": {"n": 96}},
-        ],
-        ks=[4, 5, 6],
-        epsilons=[0.1],
-        algorithms=["tester", "detect", "naive"],
-        repetitions=2,
-        seed=1,
-    )
-    table = spec.expand()
-    with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "large.jsonl"
-        wall = benchmark.pedantic(
-            lambda: _run(table, path, workers=PARALLEL_WORKERS),
-            setup=lambda: path.unlink(missing_ok=True),
-            rounds=1,
-            iterations=1,
-        )
-        t = Table(
-            ["rows", "workers", "wall s", "rows/s"],
-            title="CAMPAIGN - large grid scaling",
-        )
-        t.add_row(len(table), PARALLEL_WORKERS, wall, len(table) / wall)
-        save_table("CAMPAIGN_large_grid", t.render())
+if __name__ == "__main__":
+    raise SystemExit(_bench_utils.main("campaign"))

@@ -1,84 +1,24 @@
 """Engine speedup: batched ``fast`` backend vs the ``reference`` scheduler.
 
-Runs full tester repetitions (Phase-1 rank round + selection + the
-multiplexed Phase 2) on G(n, p) instances up to n = 2000 through both
-engines, asserts the verdicts agree seed by seed, and reports the
-wall-clock speedup.  The acceptance bar for the fast engine is a >= 5x
-speedup on the ``gnp n=2000`` Phase-1 workload; CI containers are noisy,
-so the assertion keeps headroom (>= 3x) while the committed table in
-``benchmarks/results/ENGINES_speedup.txt`` records the measured figures
-on an idle host.
+Thin shim over the registry-driven harness: the benchmark bodies, size
+grids and correctness assertions now live in ``repro.bench.specs``
+(area ``engines``); see docs/benchmarks.md.  Both historical entry
+points keep working from a plain checkout —
+
+* ``pytest benchmarks/bench_engines.py``
+* ``python benchmarks/bench_engines.py [smoke|default|full]``
+
+and the canonical invocations are ``repro bench run --areas engines``
+or ``python -m repro.bench run --areas engines``.
 """
 
-import time
-
-import pytest
-
-from _bench_utils import save_table
-from repro.analysis.tables import Table
-from repro.congest.engine import create_engine
-from repro.congest.network import Network
-from repro.graphs.generators import erdos_renyi_gnp
-
-#: (n, p, k): average degree 4 at every size, the paper's k = 5.
-CASES = [
-    (500, 0.008, 5),
-    (1000, 0.004, 5),
-    (2000, 0.002, 5),
-]
-
-MIN_SPEEDUP_AT_2000 = 3.0  # CI floor; idle-host figures are ~7x.
+import _bench_utils
 
 
-def _time_repetitions(engine, k: int, *, min_seconds: float = 0.8,
-                      min_reps: int = 3) -> float:
-    """Mean seconds per repetition (fresh seeds, >= min_seconds total)."""
-    t0 = time.perf_counter()
-    reps = 0
-    while reps < min_reps or time.perf_counter() - t0 < min_seconds:
-        engine.run_tester_repetition(k, reps)
-        reps += 1
-    return (time.perf_counter() - t0) / reps
+def test_engines_area():
+    """The registered ``engines`` smoke grid runs clean (checks included)."""
+    _bench_utils.assert_area_ok("engines")
 
 
-def test_engine_speedup(benchmark):
-    table = Table(
-        ["n", "m", "k", "reference ms/rep", "fast ms/rep", "speedup"],
-        title="ENGINES - reference vs fast tester repetitions (gnp, avg deg 4)",
-    )
-    speedup_at_2000 = None
-    for n, p, k in CASES:
-        g = erdos_renyi_gnp(n, p, seed=1)
-        net = Network(g)
-        ref = create_engine("reference", net)
-        fast = create_engine("fast", net)
-        # Verdict equivalence on this exact instance before timing it.
-        for seed in (0, 1):
-            a = ref.run_tester_repetition(k, seed)
-            b = fast.run_tester_repetition(k, seed)
-            assert {v for v, o in a.outputs.items() if o.rejects} == {
-                v for v, o in b.outputs.items() if o.rejects
-            }
-        ref_s = _time_repetitions(ref, k)
-        fast_s = _time_repetitions(fast, k)
-        speedup = ref_s / fast_s
-        if n == 2000:
-            speedup_at_2000 = speedup
-        table.add_row(n, g.m, k, 1000 * ref_s, 1000 * fast_s, speedup)
-
-    text = table.render()
-    print()
-    print(text)
-    save_table("ENGINES_speedup", text)
-    assert speedup_at_2000 is not None
-    assert speedup_at_2000 >= MIN_SPEEDUP_AT_2000, (
-        f"fast engine speedup at n=2000 was {speedup_at_2000:.2f}x, "
-        f"expected >= {MIN_SPEEDUP_AT_2000}x"
-    )
-
-    # pytest-benchmark timing of the headline case.
-    g = erdos_renyi_gnp(2000, 0.002, seed=1)
-    fast = create_engine("fast", Network(g))
-    counter = iter(range(10 ** 9))
-
-    benchmark(lambda: fast.run_tester_repetition(5, next(counter)))
+if __name__ == "__main__":
+    raise SystemExit(_bench_utils.main("engines"))

@@ -1,31 +1,24 @@
-"""T2 — Lemma 3: per-message sequence counts stay within (k-t+1)^(t-1)."""
+"""T2 - Lemma 3: per-message sequence counts stay within (k-t+1)^(t-1).
 
-import pytest
+Thin shim over the registry-driven harness: the benchmark bodies, size
+grids and correctness assertions now live in ``repro.bench.specs``
+(area ``algorithm1``); see docs/benchmarks.md.  Both historical entry
+points keep working from a plain checkout —
 
-from _bench_utils import save_table
-from repro.analysis import run_message_bound
-from repro.core import detect_cycle_through_edge, lemma3_bound, phase2_rounds
-from repro.graphs import blowup_graph
+* ``pytest benchmarks/bench_message_bound.py``
+* ``python benchmarks/bench_message_bound.py [smoke|default|full]``
 
+and the canonical invocations are ``repro bench run --areas algorithm1``
+or ``python -m repro.bench run --areas algorithm1``.
+"""
 
-@pytest.mark.parametrize("k", [6, 8])
-def test_detect_on_blowup(benchmark, k):
-    """Time Algorithm 1 on the hardest (high-multiplicity) instance."""
-    g = blowup_graph(8, k)
-
-    det = benchmark.pedantic(
-        lambda: detect_cycle_through_edge(g, (0, 1), k), rounds=3, iterations=1
-    )
-    assert det.detected
-    for t, measured in enumerate(det.run.trace.max_sequences_by_round(), start=1):
-        assert measured <= lemma3_bound(k, t)
+import _bench_utils
 
 
-def test_message_bound_table(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_message_bound(ks=(4, 5, 6, 7, 8), scale=10),
-        rounds=1,
-        iterations=1,
-    )
-    save_table("T2_message_bound", result.render())
-    assert all(row["ok"] for row in result.rows), "Lemma 3 bound violated!"
+def test_algorithm1_area():
+    """The registered ``algorithm1`` smoke grid runs clean (checks included)."""
+    _bench_utils.assert_area_ok("algorithm1")
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bench_utils.main("algorithm1"))

@@ -1,45 +1,24 @@
-"""T4 — Lemma 5: rank collision statistics of Phase 1."""
+"""T4 - Lemma 5: rank collision statistics of Phase 1.
 
-import numpy as np
-import pytest
+Thin shim over the registry-driven harness: the benchmark bodies, size
+grids and correctness assertions now live in ``repro.bench.specs``
+(area ``phase1``); see docs/benchmarks.md.  Both historical entry
+points keep working from a plain checkout —
 
-from _bench_utils import save_table
-from repro.analysis import run_phase1_statistics
-from repro.core import (
-    draw_ranks,
-    exact_distinct_rank_probability,
-    lemma5_bound,
-)
+* ``pytest benchmarks/bench_phase1.py``
+* ``python benchmarks/bench_phase1.py [smoke|default|full]``
 
+and the canonical invocations are ``repro bench run --areas phase1``
+or ``python -m repro.bench run --areas phase1``.
+"""
 
-def test_rank_drawing_throughput(benchmark):
-    """Time the per-node rank draw for a degree-64 node."""
-    rng = np.random.default_rng(0)
-    neighbors = tuple(range(1, 65))
-
-    draws = benchmark(lambda: draw_ranks(0, neighbors, m=2048, rng=rng))
-    assert len(draws) == 64
+import _bench_utils
 
 
-def test_phase1_statistics_table(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_phase1_statistics(ms=(4, 16, 64, 256), trials=2000, seed=0),
-        rounds=1,
-        iterations=1,
-    )
-    save_table("T4_phase1_collisions", result.render())
-    for row in result.rows:
-        # Lemma 5: both the exact value and the empirical estimate clear
-        # the 1/e² bound comfortably.
-        assert row["exact"] >= lemma5_bound()
-        assert row["empirical"] >= lemma5_bound()
-        # Empirical tracks exact within a loose binomial tolerance.
-        assert abs(row["empirical"] - row["exact"]) < 0.05
+def test_phase1_area():
+    """The registered ``phase1`` smoke grid runs clean (checks included)."""
+    _bench_utils.assert_area_ok("phase1")
 
 
-def test_exact_probability_converges(benchmark):
-    vals = benchmark(
-        lambda: [exact_distinct_rank_probability(m) for m in (2, 8, 32, 128, 512)]
-    )
-    # (1 - 1/m)^m style product converges to exp(-1/2) from either side.
-    assert abs(vals[-1] - np.exp(-0.5)) < 1e-2
+if __name__ == "__main__":
+    raise SystemExit(_bench_utils.main("phase1"))

@@ -1,51 +1,24 @@
-"""F1 — pruned vs naive message load (the Figure-1 discussion)."""
+"""F1 - pruned vs naive message load (the Figure-1 discussion).
 
-import pytest
+Thin shim over the registry-driven harness: the benchmark bodies, size
+grids and correctness assertions now live in ``repro.bench.specs``
+(area ``pruning``); see docs/benchmarks.md.  Both historical entry
+points keep working from a plain checkout —
 
-from _bench_utils import save_table
-from repro.analysis import run_pruning_vs_naive
-from repro.baselines import naive_detect_cycle_through_edge
-from repro.core import detect_cycle_through_edge, max_sequences_any_round
-from repro.graphs import blowup_graph
+* ``pytest benchmarks/bench_pruning_vs_naive.py``
+* ``python benchmarks/bench_pruning_vs_naive.py [smoke|default|full]``
 
-K = 9
-WIDTH = 8
+and the canonical invocations are ``repro bench run --areas pruning``
+or ``python -m repro.bench run --areas pruning``.
+"""
 
-
-def test_naive_forwarding(benchmark):
-    g = blowup_graph(WIDTH, K)
-    res = benchmark.pedantic(
-        lambda: naive_detect_cycle_through_edge(g, (0, 1), K, max_sequences_cap=10_000),
-        rounds=2,
-        iterations=1,
-    )
-    assert res.detected
-    # naive load grows ~width^(t-1): at least width^2 on this instance
-    assert res.max_sequences_per_message >= WIDTH * WIDTH
+import _bench_utils
 
 
-def test_pruned_forwarding(benchmark):
-    g = blowup_graph(WIDTH, K)
-    res = benchmark.pedantic(
-        lambda: detect_cycle_through_edge(g, (0, 1), K), rounds=2, iterations=1
-    )
-    assert res.detected
-    assert res.run.trace.max_sequences_per_message <= max_sequences_any_round(K)
+def test_pruning_area():
+    """The registered ``pruning`` smoke grid runs clean (checks included)."""
+    _bench_utils.assert_area_ok("pruning")
 
 
-def test_pruning_vs_naive_table(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_pruning_vs_naive(k=K, widths=(2, 4, 6, 8), cap=10_000),
-        rounds=1,
-        iterations=1,
-    )
-    save_table("F1_pruning_vs_naive", result.render())
-    rows = result.rows
-    # Shape: naive grows with width, pruned stays within the k-bound and
-    # both remain correct.
-    assert rows[-1]["naive"] > rows[0]["naive"]
-    assert all(r["pruned"] <= r["bound"] for r in rows)
-    assert all(r["naive_ok"] and r["pruned_ok"] for r in rows)
-    # Crossover: by the largest width the naive load strictly exceeds the
-    # pruned load (the paper's qualitative claim).
-    assert rows[-1]["naive"] > rows[-1]["pruned"]
+if __name__ == "__main__":
+    raise SystemExit(_bench_utils.main("pruning"))

@@ -1,56 +1,24 @@
-"""T6 — the EHM machinery: representative families and the sequential
-Monien comparator built on them."""
+"""T6 - representative families and the sequential Monien comparator.
 
-from itertools import combinations
+Thin shim over the registry-driven harness: the benchmark bodies, size
+grids and correctness assertions now live in ``repro.bench.specs``
+(area ``combinatorics``); see docs/benchmarks.md.  Both historical entry
+points keep working from a plain checkout —
 
-import pytest
+* ``pytest benchmarks/bench_representative.py``
+* ``python benchmarks/bench_representative.py [smoke|default|full]``
 
-from _bench_utils import save_table
-from repro.analysis.tables import Table
-from repro.combinatorics import (
-    greedy_bound,
-    greedy_representative_family,
-)
-from repro.graphs import erdos_renyi_gnp, has_k_cycle
-from repro.sequential import monien_has_k_cycle
+and the canonical invocations are ``repro bench run --areas combinatorics``
+or ``python -m repro.bench run --areas combinatorics``.
+"""
 
-
-def test_greedy_family_reduction(benchmark):
-    """Time the greedy reduction of all 2-subsets of a 16-element ground
-    set down to a 3-representative subfamily."""
-    family = [frozenset(c) for c in combinations(range(16), 2)]
-
-    kept = benchmark(lambda: greedy_representative_family(family, 3))
-    assert len(kept) <= greedy_bound(2, 3)
-    assert len(kept) < len(family)
+import _bench_utils
 
 
-@pytest.mark.parametrize("k", [5, 7])
-def test_monien_vs_bruteforce(benchmark, k):
-    """Time the representative-family k-cycle decision; cross-check the
-    answer against the exhaustive oracle."""
-    g = erdos_renyi_gnp(24, 0.12, seed=4)
-
-    got = benchmark.pedantic(lambda: monien_has_k_cycle(g, k), rounds=2, iterations=1)
-    assert got == has_k_cycle(g, k)
+def test_combinatorics_area():
+    """The registered ``combinatorics`` smoke grid runs clean (checks included)."""
+    _bench_utils.assert_area_ok("combinatorics")
 
 
-def test_family_size_table(benchmark):
-    """Tabulate greedy family sizes against the (q+1)^p bound."""
-    def build():
-        table = Table(
-            ["p", "q", "input family", "greedy kept", "(q+1)^p bound"],
-            title="T6 - greedy representative family sizes",
-        )
-        rows = []
-        for p in (1, 2, 3):
-            for q in (1, 2, 3):
-                family = [frozenset(c) for c in combinations(range(10), p)]
-                kept = greedy_representative_family(family, q)
-                table.add_row(p, q, len(family), len(kept), greedy_bound(p, q))
-                rows.append((p, q, len(kept), greedy_bound(p, q)))
-        return table, rows
-
-    table, rows = benchmark.pedantic(build, rounds=1, iterations=1)
-    save_table("T6_representative_families", table.render())
-    assert all(kept <= bound for (_, _, kept, bound) in rows)
+if __name__ == "__main__":
+    raise SystemExit(_bench_utils.main("combinatorics"))

@@ -1,42 +1,24 @@
-"""T1 — Theorem 1: round complexity is O(1/ε) and constant in n."""
+"""T1 - Theorem 1: round complexity is O(1/eps) and constant in n.
 
-import pytest
+Thin shim over the registry-driven harness: the benchmark bodies, size
+grids and correctness assertions now live in ``repro.bench.specs``
+(area ``rounds``); see docs/benchmarks.md.  Both historical entry
+points keep working from a plain checkout —
 
-from _bench_utils import save_table
-from repro.analysis import run_round_complexity
-from repro.core import CkFreenessTester, repetitions_needed, rounds_per_repetition
-from repro.graphs import planted_epsilon_far_graph
+* ``pytest benchmarks/bench_round_complexity.py``
+* ``python benchmarks/bench_round_complexity.py [smoke|default|full]``
 
+and the canonical invocations are ``repro bench run --areas rounds``
+or ``python -m repro.bench run --areas rounds``.
+"""
 
-@pytest.mark.parametrize("n", [64, 256, 1024])
-def test_one_repetition_run(benchmark, n):
-    """Time one full protocol repetition (k=5) at growing n; the *round
-    count* must not change (the wall-clock does — that's F3's subject)."""
-    g, _ = planted_epsilon_far_graph(n, 5, 0.1, seed=0)
-    tester = CkFreenessTester(5, 0.1, repetitions=1)
-
-    result = benchmark.pedantic(
-        lambda: tester.run(g, seed=1, keep_traces=True), rounds=3, iterations=1
-    )
-    assert result.traces[0].num_rounds == rounds_per_repetition(5)
+import _bench_utils
 
 
-def test_round_table_regenerates(benchmark):
-    """Regenerate the T1 table (reduced grid for bench runtime)."""
-    result = benchmark.pedantic(
-        lambda: run_round_complexity(
-            ns=(64, 256), ks=(3, 5, 8), epsilons=(0.1, 0.4)
-        ),
-        rounds=1,
-        iterations=1,
-    )
-    save_table("T1_round_complexity", result.render())
-    # Constant in n: same (k, eps) rows must show identical round counts.
-    by_keps = {}
-    for row in result.rows:
-        key = (row["k"], row["eps"])
-        by_keps.setdefault(key, set()).add((row["total"], row["simulated"]))
-    for key, vals in by_keps.items():
-        assert len(vals) == 1, f"rounds vary with n for {key}: {vals}"
-    # O(1/eps): quadrupling eps divides repetitions by ~4.
-    assert repetitions_needed(0.1) >= 3 * repetitions_needed(0.4)
+def test_rounds_area():
+    """The registered ``rounds`` smoke grid runs clean (checks included)."""
+    _bench_utils.assert_area_ok("rounds")
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bench_utils.main("rounds"))

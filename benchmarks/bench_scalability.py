@@ -1,32 +1,24 @@
-"""F3 — simulator scalability: wall-clock per round vs network size."""
+"""F3 - simulator scalability: wall-clock per round vs network size.
 
-import pytest
+Thin shim over the registry-driven harness: the benchmark bodies, size
+grids and correctness assertions now live in ``repro.bench.specs``
+(area ``scalability``); see docs/benchmarks.md.  Both historical entry
+points keep working from a plain checkout —
 
-from _bench_utils import save_table
-from repro.analysis import run_scalability
-from repro.core import CkFreenessTester
-from repro.graphs import erdos_renyi_gnm
+* ``pytest benchmarks/bench_scalability.py``
+* ``python benchmarks/bench_scalability.py [smoke|default|full]``
 
+and the canonical invocations are ``repro bench run --areas scalability``
+or ``python -m repro.bench run --areas scalability``.
+"""
 
-@pytest.mark.parametrize("n", [200, 800])
-def test_repetition_wallclock(benchmark, n):
-    g = erdos_renyi_gnm(n, 2 * n, seed=1)
-    tester = CkFreenessTester(5, 0.1, repetitions=1)
-
-    res = benchmark.pedantic(lambda: tester.run(g, seed=1), rounds=3, iterations=1)
-    assert res.repetitions_run == 1
+import _bench_utils
 
 
-def test_scalability_table(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_scalability(k=5, ns=(100, 200, 400, 800), seed=0),
-        rounds=1,
-        iterations=1,
-    )
-    save_table("F3_scalability", result.render())
-    rows = result.rows
-    # Sub-quadratic growth in m: per-round time should scale roughly
-    # linearly with the edge count (generous 4x slack for constants).
-    t_small = rows[0]["per_round"] / max(rows[0]["m"], 1)
-    t_large = rows[-1]["per_round"] / max(rows[-1]["m"], 1)
-    assert t_large < 6 * t_small
+def test_scalability_area():
+    """The registered ``scalability`` smoke grid runs clean (checks included)."""
+    _bench_utils.assert_area_ok("scalability")
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bench_utils.main("scalability"))

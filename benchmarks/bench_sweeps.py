@@ -1,47 +1,24 @@
-"""A5–A7 — sweep experiments: boosting curve, ε scaling, k scaling."""
+"""A5-A7 - sweep experiments: boosting curve, eps scaling, k scaling.
 
-import pytest
+Thin shim over the registry-driven harness: the benchmark bodies, size
+grids and correctness assertions now live in ``repro.bench.specs``
+(area ``sweeps``); see docs/benchmarks.md.  Both historical entry
+points keep working from a plain checkout —
 
-from _bench_utils import save_table
-from repro.analysis import run_boosting_curve, run_epsilon_sweep, run_k_sweep
+* ``pytest benchmarks/bench_sweeps.py``
+* ``python benchmarks/bench_sweeps.py [smoke|default|full]``
 
+and the canonical invocations are ``repro bench run --areas sweeps``
+or ``python -m repro.bench run --areas sweeps``.
+"""
 
-def test_a5_boosting_curve(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_boosting_curve(
-            k=5, eps=0.1, n=60, rep_counts=(1, 2, 4, 8, 16), trials=20, seed=0
-        ),
-        rounds=1,
-        iterations=1,
-    )
-    save_table("A5_boosting_curve", result.render())
-    # Empirical rejection rate must dominate the theoretical lower bound
-    # (within the Wilson interval) and reach ~1 quickly.
-    for row in result.rows:
-        assert row["hi"] >= row["bound"]
-    assert result.rows[-1]["rate"] >= 0.9
+import _bench_utils
 
 
-def test_a6_epsilon_sweep(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_epsilon_sweep(k=5, epsilons=(0.4, 0.2, 0.1, 0.05, 0.025)),
-        rounds=1,
-        iterations=1,
-    )
-    save_table("A6_epsilon_scaling", result.render())
-    # The O(1/eps) law: total rounds double (within ceil slack) when eps
-    # halves.
-    rows = result.rows
-    for a, b in zip(rows, rows[1:]):
-        assert b["total"] <= 2 * a["total"] + 3
+def test_sweeps_area():
+    """The registered ``sweeps`` smoke grid runs clean (checks included)."""
+    _bench_utils.assert_area_ok("sweeps")
 
 
-def test_a7_k_sweep(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_k_sweep(ks=(3, 4, 5, 6, 7, 8, 9, 10), width=6),
-        rounds=1,
-        iterations=1,
-    )
-    save_table("A7_k_scaling", result.render())
-    for row in result.rows:
-        assert row["measured"] <= row["ceiling"]
+if __name__ == "__main__":
+    raise SystemExit(_bench_utils.main("sweeps"))

@@ -1,35 +1,24 @@
-"""F2 — deterministic through-edge detection (§1.2's exactness remark)."""
+"""F2 - deterministic through-edge detection (SS1.2's exactness remark).
 
-import pytest
+Thin shim over the registry-driven harness: the benchmark bodies, size
+grids and correctness assertions now live in ``repro.bench.specs``
+(area ``through_edge``); see docs/benchmarks.md.  Both historical entry
+points keep working from a plain checkout —
 
-from _bench_utils import save_table
-from repro.analysis import run_through_edge_exactness
-from repro.core import detect_cycle_through_edge
-from repro.graphs import planted_cycle_graph
+* ``pytest benchmarks/bench_through_edge.py``
+* ``python benchmarks/bench_through_edge.py [smoke|default|full]``
 
+and the canonical invocations are ``repro bench run --areas through_edge``
+or ``python -m repro.bench run --areas through_edge``.
+"""
 
-@pytest.mark.parametrize("k", [4, 7, 10])
-def test_single_planted_cycle(benchmark, k):
-    g, cyc = planted_cycle_graph(80, k, seed=3, extra_edge_prob=0.01)
-    edge = (cyc[0], cyc[1])
-
-    det = benchmark.pedantic(
-        lambda: detect_cycle_through_edge(g, edge, k), rounds=3, iterations=1
-    )
-    assert det.detected
+import _bench_utils
 
 
-def test_through_edge_table(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_through_edge_exactness(
-            ks=(3, 4, 5, 6, 7, 8), n=50, trials_per_k=6, seed=0
-        ),
-        rounds=1,
-        iterations=1,
-    )
-    save_table("F2_through_edge", result.render())
-    for row in result.rows:
-        assert row["detected"] == row["trials"], (
-            f"k={row['k']}: missed a planted cycle — determinism broken"
-        )
-        assert row["false_pos"] == 0, f"k={row['k']}: false positive!"
+def test_through_edge_area():
+    """The registered ``through_edge`` smoke grid runs clean (checks included)."""
+    _bench_utils.assert_area_ok("through_edge")
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bench_utils.main("through_edge"))

@@ -1,1 +1,9 @@
-"""Benchmark suite conftest (helpers live in _bench_utils.py)."""
+"""Benchmark-suite conftest.
+
+Importing :mod:`_bench_utils` bootstraps ``sys.path`` for a plain
+checkout (no install, no ``PYTHONPATH``), so collecting any shim in this
+directory works standalone — e.g. ``pytest benchmarks/ -q`` from the
+repo root, or with this directory as the pytest rootdir.
+"""
+
+import _bench_utils  # noqa: F401  (side effect: sys.path bootstrap)

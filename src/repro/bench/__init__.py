@@ -1,0 +1,75 @@
+"""repro.bench — the unified, registry-driven performance harness.
+
+Replaces the free-form output of the historical ``benchmarks/bench_*.py``
+scripts with one subsystem every layer reports through:
+
+* :mod:`repro.bench.registry` — ``@benchmark``-registered specs with
+  declarative per-suite size grids (``smoke``/``default``/``full``);
+* :mod:`repro.bench.specs` — the registered suite, one area per
+  historical script (phase1, algorithm1, tester, engines, pruning,
+  through_edge, primitives, campaign, ...), each body keeping its
+  script's correctness assertions;
+* :mod:`repro.bench.runner` — seeding + process-parallel execution
+  reused from the campaign runner, a per-suite repeat policy, and
+  artifact assembly;
+* :mod:`repro.bench.environment` — the measuring-host fingerprint
+  stamped into every artifact;
+* :mod:`repro.bench.artifacts` — versioned, schema-validated
+  ``BENCH_<area>.json`` readers/writers;
+* :mod:`repro.bench.compare` — baseline pairing with noise-aware
+  regression detection (the CI perf gate).
+
+Entry points: ``repro bench run|compare|report|list`` and
+``python -m repro.bench ...`` (same subcommands).
+
+Quickstart::
+
+    from repro.bench import run_suite, compare_dirs
+
+    report = run_suite("smoke", out_dir="fresh-results")
+    assert report.ok, report.render()
+    gate = compare_dirs("benchmarks/results", "fresh-results", threshold=4.0)
+    assert gate.ok, gate.render()
+"""
+
+from . import registry
+from .artifacts import (
+    SCHEMA_VERSION,
+    ArtifactError,
+    artifact_path,
+    list_artifacts,
+    read_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from .compare import (
+    ComparisonFinding,
+    ComparisonReport,
+    compare_artifacts,
+    compare_dirs,
+)
+from .environment import environment_fingerprint
+from .registry import BenchmarkSpec, SUITE_NAMES, benchmark
+from .runner import BenchRunReport, SUITE_REPEATS, run_suite
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SUITE_NAMES",
+    "SUITE_REPEATS",
+    "ArtifactError",
+    "BenchRunReport",
+    "BenchmarkSpec",
+    "ComparisonFinding",
+    "ComparisonReport",
+    "artifact_path",
+    "benchmark",
+    "compare_artifacts",
+    "compare_dirs",
+    "environment_fingerprint",
+    "list_artifacts",
+    "read_artifact",
+    "registry",
+    "run_suite",
+    "validate_artifact",
+    "write_artifact",
+]

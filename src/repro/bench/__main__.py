@@ -1,0 +1,10 @@
+"""``python -m repro.bench`` — the benchmark harness without the console
+script, so a plain install (or a checkout on ``sys.path``) can run, gate
+and report benchmarks with no extra setup."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Versioned, schema-validated ``BENCH_<area>.json`` artifacts.
+
+One artifact per benchmark *area* (``BENCH_phase1.json``,
+``BENCH_engines.json``, ...): a schema tag, the suite that produced it,
+the environment fingerprint, and one result record per (benchmark,
+case).  Artifacts are written with sorted keys and a stable indent so
+committed baselines diff cleanly, and every read path re-validates the
+structure — a hand-edited or truncated baseline fails loudly instead of
+silently gating nothing.
+
+The schema is deliberately hand-rolled (the container ships no
+``jsonschema``): :func:`validate_artifact` checks the same constraints a
+draft-07 schema would, with error messages that name the offending path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import ReproError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactError",
+    "artifact_path",
+    "list_artifacts",
+    "read_artifact",
+    "validate_artifact",
+    "validate_result",
+    "write_artifact",
+]
+
+#: Schema tag embedded in (and required of) every artifact.  Bump when a
+#: field changes meaning; readers reject unknown versions.
+SCHEMA_VERSION = "repro-bench/1"
+
+#: Result statuses a record may carry.
+_STATUSES = ("ok", "error")
+
+
+class ArtifactError(ReproError):
+    """Raised for malformed, mis-versioned or unreadable artifacts."""
+
+
+def _require(condition: bool, where: str, message: str) -> None:
+    if not condition:
+        raise ArtifactError(f"{where}: {message}")
+
+
+def validate_result(record: Dict[str, Any], where: str = "result") -> None:
+    """Validate one benchmark result record (raises :class:`ArtifactError`)."""
+    _require(isinstance(record, dict), where, "record must be an object")
+    for key, typ in (
+        ("benchmark", str),
+        ("area", str),
+        ("case_id", str),
+        ("case", dict),
+        ("suite", str),
+        ("seed", int),
+        ("status", str),
+        ("metrics", dict),
+    ):
+        _require(key in record, where, f"missing key {key!r}")
+        _require(
+            isinstance(record[key], typ),
+            where,
+            f"{key!r} must be {typ.__name__}, got {type(record[key]).__name__}",
+        )
+    _require(
+        record["status"] in _STATUSES,
+        where,
+        f"status must be one of {_STATUSES}, got {record['status']!r}",
+    )
+    if record["status"] == "ok":
+        walls = record.get("wall_seconds")
+        _require(
+            isinstance(walls, list) and len(walls) >= 1,
+            where,
+            "'wall_seconds' must be a non-empty list for ok records",
+        )
+        _require(
+            all(isinstance(w, (int, float)) and w >= 0 for w in walls),
+            where,
+            "'wall_seconds' entries must be non-negative numbers",
+        )
+        for key in ("wall_min", "wall_mean"):
+            _require(
+                isinstance(record.get(key), (int, float)),
+                where,
+                f"{key!r} must be a number for ok records",
+            )
+        for key, value in record["metrics"].items():
+            _require(
+                value is None or isinstance(value, (bool, int, float, str)),
+                where,
+                f"metric {key!r} must be a JSON scalar",
+            )
+    else:
+        _require(
+            isinstance(record.get("error"), str) and record["error"],
+            where,
+            "error records must carry a non-empty 'error' string",
+        )
+
+
+def validate_artifact(artifact: Dict[str, Any], where: str = "artifact") -> None:
+    """Validate a whole area artifact (raises :class:`ArtifactError`)."""
+    _require(isinstance(artifact, dict), where, "artifact must be an object")
+    _require(
+        artifact.get("schema") == SCHEMA_VERSION,
+        where,
+        f"schema must be {SCHEMA_VERSION!r}, got {artifact.get('schema')!r}",
+    )
+    for key, typ in (("area", str), ("suite", str), ("environment", dict),
+                     ("results", list)):
+        _require(key in artifact, where, f"missing key {key!r}")
+        _require(
+            isinstance(artifact[key], typ),
+            where,
+            f"{key!r} must be {typ.__name__}, got {type(artifact[key]).__name__}",
+        )
+    _require(len(artifact["results"]) >= 1, where, "'results' must be non-empty")
+    seen = set()
+    for idx, record in enumerate(artifact["results"]):
+        slot = f"{where}.results[{idx}]"
+        validate_result(record, slot)
+        _require(
+            record["area"] == artifact["area"],
+            slot,
+            f"area {record['area']!r} does not match artifact "
+            f"area {artifact['area']!r}",
+        )
+        key = (record["benchmark"], record["case_id"])
+        _require(key not in seen, slot, f"duplicate result for {key}")
+        seen.add(key)
+
+
+def artifact_path(directory: Union[str, Path], area: str) -> Path:
+    """The canonical ``BENCH_<area>.json`` path inside ``directory``."""
+    return Path(directory) / f"BENCH_{area}.json"
+
+
+def write_artifact(directory: Union[str, Path], artifact: Dict[str, Any]) -> Path:
+    """Validate and write one area artifact; returns the written path."""
+    validate_artifact(artifact)
+    path = artifact_path(directory, artifact["area"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(artifact, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def read_artifact(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate one artifact file."""
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"no benchmark artifact at {path}")
+    try:
+        artifact = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path}: invalid JSON ({exc})") from None
+    validate_artifact(artifact, where=str(path))
+    return artifact
+
+
+def list_artifacts(
+    directory: Union[str, Path], areas: Optional[List[str]] = None
+) -> List[Path]:
+    """All ``BENCH_*.json`` paths in ``directory`` (optionally filtered).
+
+    Sorted by area name so reports and comparisons are order-stable.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ArtifactError(f"no benchmark artifact directory at {directory}")
+    paths = sorted(directory.glob("BENCH_*.json"))
+    if areas is not None:
+        wanted = {f"BENCH_{area}.json" for area in areas}
+        paths = [p for p in paths if p.name in wanted]
+    return paths

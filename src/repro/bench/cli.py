@@ -1,0 +1,241 @@
+"""The ``bench`` command group: run / compare / report / list.
+
+Registered under the main ``repro`` parser by
+:func:`add_bench_subparser`, and exposed standalone through
+``python -m repro.bench`` (see :mod:`repro.bench.__main__`) so any
+install — or a checkout with ``src/`` on ``sys.path`` — can drive the
+harness without the console script.  (From a plain uninstalled checkout,
+the self-bootstrapping ``benchmarks/bench_*.py`` shims are the no-setup
+entry point.)
+
+Exit codes: ``run`` is nonzero when any benchmark body failed its
+checks; ``compare`` is nonzero when the regression gate fails — that
+pair is what CI's ``perf-smoke`` job is built on.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from ..analysis.tables import Table
+from . import registry
+from .artifacts import list_artifacts, read_artifact
+from .compare import (
+    DEFAULT_MIN_WALL,
+    DEFAULT_THRESHOLD,
+    compare_dirs,
+    comparison_table,
+)
+from .runner import DEFAULT_RESULTS_DIR, run_suite
+
+__all__ = [
+    "add_bench_subparser",
+    "build_parser",
+    "format_metrics",
+    "format_record_line",
+    "main",
+]
+
+
+def _csv(text: str) -> List[str]:
+    return [item for item in text.split(",") if item]
+
+
+def format_metrics(metrics: dict) -> str:
+    """Render a metrics dict as ``k=v`` pairs (floats to 3 significant
+    digits) — the one formatting rule shared by reports and shims."""
+    return ", ".join(
+        f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}"
+        for k, v in sorted(metrics.items())
+    )
+
+
+def format_record_line(record: dict) -> str:
+    """One plain-text line for a result record (shim direct execution)."""
+    status = record["status"]
+    wall = ("       -" if status != "ok"
+            else f"{record['wall_min'] * 1e3:8.2f}ms")
+    line = (f"{record['benchmark']:32s} {status:5s} {wall}  "
+            f"{format_metrics(record['metrics']) or '-'}")
+    if status != "ok":
+        line += f"\n  {record['error']}"
+    return line
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``bench run``: execute a suite and write BENCH_*.json artifacts."""
+    report = run_suite(
+        args.suite,
+        areas=args.areas,
+        out_dir=args.out,
+        seed=args.seed,
+        workers=args.workers,
+        repeats=args.repeats,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``bench compare``: gate fresh artifacts against a baseline."""
+    report = compare_dirs(
+        args.baseline,
+        args.fresh,
+        areas=args.areas,
+        threshold=args.threshold,
+        min_wall=args.min_wall,
+        exact_metrics=not args.no_exact_metrics,
+    )
+    if getattr(args, "table", False):
+        print(comparison_table(report).render())
+        print()
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``bench report``: render artifacts from a results directory."""
+    paths = list_artifacts(args.dir, args.areas)
+    if not paths:
+        raise SystemExit(f"no BENCH_*.json artifacts under {args.dir!r}")
+    for path in paths:
+        artifact = read_artifact(path)
+        env = artifact["environment"]
+        table = Table(
+            ["benchmark", "case", "status", "wall_min ms", "wall_mean ms",
+             "metrics"],
+            title=(
+                f"BENCH_{artifact['area']} - suite {artifact['suite']!r}, "
+                f"python {env.get('python')}, git "
+                f"{(env.get('git_sha') or 'unknown')[:12]}"
+            ),
+        )
+        for record in artifact["results"]:
+            metrics = format_metrics(record["metrics"])
+            table.add_row(
+                record["benchmark"],
+                record["case_id"],
+                record["status"],
+                "-" if record["status"] != "ok"
+                else f"{record['wall_min'] * 1e3:.2f}",
+                "-" if record["status"] != "ok"
+                else f"{record['wall_mean'] * 1e3:.2f}",
+                metrics or "-",
+            )
+        print(table.render())
+        print()
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """``bench list``: show registered benchmarks and their case grids."""
+    table = Table(
+        ["benchmark", "area", "suite cases (smoke/default/full)", "summary"],
+        title="registered benchmarks",
+    )
+    for name in registry.names():
+        spec = registry.get(name)
+        counts = "/".join(
+            str(len(spec.cases_for(suite))) for suite in registry.SUITE_NAMES
+        )
+        table.add_row(name, spec.area, counts, spec.summary)
+    print(table.render())
+    print(f"{len(registry.names())} benchmarks across "
+          f"{len(registry.areas())} areas: {', '.join(registry.areas())}")
+    return 0
+
+
+def add_bench_subparser(
+    sub: argparse._SubParsersAction,
+) -> argparse.ArgumentParser:
+    """Attach the ``bench`` command group to a subparsers object."""
+    p_bench = sub.add_parser(
+        "bench",
+        help="unified perf harness (run/compare/report/list BENCH_*.json)",
+    )
+    bench_sub = p_bench.add_subparsers(dest="action", required=True)
+
+    p_run = bench_sub.add_parser(
+        "run", help="run a benchmark suite and write BENCH_<area>.json"
+    )
+    p_run.add_argument("--suite", default="smoke",
+                       choices=list(registry.SUITE_NAMES),
+                       help="size grid to run (default: smoke)")
+    p_run.add_argument("--areas", type=_csv, default=None, metavar="A1,A2,...",
+                       help="restrict to these areas (default: all)")
+    p_run.add_argument("--out", default=None,
+                       help=f"artifact directory (default: "
+                       f"{DEFAULT_RESULTS_DIR}; '-' to skip writing)")
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="parallel worker processes (1 = serial)")
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="master seed for derived per-case seeds")
+    p_run.add_argument("--repeats", type=int, default=None,
+                       help="override the suite's repeat policy")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = bench_sub.add_parser(
+        "compare", help="gate fresh artifacts against a committed baseline"
+    )
+    p_cmp.add_argument("--baseline", default=str(DEFAULT_RESULTS_DIR),
+                       help=f"baseline artifact directory (default: "
+                       f"{DEFAULT_RESULTS_DIR})")
+    p_cmp.add_argument("--fresh", required=True,
+                       help="directory of freshly measured artifacts")
+    p_cmp.add_argument("--areas", type=_csv, default=None, metavar="A1,A2,...")
+    p_cmp.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                       help="slowdown ratio that flags a regression "
+                       f"(default: {DEFAULT_THRESHOLD})")
+    p_cmp.add_argument("--min-wall", type=float, default=DEFAULT_MIN_WALL,
+                       help="absolute seconds floor below which ratio "
+                       f"excursions are noise (default: {DEFAULT_MIN_WALL})")
+    p_cmp.add_argument("--no-exact-metrics", action="store_true",
+                       help="skip exact comparison of integer metrics "
+                       "(round counts, audited bits)")
+    p_cmp.add_argument("--table", action="store_true",
+                       help="also print the full pairing table")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_rep = bench_sub.add_parser(
+        "report", help="render BENCH_*.json artifacts as tables"
+    )
+    p_rep.add_argument("--dir", default=str(DEFAULT_RESULTS_DIR),
+                       help=f"artifact directory (default: "
+                       f"{DEFAULT_RESULTS_DIR})")
+    p_rep.add_argument("--areas", type=_csv, default=None, metavar="A1,A2,...")
+    p_rep.set_defaults(func=cmd_report)
+
+    p_list = bench_sub.add_parser(
+        "list", help="show registered benchmarks, areas and case grids"
+    )
+    p_list.set_defaults(func=cmd_list)
+    return p_bench
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Standalone parser for ``python -m repro.bench`` (same command group
+    the main ``repro`` CLI mounts, reached without the ``bench`` token)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Unified perf harness: registry-driven benchmarks with "
+        "machine-readable BENCH_<area>.json artifacts and baseline gating.",
+    )
+    add_bench_subparser(parser.add_subparsers(dest="command", required=True))
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.bench``; returns the exit code."""
+    import sys
+
+    from ..errors import ReproError
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["bench"] + (list(argv) if argv is not None else sys.argv[1:])
+    )
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from exc

@@ -1,0 +1,313 @@
+"""Baseline comparison and noise-aware regression detection.
+
+Fresh results pair with baseline results by ``(benchmark, case_id)``;
+three kinds of finding come out of a pairing:
+
+* **regression** — fresh best-of-repeats wall time exceeds the baseline
+  by more than ``threshold``x *and* by more than ``min_wall`` seconds.
+  The two-part test is what makes the gate noise-aware: microsecond
+  benchmarks jitter by large ratios, and long benchmarks jitter by large
+  absolute amounts, but CI noise rarely does both at once.
+* **metric drift** — an integer-valued metric (round counts, audited
+  message bits, packing sizes: quantities the protocol determines
+  exactly given the derived seed) differs at all.  Float metrics are
+  treated as informational (wall-derived) and never gate.
+* **error** — a fresh record whose status is not ``ok`` while the
+  baseline's was.
+
+Missing pairings are findings too: a benchmark present in the baseline
+but absent from the fresh run means the gate silently shrank, so it
+fails the comparison; fresh-only benchmarks are reported but pass (the
+baseline is regenerated in the same change that adds a benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..analysis.tables import Table
+from .artifacts import list_artifacts, read_artifact
+
+__all__ = [
+    "DEFAULT_MIN_WALL",
+    "DEFAULT_THRESHOLD",
+    "ComparisonFinding",
+    "ComparisonReport",
+    "compare_artifacts",
+    "compare_dirs",
+    "comparison_table",
+]
+
+#: Default slowdown ratio that flags a regression (1.5 = 50% slower).
+DEFAULT_THRESHOLD = 1.5
+
+#: Default absolute floor (seconds) below which ratio excursions are noise.
+DEFAULT_MIN_WALL = 0.01
+
+
+@dataclass(frozen=True)
+class ComparisonFinding:
+    """One judged pairing (or failed pairing) of baseline vs fresh."""
+
+    kind: str  # "ok" | "regression" | "improvement" | "metric-drift"
+    #         | "missing" | "added" | "error"
+    benchmark: str
+    case_id: str
+    base_wall: Optional[float] = None
+    fresh_wall: Optional[float] = None
+    detail: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """fresh/base wall ratio when both sides were measured."""
+        if self.base_wall and self.fresh_wall is not None:
+            return self.fresh_wall / self.base_wall
+        return None
+
+    def render(self) -> str:
+        """One human-readable line for CLI output."""
+        parts = [f"{self.kind:12s} {self.benchmark} [{self.case_id}]"]
+        if self.ratio is not None:
+            parts.append(
+                f"{self.base_wall * 1e3:.2f}ms -> {self.fresh_wall * 1e3:.2f}ms "
+                f"({self.ratio:.2f}x)"
+            )
+        if self.detail:
+            parts.append(self.detail)
+        return "  ".join(parts)
+
+
+#: Finding kinds that fail a comparison.
+_FAILING = ("regression", "metric-drift", "missing", "error")
+
+
+@dataclass
+class ComparisonReport:
+    """Every finding from comparing one baseline set against one fresh set."""
+
+    threshold: float
+    min_wall: float
+    findings: List[ComparisonFinding] = field(default_factory=list)
+    #: First compared pair's fingerprints (reference only; drift is
+    #: accumulated across *every* area pair in ``environment_drift``).
+    base_environment: Dict[str, Any] = field(default_factory=dict)
+    fresh_environment: Dict[str, Any] = field(default_factory=dict)
+    environment_drift: List[str] = field(default_factory=list)
+
+    def by_kind(self, kind: str) -> List[ComparisonFinding]:
+        """All findings of one kind."""
+        return [f for f in self.findings if f.kind == kind]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the fresh run passes the gate."""
+        return not any(f.kind in _FAILING for f in self.findings)
+
+    @property
+    def compared(self) -> int:
+        """Number of (benchmark, case) pairings that were actually judged."""
+        return sum(
+            1 for f in self.findings if f.kind not in ("missing", "added")
+        )
+
+    def render(self) -> str:
+        """Multi-line CLI summary: verdict, counts, then failing findings."""
+        counts = {}
+        for f in self.findings:
+            counts[f.kind] = counts.get(f.kind, 0) + 1
+        summary = ", ".join(f"{n} {kind}" for kind, n in sorted(counts.items()))
+        lines = [
+            f"bench compare: {'PASS' if self.ok else 'FAIL'} "
+            f"({self.compared} pairings judged; {summary}; "
+            f"threshold {self.threshold:g}x, floor {self.min_wall * 1e3:g}ms)"
+        ]
+        if self.environment_drift:
+            lines.append(
+                "environment drift (wall-clock findings may be incomparable): "
+                + "; ".join(self.environment_drift)
+            )
+        for finding in self.findings:
+            if finding.kind in _FAILING or finding.kind == "improvement":
+                lines.append("  " + finding.render())
+        return "\n".join(lines)
+
+
+def _is_exact_metric(value: Any) -> bool:
+    # bools and ints are protocol-determined facts; floats are timings or
+    # rates and jitter between hosts.
+    return isinstance(value, bool) or isinstance(value, int)
+
+
+def _judge_pair(
+    base: Dict[str, Any],
+    fresh: Dict[str, Any],
+    threshold: float,
+    min_wall: float,
+    exact_metrics: bool,
+) -> ComparisonFinding:
+    name, cid = base["benchmark"], base["case_id"]
+    if fresh["status"] != "ok":
+        return ComparisonFinding(
+            "error", name, cid, detail=fresh.get("error", "fresh run errored")
+        )
+    if base["status"] != "ok":
+        # A baseline error record gates nothing; a fresh ok run heals it.
+        return ComparisonFinding(
+            "ok", name, cid, detail="baseline record was an error; now ok"
+        )
+    if exact_metrics:
+        drifted = [
+            f"{key}: {base['metrics'][key]!r} -> {fresh['metrics'][key]!r}"
+            for key in sorted(set(base["metrics"]) & set(fresh["metrics"]))
+            if _is_exact_metric(base["metrics"][key])
+            and _is_exact_metric(fresh["metrics"][key])
+            and base["metrics"][key] != fresh["metrics"][key]
+        ]
+        # A gated metric disappearing is the metric-level version of a
+        # missing benchmark: the gate silently shrank.  Fresh-only
+        # metrics are fine (a new metric gates once it is baselined).
+        drifted.extend(
+            f"{key}: {base['metrics'][key]!r} -> (removed)"
+            for key in sorted(set(base["metrics"]) - set(fresh["metrics"]))
+            if _is_exact_metric(base["metrics"][key])
+        )
+        if drifted:
+            return ComparisonFinding(
+                "metric-drift", name, cid, detail="; ".join(drifted)
+            )
+    base_wall, fresh_wall = base["wall_min"], fresh["wall_min"]
+    if (fresh_wall > threshold * base_wall
+            and fresh_wall - base_wall > min_wall):
+        return ComparisonFinding("regression", name, cid, base_wall, fresh_wall)
+    if (base_wall > threshold * fresh_wall
+            and base_wall - fresh_wall > min_wall):
+        return ComparisonFinding(
+            "improvement", name, cid, base_wall, fresh_wall,
+            detail="consider refreshing the committed baseline",
+        )
+    return ComparisonFinding("ok", name, cid, base_wall, fresh_wall)
+
+
+def compare_artifacts(
+    baseline: Dict[str, Any],
+    fresh: Dict[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_wall: float = DEFAULT_MIN_WALL,
+    exact_metrics: bool = True,
+    report: Optional[ComparisonReport] = None,
+) -> ComparisonReport:
+    """Compare one fresh area artifact against its baseline artifact.
+
+    Pass ``report`` to accumulate findings across areas (as
+    :func:`compare_dirs` does); otherwise a fresh report is returned.
+    """
+    if report is None:
+        report = ComparisonReport(threshold=threshold, min_wall=min_wall)
+    base_env = baseline.get("environment", {})
+    fresh_env = fresh.get("environment", {})
+    if not report.base_environment:
+        report.base_environment = base_env
+        report.fresh_environment = fresh_env
+    # Accumulated (not overwritten) per area pair: a fresh dir stitched
+    # together from runs on different hosts still surfaces every drift.
+    for key in ("python", "numpy", "git_sha", "cpu_count", "platform"):
+        if base_env.get(key) != fresh_env.get(key):
+            note = f"{key}: {base_env.get(key)} -> {fresh_env.get(key)}"
+            if note not in report.environment_drift:
+                report.environment_drift.append(note)
+    base_by_key = {
+        (r["benchmark"], r["case_id"]): r for r in baseline["results"]
+    }
+    fresh_by_key = {
+        (r["benchmark"], r["case_id"]): r for r in fresh["results"]
+    }
+    for key in sorted(base_by_key):
+        name, cid = key
+        if key not in fresh_by_key:
+            report.findings.append(
+                ComparisonFinding(
+                    "missing", name, cid,
+                    detail="present in baseline, absent from fresh run",
+                )
+            )
+            continue
+        report.findings.append(
+            _judge_pair(
+                base_by_key[key], fresh_by_key[key],
+                threshold, min_wall, exact_metrics,
+            )
+        )
+    for key in sorted(set(fresh_by_key) - set(base_by_key)):
+        report.findings.append(
+            ComparisonFinding(
+                "added", key[0], key[1],
+                detail="no baseline yet; commit one to start gating it",
+            )
+        )
+    return report
+
+
+def compare_dirs(
+    baseline_dir: Union[str, Path],
+    fresh_dir: Union[str, Path],
+    *,
+    areas: Optional[Sequence[str]] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_wall: float = DEFAULT_MIN_WALL,
+    exact_metrics: bool = True,
+) -> ComparisonReport:
+    """Compare every fresh ``BENCH_*.json`` against the baseline directory.
+
+    Areas are taken from the *baseline* (the committed contract); a fresh
+    area with no baseline counterpart surfaces as ``added`` findings, and
+    a baseline area with no fresh artifact fails as ``missing``.
+    """
+    report = ComparisonReport(threshold=threshold, min_wall=min_wall)
+    base_paths = {p.name: p for p in list_artifacts(baseline_dir, list(areas) if areas else None)}
+    fresh_paths = {p.name: p for p in list_artifacts(fresh_dir, list(areas) if areas else None)}
+    for name in sorted(base_paths):
+        baseline = read_artifact(base_paths[name])
+        if name not in fresh_paths:
+            for record in baseline["results"]:
+                report.findings.append(
+                    ComparisonFinding(
+                        "missing", record["benchmark"], record["case_id"],
+                        detail=f"fresh run produced no {name}",
+                    )
+                )
+            continue
+        compare_artifacts(
+            baseline, read_artifact(fresh_paths[name]),
+            threshold=threshold, min_wall=min_wall,
+            exact_metrics=exact_metrics, report=report,
+        )
+    for name in sorted(set(fresh_paths) - set(base_paths)):
+        for record in read_artifact(fresh_paths[name])["results"]:
+            report.findings.append(
+                ComparisonFinding(
+                    "added", record["benchmark"], record["case_id"],
+                    detail=f"no baseline {name} committed yet",
+                )
+            )
+    return report
+
+
+def comparison_table(report: ComparisonReport) -> Table:
+    """All judged pairings as a render-ready table (for ``bench report``)."""
+    table = Table(
+        ["benchmark", "case", "base ms", "fresh ms", "ratio", "verdict"],
+        title="bench compare - baseline vs fresh (wall_min)",
+    )
+    for f in report.findings:
+        table.add_row(
+            f.benchmark,
+            f.case_id,
+            "-" if f.base_wall is None else f"{f.base_wall * 1e3:.2f}",
+            "-" if f.fresh_wall is None else f"{f.fresh_wall * 1e3:.2f}",
+            "-" if f.ratio is None else f"{f.ratio:.2f}",
+            f.kind,
+        )
+    return table

@@ -1,0 +1,65 @@
+"""Environment fingerprint attached to every benchmark artifact.
+
+Wall-clock numbers are only comparable within one environment, so every
+``BENCH_<area>.json`` records where it was measured: interpreter, numpy,
+platform/CPU, and the git commit of the working tree (when the package
+runs from a checkout).  Baseline comparison prints both fingerprints so
+a cross-machine "regression" can be recognised for what it is.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .._version import __version__
+
+__all__ = ["environment_fingerprint", "git_sha"]
+
+
+def git_sha() -> Optional[str]:
+    """The HEAD commit of the checkout this package runs from, if any.
+
+    Returns ``None`` for installed (non-checkout) packages, missing git,
+    or any other failure — the fingerprint is best-effort by design.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a core dependency
+        return None
+    return numpy.__version__
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """A flat, JSON-safe description of the measuring environment."""
+    return {
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": _numpy_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor() or None,
+        "cpu_count": os.cpu_count(),
+        "git_sha": git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }

@@ -1,0 +1,207 @@
+"""Benchmark registry: ``@benchmark``-decorated specs organised by area.
+
+A :class:`BenchmarkSpec` names one measurable operation (its ``area``
+groups related specs into one ``BENCH_<area>.json`` artifact) together
+with a declarative *size grid*: per-suite lists of case dictionaries.
+The three named suites nest by intent —
+
+* ``smoke``   — seconds-sized cases, run by CI on every push;
+* ``default`` — the figures quoted in docs, minutes on a laptop;
+* ``full``    — the idle-host grid behind committed tables.
+
+A spec only has to declare the suites where its grid actually changes:
+:meth:`BenchmarkSpec.cases_for` falls back ``full -> default -> smoke``,
+so a spec declared with only ``smoke`` cases runs those cases in every
+suite.
+
+Registration happens at import time of :mod:`repro.bench.specs`; call
+:func:`load_default_specs` before resolving names so the registry is
+populated regardless of which entry point (CLI, shim, test) got here
+first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..runner.runtable import canonical_json
+
+__all__ = [
+    "SUITE_NAMES",
+    "BenchmarkSpec",
+    "benchmark",
+    "case_id",
+    "clear",
+    "get",
+    "areas",
+    "names",
+    "load_default_specs",
+    "specs_for",
+]
+
+#: The named suites, smallest first; later suites fall back to earlier
+#: ones when a spec does not declare them.
+SUITE_NAMES: Tuple[str, ...] = ("smoke", "default", "full")
+
+#: A benchmark body: takes one case dict and a derived seed, runs the
+#: workload once (asserting its correctness claims), and returns a flat
+#: metrics dict.  The runner supplies the timing around the call.
+BenchFunc = Callable[[Dict[str, Any], int], Dict[str, Any]]
+
+
+def case_id(case: Mapping[str, Any]) -> str:
+    """Stable short id of a case dict (content hash of its canonical JSON).
+
+    Baseline comparison matches fresh results to baseline results by
+    ``(benchmark, case_id)``, so renaming a parameter or changing a value
+    deliberately severs the pairing instead of comparing unlike runs.
+    """
+    digest = hashlib.sha256(canonical_json(dict(case)).encode()).hexdigest()
+    return digest[:12]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One registered benchmark: an area-scoped name, a body, a size grid."""
+
+    name: str
+    area: str
+    func: BenchFunc
+    summary: str
+    suites: Mapping[str, Tuple[Dict[str, Any], ...]] = field(default_factory=dict)
+
+    def cases_for(self, suite: str) -> Tuple[Dict[str, Any], ...]:
+        """The case grid for ``suite``, falling back to smaller suites."""
+        if suite not in SUITE_NAMES:
+            raise ConfigurationError(
+                f"unknown suite {suite!r}; choose from {', '.join(SUITE_NAMES)}"
+            )
+        for candidate in SUITE_NAMES[SUITE_NAMES.index(suite)::-1]:
+            if candidate in self.suites:
+                return self.suites[candidate]
+        raise ConfigurationError(
+            f"benchmark {self.name!r} declares no cases for any suite"
+        )
+
+
+_REGISTRY: Dict[str, BenchmarkSpec] = {}
+_DEFAULTS_LOADED = False
+
+
+def benchmark(
+    area: str,
+    *,
+    smoke: Optional[Sequence[Dict[str, Any]]] = None,
+    default: Optional[Sequence[Dict[str, Any]]] = None,
+    full: Optional[Sequence[Dict[str, Any]]] = None,
+    name: Optional[str] = None,
+) -> Callable[[BenchFunc], BenchFunc]:
+    """Register the decorated function as a benchmark in ``area``.
+
+    The registered name is ``<area>.<function name>`` unless ``name``
+    overrides the second component.  At least the ``smoke`` grid must be
+    supplied (CI runs it; every larger suite may fall back to it).
+    """
+    grids = {"smoke": smoke, "default": default, "full": full}
+
+    def register(func: BenchFunc) -> BenchFunc:
+        bench_name = f"{area}.{name or func.__name__}"
+        if smoke is None:
+            raise ConfigurationError(
+                f"benchmark {bench_name!r} must declare a smoke grid"
+            )
+        if bench_name in _REGISTRY:
+            raise ConfigurationError(
+                f"duplicate benchmark registration: {bench_name!r}"
+            )
+        _REGISTRY[bench_name] = BenchmarkSpec(
+            name=bench_name,
+            area=area,
+            func=func,
+            summary=(func.__doc__ or "").strip().split("\n")[0],
+            suites={
+                suite: tuple(dict(c) for c in cases)
+                for suite, cases in grids.items()
+                if cases is not None
+            },
+        )
+        return func
+
+    return register
+
+
+def load_default_specs() -> None:
+    """Import :mod:`repro.bench.specs` once, populating the registry."""
+    global _DEFAULTS_LOADED
+    if not _DEFAULTS_LOADED:
+        importlib.import_module(".specs", __package__)
+        _DEFAULTS_LOADED = True
+
+
+def clear() -> None:
+    """Empty the registry (test isolation only).
+
+    Also drops the cached :mod:`repro.bench.specs` module, so the next
+    :func:`load_default_specs` re-executes its ``@benchmark`` decorators
+    instead of finding an already-imported (and therefore no-op) module.
+    """
+    global _DEFAULTS_LOADED
+    _REGISTRY.clear()
+    _DEFAULTS_LOADED = False
+    sys.modules.pop(f"{__package__}.specs", None)
+
+
+def get(name: str) -> BenchmarkSpec:
+    """Look up one spec by its registered ``area.name``."""
+    load_default_specs()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown benchmark {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def names() -> List[str]:
+    """All registered benchmark names, sorted."""
+    load_default_specs()
+    return sorted(_REGISTRY)
+
+
+def areas() -> List[str]:
+    """All areas with at least one registered benchmark, sorted."""
+    load_default_specs()
+    return sorted({spec.area for spec in _REGISTRY.values()})
+
+
+def specs_for(
+    suite: str, areas_filter: Optional[Sequence[str]] = None
+) -> List[BenchmarkSpec]:
+    """Specs selected by ``areas_filter`` (all areas when ``None``).
+
+    ``suite`` is validated eagerly so a typo fails before any work runs.
+    """
+    load_default_specs()
+    if suite not in SUITE_NAMES:
+        raise ConfigurationError(
+            f"unknown suite {suite!r}; choose from {', '.join(SUITE_NAMES)}"
+        )
+    known = areas()
+    if areas_filter is not None:
+        unknown = sorted(set(areas_filter) - set(known))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown benchmark area(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(known)}"
+            )
+    selected = set(known if areas_filter is None else areas_filter)
+    return [
+        _REGISTRY[name]
+        for name in sorted(_REGISTRY)
+        if _REGISTRY[name].area in selected
+    ]

@@ -8,6 +8,8 @@ Examples::
     repro campaign define --preset smoke --out smoke.json
     repro campaign run --spec smoke.json --store smoke.jsonl --workers 4
     repro campaign report --store smoke.jsonl
+    repro bench run --suite smoke --workers 2 --out fresh-results
+    repro bench compare --baseline benchmarks/results --fresh fresh-results
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from . import analysis
+from .bench.cli import add_bench_subparser
 from .congest.engine import ENGINE_NAMES
 from .core.algorithm1 import detect_cycle_through_edge
 from .core.tester import CkFreenessTester
@@ -407,6 +410,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help=f"grouping columns (default: "
                           f"{','.join(DEFAULT_GROUP_BY)})")
     p_report.set_defaults(func=_cmd_campaign_report)
+
+    add_bench_subparser(sub)
     return parser
 
 

@@ -39,7 +39,12 @@ Quickstart::
 
 from . import registry
 from .aggregate import CampaignSummary, aggregate_records, summarize_store
-from .executor import ExecutionReport, execute_row, run_campaign
+from .executor import (
+    ExecutionReport,
+    execute_row,
+    ordered_parallel_map,
+    run_campaign,
+)
 from .runtable import (
     ALGORITHM_NAMES,
     ENGINE_NAMES,
@@ -64,6 +69,7 @@ __all__ = [
     "canonical_json",
     "derive_seed",
     "execute_row",
+    "ordered_parallel_map",
     "registry",
     "run_campaign",
     "summarize_store",

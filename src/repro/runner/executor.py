@@ -30,7 +30,39 @@ from . import registry
 from .runtable import RunRow, RunTable, derive_seed
 from .store import CampaignStore
 
-__all__ = ["ExecutionReport", "execute_row", "run_campaign"]
+__all__ = [
+    "ExecutionReport",
+    "execute_row",
+    "ordered_parallel_map",
+    "run_campaign",
+]
+
+
+def ordered_parallel_map(
+    fn: Callable[[Any], Any],
+    items: List[Any],
+    *,
+    workers: int = 1,
+    chunksize: int = 1,
+) -> Iterator[Any]:
+    """Yield ``fn(item)`` for each item, serially or across a process pool.
+
+    Results arrive in submission order either way (``Executor.map``
+    preserves it), which is the property both the campaign runner (for
+    byte-identical JSONL) and the benchmark runner (for order-stable
+    artifacts) depend on.  ``fn`` and every item must be picklable when
+    ``workers > 1``.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if chunksize < 1:
+        raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
+    if workers == 1:
+        for item in items:
+            yield fn(item)
+        return
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        yield from pool.map(fn, items, chunksize=chunksize)
 
 
 def _probe_edge(graph: Graph) -> tuple:
@@ -161,14 +193,10 @@ class ExecutionReport:
 def _result_stream(
     pending: List[RunRow], workers: int, chunksize: int
 ) -> Iterator[Dict[str, Any]]:
-    if workers <= 1:
-        for row in pending:
-            yield execute_row(row)
-        return
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        # map() preserves submission order, keeping the JSONL stream
-        # identical to the serial one.
-        yield from pool.map(execute_row, pending, chunksize=chunksize)
+    # Ordered map keeps the JSONL stream identical to the serial one.
+    yield from ordered_parallel_map(
+        execute_row, pending, workers=workers, chunksize=chunksize
+    )
 
 
 def run_campaign(

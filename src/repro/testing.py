@@ -51,6 +51,7 @@ __all__ = [
     "DEFAULT_EQUIVALENCE_INSTANCES",
     "compare_engines_once",
     "engine_equivalence_report",
+    "synthetic_bench_artifact",
 ]
 
 
@@ -326,3 +327,58 @@ def engine_equivalence_report(
                     )
                 )
     return report
+
+
+# ---------------------------------------------------------------------------
+# benchmark-harness fixtures
+# ---------------------------------------------------------------------------
+def synthetic_bench_artifact(
+    area: str = "synthetic",
+    *,
+    suite: str = "smoke",
+    benchmarks: Sequence[str] = ("synthetic.alpha", "synthetic.beta"),
+    wall: float = 0.1,
+    slowdown: float = 1.0,
+    metrics: Optional[Dict[str, object]] = None,
+    environment: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """A schema-valid ``BENCH_<area>.json`` payload with synthetic timings.
+
+    The fixture behind the regression-detection tests (and the docs
+    examples): pair one artifact built with ``slowdown=1.0`` against a
+    twin built with ``slowdown=10.0`` and :func:`repro.bench.compare.
+    compare_artifacts` must flag every benchmark.  No benchmark actually
+    runs — records are fabricated, which is exactly the point: the gate
+    logic is testable on timing data of known shape.
+    """
+    from .bench.artifacts import SCHEMA_VERSION, validate_artifact
+    from .bench.registry import case_id
+
+    case = {"n": 1}
+    results = []
+    for name in benchmarks:
+        walls = [round(wall * slowdown, 6), round(wall * slowdown * 1.01, 6)]
+        results.append({
+            "benchmark": name,
+            "area": area,
+            "case": dict(case),
+            "case_id": case_id(case),
+            "suite": suite,
+            "seed": 0,
+            "repeats": len(walls),
+            "wall_seconds": walls,
+            "wall_min": min(walls),
+            "wall_mean": round(sum(walls) / len(walls), 6),
+            "status": "ok",
+            "metrics": dict(metrics or {"rounds": 4}),
+        })
+    artifact = {
+        "schema": SCHEMA_VERSION,
+        "area": area,
+        "suite": suite,
+        "master_seed": 0,
+        "environment": dict(environment or {"python": "synthetic"}),
+        "results": results,
+    }
+    validate_artifact(artifact)
+    return artifact

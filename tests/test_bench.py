@@ -1,0 +1,438 @@
+"""Tests for the benchmark harness core: registry, artifacts, environment
+fingerprint, and the regression-detection logic (all on synthetic or
+seconds-sized data — no real heavy benchmarks run in tier-1)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    ArtifactError,
+    artifact_path,
+    compare_artifacts,
+    compare_dirs,
+    environment_fingerprint,
+    read_artifact,
+    registry,
+    run_suite,
+    validate_artifact,
+    write_artifact,
+)
+from repro.bench.compare import DEFAULT_MIN_WALL
+from repro.bench.registry import BenchmarkSpec, benchmark, case_id
+from repro.bench.runner import SUITE_REPEATS, execute_benchmark
+from repro.errors import ConfigurationError
+from repro.testing import synthetic_bench_artifact
+
+
+# ---------------------------------------------------------------------------
+# registry resolution
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_default_specs_register(self):
+        assert len(registry.names()) >= 14
+        # The acceptance bar: at least 8 areas in the smoke suite.
+        assert len(registry.areas()) >= 8
+
+    def test_every_spec_declares_smoke(self):
+        for name in registry.names():
+            assert registry.get(name).cases_for("smoke"), name
+
+    def test_suite_fallback_chain(self):
+        spec = BenchmarkSpec(
+            name="x.y", area="x", func=lambda c, s: {},
+            summary="", suites={"smoke": ({"n": 1},)},
+        )
+        # full -> default -> smoke when larger grids are not declared.
+        assert spec.cases_for("full") == ({"n": 1},)
+        assert spec.cases_for("default") == ({"n": 1},)
+
+    def test_declared_suite_wins_over_fallback(self):
+        spec = BenchmarkSpec(
+            name="x.y", area="x", func=lambda c, s: {}, summary="",
+            suites={"smoke": ({"n": 1},), "full": ({"n": 9},)},
+        )
+        assert spec.cases_for("default") == ({"n": 1},)
+        assert spec.cases_for("full") == ({"n": 9},)
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown suite"):
+            registry.specs_for("humongous")
+        spec = registry.get(registry.names()[0])
+        with pytest.raises(ConfigurationError, match="unknown suite"):
+            spec.cases_for("humongous")
+
+    def test_unknown_benchmark_and_area_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown benchmark"):
+            registry.get("nope.nothing")
+        with pytest.raises(ConfigurationError, match="unknown benchmark area"):
+            registry.specs_for("smoke", ["not-an-area"])
+
+    def test_area_filter_selects_only_that_area(self):
+        specs = registry.specs_for("smoke", ["phase1"])
+        assert specs
+        assert {s.area for s in specs} == {"phase1"}
+
+    def test_duplicate_registration_rejected(self):
+        @benchmark("tmparea", smoke=[{}])
+        def once(case, seed):
+            return {}
+
+        try:
+            with pytest.raises(ConfigurationError, match="duplicate"):
+                benchmark("tmparea", smoke=[{}])(once)
+        finally:
+            registry._REGISTRY.pop("tmparea.once")
+
+    def test_registration_requires_smoke_grid(self):
+        with pytest.raises(ConfigurationError, match="smoke grid"):
+            @benchmark("tmparea", default=[{}])
+            def no_smoke(case, seed):
+                return {}
+
+    def test_case_id_is_order_independent_content_hash(self):
+        assert case_id({"a": 1, "b": 2}) == case_id({"b": 2, "a": 1})
+        assert case_id({"a": 1}) != case_id({"a": 2})
+
+
+# ---------------------------------------------------------------------------
+# artifact schema round-trip
+# ---------------------------------------------------------------------------
+class TestArtifacts:
+    def test_round_trip(self, tmp_path):
+        artifact = synthetic_bench_artifact("rt")
+        path = write_artifact(tmp_path, artifact)
+        assert path == artifact_path(tmp_path, "rt")
+        assert path.name == "BENCH_rt.json"
+        assert read_artifact(path) == artifact
+
+    def test_schema_version_enforced(self, tmp_path):
+        artifact = synthetic_bench_artifact("rt")
+        artifact["schema"] = "repro-bench/999"
+        with pytest.raises(ArtifactError, match="schema"):
+            validate_artifact(artifact)
+
+    def test_empty_results_rejected(self):
+        artifact = synthetic_bench_artifact("rt")
+        artifact["results"] = []
+        with pytest.raises(ArtifactError, match="non-empty"):
+            validate_artifact(artifact)
+
+    def test_duplicate_result_keys_rejected(self):
+        artifact = synthetic_bench_artifact("rt")
+        artifact["results"].append(dict(artifact["results"][0]))
+        with pytest.raises(ArtifactError, match="duplicate"):
+            validate_artifact(artifact)
+
+    def test_ok_record_requires_wall_fields(self):
+        artifact = synthetic_bench_artifact("rt")
+        del artifact["results"][0]["wall_min"]
+        with pytest.raises(ArtifactError, match="wall_min"):
+            validate_artifact(artifact)
+
+    def test_error_record_requires_message(self):
+        artifact = synthetic_bench_artifact("rt")
+        artifact["results"][0]["status"] = "error"
+        with pytest.raises(ArtifactError, match="error"):
+            validate_artifact(artifact)
+
+    def test_non_scalar_metric_rejected(self):
+        artifact = synthetic_bench_artifact("rt")
+        artifact["results"][0]["metrics"]["bad"] = [1, 2]
+        with pytest.raises(ArtifactError, match="JSON scalar"):
+            validate_artifact(artifact)
+
+    def test_area_mismatch_rejected(self):
+        artifact = synthetic_bench_artifact("rt")
+        artifact["results"][0]["area"] = "other"
+        with pytest.raises(ArtifactError, match="does not match"):
+            validate_artifact(artifact)
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{not json")
+        with pytest.raises(ArtifactError, match="invalid JSON"):
+            read_artifact(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no benchmark artifact"):
+            read_artifact(tmp_path / "BENCH_x.json")
+
+
+# ---------------------------------------------------------------------------
+# environment fingerprint
+# ---------------------------------------------------------------------------
+class TestEnvironment:
+    def test_fingerprint_shape(self):
+        env = environment_fingerprint()
+        for key in ("repro_version", "python", "numpy", "platform",
+                    "cpu_count", "git_sha", "timestamp"):
+            assert key in env
+        assert isinstance(env["cpu_count"], int) and env["cpu_count"] >= 1
+        assert env["python"].count(".") == 2
+
+    def test_fingerprint_is_json_safe(self):
+        json.dumps(environment_fingerprint())
+
+    def test_git_sha_in_checkout(self):
+        # This test runs from the repo checkout, so the sha resolves.
+        env = environment_fingerprint()
+        assert env["git_sha"] is None or (
+            len(env["git_sha"]) == 40
+            and all(c in "0123456789abcdef" for c in env["git_sha"])
+        )
+
+
+# ---------------------------------------------------------------------------
+# regression detection on synthetic timing data
+# ---------------------------------------------------------------------------
+class TestCompare:
+    def test_identical_artifacts_pass(self):
+        base = synthetic_bench_artifact("a")
+        report = compare_artifacts(base, base)
+        assert report.ok
+        assert {f.kind for f in report.findings} == {"ok"}
+
+    def test_injected_10x_slowdown_fails(self):
+        base = synthetic_bench_artifact("a", wall=0.1)
+        slow = synthetic_bench_artifact("a", wall=0.1, slowdown=10.0)
+        report = compare_artifacts(base, slow, threshold=1.5)
+        assert not report.ok
+        assert len(report.by_kind("regression")) == 2
+        ratios = [f.ratio for f in report.by_kind("regression")]
+        assert all(9.0 < r < 11.0 for r in ratios)
+
+    def test_noise_floor_absorbs_fast_benchmarks(self):
+        # 10x on a 0.1ms benchmark is under the absolute floor: noise.
+        base = synthetic_bench_artifact("a", wall=0.0001)
+        slow = synthetic_bench_artifact("a", wall=0.0001, slowdown=10.0)
+        assert compare_artifacts(base, slow, threshold=1.5).ok
+        assert 0.0001 * 10 < DEFAULT_MIN_WALL
+
+    def test_threshold_is_respected(self):
+        base = synthetic_bench_artifact("a", wall=0.1)
+        mild = synthetic_bench_artifact("a", wall=0.1, slowdown=2.0)
+        assert not compare_artifacts(base, mild, threshold=1.5).ok
+        assert compare_artifacts(base, mild, threshold=3.0).ok
+
+    def test_improvement_reported_not_failed(self):
+        base = synthetic_bench_artifact("a", wall=0.1, slowdown=10.0)
+        fast = synthetic_bench_artifact("a", wall=0.1)
+        report = compare_artifacts(base, fast)
+        assert report.ok
+        assert len(report.by_kind("improvement")) == 2
+
+    def test_integer_metric_drift_fails(self):
+        base = synthetic_bench_artifact("a", metrics={"rounds": 4})
+        drift = synthetic_bench_artifact("a", metrics={"rounds": 5})
+        report = compare_artifacts(base, drift)
+        assert not report.ok
+        assert report.by_kind("metric-drift")
+        assert "rounds" in report.by_kind("metric-drift")[0].detail
+
+    def test_float_metrics_never_gate(self):
+        base = synthetic_bench_artifact("a", metrics={"speedup": 7.0})
+        drift = synthetic_bench_artifact("a", metrics={"speedup": 1.0})
+        assert compare_artifacts(base, drift).ok
+
+    def test_exact_metrics_can_be_disabled(self):
+        base = synthetic_bench_artifact("a", metrics={"rounds": 4})
+        drift = synthetic_bench_artifact("a", metrics={"rounds": 5})
+        assert compare_artifacts(base, drift, exact_metrics=False).ok
+
+    def test_removed_integer_metric_is_drift(self):
+        # Deleting a gated metric silently shrinks the gate: fail.
+        base = synthetic_bench_artifact("a", metrics={"rounds": 4})
+        fresh = synthetic_bench_artifact("a", metrics={"other": 1.0})
+        report = compare_artifacts(base, fresh)
+        assert not report.ok
+        assert "removed" in report.by_kind("metric-drift")[0].detail
+
+    def test_added_metric_passes(self):
+        base = synthetic_bench_artifact("a", metrics={"rounds": 4})
+        fresh = synthetic_bench_artifact(
+            "a", metrics={"rounds": 4, "bits": 128})
+        assert compare_artifacts(base, fresh).ok
+
+    def test_missing_benchmark_fails(self):
+        base = synthetic_bench_artifact(
+            "a", benchmarks=("a.one", "a.two"))
+        fresh = synthetic_bench_artifact("a", benchmarks=("a.one",))
+        report = compare_artifacts(base, fresh)
+        assert not report.ok
+        assert [f.benchmark for f in report.by_kind("missing")] == ["a.two"]
+
+    def test_added_benchmark_passes(self):
+        base = synthetic_bench_artifact("a", benchmarks=("a.one",))
+        fresh = synthetic_bench_artifact(
+            "a", benchmarks=("a.one", "a.two"))
+        report = compare_artifacts(base, fresh)
+        assert report.ok
+        assert [f.benchmark for f in report.by_kind("added")] == ["a.two"]
+
+    def test_fresh_error_record_fails(self):
+        base = synthetic_bench_artifact("a", benchmarks=("a.one",))
+        fresh = synthetic_bench_artifact("a", benchmarks=("a.one",))
+        rec = fresh["results"][0]
+        rec["status"] = "error"
+        rec["error"] = "AssertionError: boom"
+        report = compare_artifacts(base, fresh)
+        assert not report.ok
+        assert "boom" in report.by_kind("error")[0].detail
+
+    def test_baseline_error_record_heals(self):
+        base = synthetic_bench_artifact("a", benchmarks=("a.one",))
+        base["results"][0]["status"] = "error"
+        base["results"][0]["error"] = "was broken"
+        fresh = synthetic_bench_artifact("a", benchmarks=("a.one",))
+        assert compare_artifacts(base, fresh).ok
+
+    def test_compare_dirs_pairs_by_area(self, tmp_path):
+        base_dir, fresh_dir = tmp_path / "base", tmp_path / "fresh"
+        for area in ("a", "b"):
+            write_artifact(base_dir, synthetic_bench_artifact(area))
+            write_artifact(fresh_dir, synthetic_bench_artifact(area))
+        report = compare_dirs(base_dir, fresh_dir)
+        assert report.ok
+        assert report.compared == 4
+
+    def test_compare_dirs_flags_missing_area_artifact(self, tmp_path):
+        base_dir, fresh_dir = tmp_path / "base", tmp_path / "fresh"
+        write_artifact(base_dir, synthetic_bench_artifact("a"))
+        write_artifact(base_dir, synthetic_bench_artifact("b"))
+        write_artifact(fresh_dir, synthetic_bench_artifact("a"))
+        report = compare_dirs(base_dir, fresh_dir)
+        assert not report.ok
+        assert all(f.benchmark.startswith("synthetic")
+                   for f in report.by_kind("missing"))
+
+    def test_environment_drift_surfaces_in_render(self):
+        base = synthetic_bench_artifact(
+            "a", environment={"python": "3.11.7"})
+        fresh = synthetic_bench_artifact(
+            "a", environment={"python": "3.13.1"})
+        text = compare_artifacts(base, fresh).render()
+        assert "environment drift" in text
+        assert "3.11.7 -> 3.13.1" in text
+
+    def test_environment_drift_accumulates_across_areas(self, tmp_path):
+        # Drift in the first-sorted area must not be masked by a clean
+        # later pair (the fresh dir may be stitched from several runs).
+        base_dir, fresh_dir = tmp_path / "base", tmp_path / "fresh"
+        env = {"python": "3.11.7"}
+        write_artifact(
+            base_dir, synthetic_bench_artifact("aaa", environment=env))
+        write_artifact(
+            base_dir, synthetic_bench_artifact("zzz", environment=env))
+        write_artifact(
+            fresh_dir,
+            synthetic_bench_artifact(
+                "aaa", environment={"python": "3.13.1"}),
+        )
+        write_artifact(
+            fresh_dir, synthetic_bench_artifact("zzz", environment=env))
+        report = compare_dirs(base_dir, fresh_dir)
+        assert report.environment_drift == ["python: 3.11.7 -> 3.13.1"]
+        assert "3.13.1" in report.render()
+
+
+# ---------------------------------------------------------------------------
+# runner (one tiny real area only; everything else synthetic)
+# ---------------------------------------------------------------------------
+class TestRunner:
+    def test_run_suite_writes_valid_artifact(self, tmp_path):
+        report = run_suite(
+            "smoke", areas=["primitives"], out_dir=tmp_path, repeats=1
+        )
+        assert report.ok, report.render()
+        artifact = read_artifact(artifact_path(tmp_path, "primitives"))
+        assert artifact["suite"] == "smoke"
+        assert {r["benchmark"] for r in artifact["results"]} == {
+            "primitives.leader_election",
+            "primitives.bfs_tree",
+            "primitives.convergecast",
+        }
+        for record in artifact["results"]:
+            assert record["status"] == "ok"
+            assert record["wall_min"] > 0
+            assert len(record["wall_seconds"]) == 1
+
+    def test_run_suite_measure_only_writes_nothing(self, tmp_path):
+        report = run_suite(
+            "smoke", areas=["combinatorics"], out_dir="-", repeats=1
+        )
+        assert report.ok
+        assert report.artifact_paths == []
+
+    def test_repeat_policy_by_suite(self):
+        assert SUITE_REPEATS["smoke"] < SUITE_REPEATS["full"]
+
+    def test_integer_metrics_are_reproducible(self, tmp_path):
+        runs = [
+            run_suite("smoke", areas=["combinatorics"], out_dir="-",
+                      repeats=1, seed=7)
+            for _ in range(2)
+        ]
+        ints = [
+            {
+                (r["benchmark"], r["case_id"], k): v
+                for r in run.results
+                for k, v in r["metrics"].items()
+                if isinstance(v, (bool, int))
+            }
+            for run in runs
+        ]
+        assert ints[0] == ints[1]
+
+    def test_failing_benchmark_becomes_error_record(self):
+        @benchmark("tmpfail", smoke=[{"x": 1}])
+        def always_fails(case, seed):
+            assert False, "deliberate"
+
+        try:
+            report = run_suite("smoke", areas=["tmpfail"], out_dir="-")
+            assert not report.ok
+            (record,) = report.results
+            assert record["status"] == "error"
+            assert "deliberate" in record["error"]
+        finally:
+            registry._REGISTRY.pop("tmpfail.always_fails")
+
+    def test_execute_benchmark_unit_is_self_contained(self):
+        name = registry.names()[0]
+        spec = registry.get(name)
+        case = spec.cases_for("smoke")[0]
+        record = execute_benchmark((name, case, "smoke", 1, 0))
+        assert record["benchmark"] == name
+        assert record["case_id"] == case_id(case)
+
+    def test_arbitrary_exception_becomes_error_record(self):
+        # Not just ReproError/AssertionError: any body failure is
+        # captured so one broken benchmark can't abort a suite run.
+        @benchmark("tmpboom", smoke=[{"x": 1}])
+        def blows_up(case, seed):
+            return [][0]  # IndexError
+
+        try:
+            report = run_suite("smoke", areas=["tmpboom"], out_dir="-")
+            assert not report.ok
+            assert "IndexError" in report.results[0]["error"]
+        finally:
+            registry._REGISTRY.pop("tmpboom.blows_up")
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ConfigurationError, match="repeats"):
+            run_suite("smoke", areas=["primitives"], out_dir="-", repeats=0)
+        with pytest.raises(ConfigurationError, match="repeats"):
+            execute_benchmark(("primitives.bfs_tree", {"rows": 2, "cols": 2},
+                               "smoke", 0, 0))
+
+    def test_clear_then_reload_restores_defaults(self):
+        before = registry.names()
+        try:
+            registry.clear()
+            assert registry._REGISTRY == {}
+        finally:
+            registry.load_default_specs()
+        assert registry.names() == before

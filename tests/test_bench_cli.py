@@ -1,0 +1,153 @@
+"""Tests for the ``repro bench`` CLI and the ``python -m repro.bench``
+entry point (tiny areas only; the perf gate itself is exercised on
+synthetic artifacts)."""
+
+import json
+
+import pytest
+
+from repro.bench import artifact_path, write_artifact
+from repro.bench.cli import main as bench_main
+from repro.cli import main as repro_main
+from repro.testing import synthetic_bench_artifact
+
+
+def _write_synthetic_dir(directory, slowdown=1.0):
+    for area in ("alpha", "beta"):
+        write_artifact(
+            directory,
+            synthetic_bench_artifact(
+                area,
+                benchmarks=(f"{area}.one", f"{area}.two"),
+                slowdown=slowdown,
+            ),
+        )
+
+
+class TestBenchList:
+    def test_lists_areas_and_benchmarks(self, capsys):
+        assert repro_main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for area in ("phase1", "engines", "campaign", "through_edge"):
+            assert area in out
+
+    def test_module_entry_point_shares_commands(self, capsys):
+        assert bench_main(["list"]) == 0
+        assert "registered benchmarks" in capsys.readouterr().out
+
+
+class TestBenchRun:
+    def test_run_writes_artifacts_and_reports(self, tmp_path, capsys):
+        rc = repro_main([
+            "bench", "run", "--suite", "smoke", "--areas",
+            "combinatorics,primitives", "--out", str(tmp_path),
+            "--repeats", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 area(s)" in out
+        for area in ("combinatorics", "primitives"):
+            assert artifact_path(tmp_path, area).exists()
+
+    def test_run_parallel_workers_match_serial_metrics(self, tmp_path):
+        repro_main(["bench", "run", "--areas", "combinatorics", "--out",
+                    str(tmp_path / "serial"), "--repeats", "1"])
+        repro_main(["bench", "run", "--areas", "combinatorics", "--out",
+                    str(tmp_path / "parallel"), "--workers", "2",
+                    "--repeats", "1"])
+        serial = json.loads(
+            artifact_path(tmp_path / "serial", "combinatorics").read_text()
+        )
+        parallel = json.loads(
+            artifact_path(tmp_path / "parallel", "combinatorics").read_text()
+        )
+        keyed = lambda art: {
+            (r["benchmark"], r["case_id"]): r["metrics"]
+            for r in art["results"]
+        }
+        assert keyed(serial) == keyed(parallel)
+
+    def test_unknown_area_is_clean_error(self):
+        with pytest.raises(SystemExit, match="unknown benchmark area"):
+            repro_main(["bench", "run", "--areas", "nope"])
+
+
+class TestBenchCompare:
+    def test_identical_dirs_pass(self, tmp_path, capsys):
+        _write_synthetic_dir(tmp_path / "base")
+        _write_synthetic_dir(tmp_path / "fresh")
+        rc = repro_main([
+            "bench", "compare", "--baseline", str(tmp_path / "base"),
+            "--fresh", str(tmp_path / "fresh"),
+        ])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_injected_10x_slowdown_exits_nonzero(self, tmp_path, capsys):
+        _write_synthetic_dir(tmp_path / "base")
+        _write_synthetic_dir(tmp_path / "fresh", slowdown=10.0)
+        rc = repro_main([
+            "bench", "compare", "--baseline", str(tmp_path / "base"),
+            "--fresh", str(tmp_path / "fresh"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out
+        assert "regression" in out
+
+    def test_generous_threshold_tolerates_mild_noise(self, tmp_path):
+        _write_synthetic_dir(tmp_path / "base")
+        _write_synthetic_dir(tmp_path / "fresh", slowdown=2.0)
+        assert repro_main([
+            "bench", "compare", "--baseline", str(tmp_path / "base"),
+            "--fresh", str(tmp_path / "fresh"), "--threshold", "4.0",
+        ]) == 0
+
+    def test_table_flag_prints_pairings(self, tmp_path, capsys):
+        _write_synthetic_dir(tmp_path / "base")
+        _write_synthetic_dir(tmp_path / "fresh")
+        assert repro_main([
+            "bench", "compare", "--baseline", str(tmp_path / "base"),
+            "--fresh", str(tmp_path / "fresh"), "--table",
+        ]) == 0
+        assert "verdict" in capsys.readouterr().out
+
+    def test_missing_fresh_dir_is_clean_error(self, tmp_path):
+        _write_synthetic_dir(tmp_path / "base")
+        with pytest.raises(SystemExit, match="artifact directory"):
+            repro_main([
+                "bench", "compare", "--baseline", str(tmp_path / "base"),
+                "--fresh", str(tmp_path / "nowhere"),
+            ])
+
+    def test_real_run_compares_clean_against_itself(self, tmp_path, capsys):
+        # End-to-end: a real (tiny) measured artifact gates against
+        # itself with the default threshold.
+        repro_main(["bench", "run", "--areas", "combinatorics", "--out",
+                    str(tmp_path), "--repeats", "1"])
+        capsys.readouterr()
+        assert repro_main([
+            "bench", "compare", "--baseline", str(tmp_path),
+            "--fresh", str(tmp_path),
+        ]) == 0
+
+
+class TestBenchReport:
+    def test_report_renders_artifacts(self, tmp_path, capsys):
+        _write_synthetic_dir(tmp_path)
+        assert repro_main(["bench", "report", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_alpha" in out and "BENCH_beta" in out
+        assert "wall_min ms" in out
+
+    def test_report_area_filter(self, tmp_path, capsys):
+        _write_synthetic_dir(tmp_path)
+        assert repro_main([
+            "bench", "report", "--dir", str(tmp_path), "--areas", "alpha",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_alpha" in out and "BENCH_beta" not in out
+
+    def test_report_empty_dir_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no BENCH_"):
+            repro_main(["bench", "report", "--dir", str(tmp_path)])
