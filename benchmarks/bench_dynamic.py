@@ -1,0 +1,24 @@
+"""Dynamic-graph monitoring: incremental CkMonitor vs naive re-detection.
+
+Thin shim over the registry-driven harness: the benchmark bodies, size
+grids and correctness assertions live in ``repro.bench.specs`` (area
+``dynamic``); see docs/benchmarks.md and docs/dynamic.md.  Both entry
+points work from a plain checkout —
+
+* ``pytest benchmarks/bench_dynamic.py``
+* ``python benchmarks/bench_dynamic.py [smoke|default|full]``
+
+and the canonical invocations are ``repro bench run --areas dynamic``
+or ``python -m repro.bench run --areas dynamic``.
+"""
+
+import _bench_utils
+
+
+def test_dynamic_area():
+    """The registered ``dynamic`` smoke grid runs clean (checks included)."""
+    _bench_utils.assert_area_ok("dynamic")
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bench_utils.main("dynamic"))

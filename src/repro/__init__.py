@@ -12,6 +12,8 @@ The library provides, from the bottom up:
 * :mod:`repro.baselines` — naive/congesting comparators;
 * :mod:`repro.sequential` — centralized twins (Monien k-path via
   representative families, color coding);
+* :mod:`repro.dynamic` — edge-stream mutations and incremental
+  C_k-freeness monitoring with verdict caching;
 * :mod:`repro.analysis` — experiment runners behind the benchmarks.
 
 Quickstart::
@@ -43,15 +45,19 @@ from .core import (
     test_ck_freeness,
 )
 from .graphs import Graph
+from .dynamic import CkMonitor, DynamicGraph, Mutation
 
 __all__ = [
     "__version__",
     "CkFreenessTester",
+    "CkMonitor",
     "DetectCkProgram",
+    "DynamicGraph",
     "ExplicitPruner",
     "Graph",
     "HittingSetPruner",
     "MultiplexedCkProgram",
+    "Mutation",
     "Network",
     "SequenceBundle",
     "SizeModel",

@@ -20,6 +20,9 @@ engines -> ``engines``, pruning_vs_naive -> ``pruning``, through_edge ->
 ``through_edge``, primitives -> ``primitives``, campaign -> ``campaign``,
 representative -> ``combinatorics``, scalability -> ``scalability``,
 farness -> ``farness``, sweeps -> ``sweeps``, ablations -> ``ablations``.
+The ``dynamic`` area (no historical script) measures the incremental
+:class:`~repro.dynamic.monitor.CkMonitor` against naive per-step
+re-detection; its shim is ``benchmarks/bench_dynamic.py``.
 """
 
 from __future__ import annotations
@@ -727,3 +730,117 @@ def fault_injection(case: Dict[str, Any], seed: int) -> Dict[str, Any]:
         "trials": trials,
         "rate_at_max_drop": float(rates[worst]),
     }
+
+
+# ---------------------------------------------------------------------------
+# dynamic — incremental monitoring vs naive per-step re-detection
+# ---------------------------------------------------------------------------
+
+
+@benchmark(
+    "dynamic",
+    smoke=[{"family": "gnp", "n": 40, "p": 0.1, "k": 5,
+            "stream": "uniform-churn:steps=30,p=0.5", "min_speedup": 1.5}],
+    default=[{"family": "gnp", "n": 96, "p": 0.05, "k": 5,
+              "stream": "uniform-churn:steps=60,p=0.5", "min_speedup": 3.0}],
+    full=[{"family": "gnp", "n": 192, "p": 0.03, "k": 5,
+           "stream": "uniform-churn:steps=120,p=0.5", "min_speedup": 5.0}],
+)
+def churn_speedup(case: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Incremental CkMonitor vs naive per-step re-detection on churn.
+
+    Both strategies replay the identical scenario on the identical
+    per-step seed schedule; their verdict trajectories must agree exactly
+    (the parity claim rides along with the timing), and the cached
+    monitor must beat the naive baseline by the case's speedup floor.
+    """
+    from ..dynamic.campaign import run_monitor_stream, run_naive_stream
+    from ..runner import registry
+
+    base = registry.build_graph(
+        case["family"], seed=seed, n=case["n"], p=case["p"]
+    )
+    t0 = time.perf_counter()
+    incremental = run_monitor_stream(base, case["stream"], case["k"], seed=seed)
+    wall_incremental = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    naive = run_naive_stream(base, case["stream"], case["k"], seed=seed)
+    wall_naive = time.perf_counter() - t0
+    for field in ("final_accepted", "reject_steps", "verdict_flips",
+                  "final_hash", "final_n", "final_m"):
+        assert incremental[field] == naive[field], (
+            f"incremental/naive divergence on {field}: "
+            f"{incremental[field]!r} != {naive[field]!r}"
+        )
+    speedup = wall_naive / max(wall_incremental, 1e-12)
+    assert speedup >= case["min_speedup"], (
+        f"incremental monitoring speedup {speedup:.2f}x fell below the "
+        f"{case['min_speedup']}x floor"
+    )
+    return {
+        "steps": incremental["steps"],
+        "cache_hits": incremental["cache_hits"],
+        "local_rechecks": incremental["local_rechecks"],
+        "full_retests": incremental["full_retests"],
+        "reject_steps": incremental["reject_steps"],
+        "speedup": round(speedup, 3),
+    }
+
+
+@benchmark(
+    "dynamic",
+    smoke=[{"family": "cycle", "n": 12, "k": 5,
+            "stream": "growth:steps=40,p=0.4,attach=2"}],
+    default=[{"family": "cycle", "n": 24, "k": 5,
+              "stream": "growth:steps=160,p=0.4,attach=2"}],
+)
+def growth_monitor(case: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Monitor throughput on an insert-only growth stream (no re-tests).
+
+    Growth never deletes, so a cached witness can never be invalidated:
+    the monitor must finish the whole stream without a single full
+    re-test — the structural claim behind its best-case throughput.
+    """
+    from ..dynamic import CkMonitor, build_stream
+    from ..runner import registry
+
+    base = registry.build_graph(case["family"], seed=seed, n=case["n"])
+    stream = build_stream(case["stream"], base, seed=seed, k=case["k"])
+    monitor = CkMonitor(stream.base, case["k"], seed=seed)
+    monitor.run_stream(stream.mutations)
+    assert monitor.stats.full_retests == 0, (
+        "insert-only stream forced a full re-test"
+    )
+    assert monitor.stats.steps == len(stream.mutations)
+    return {
+        "steps": monitor.stats.steps,
+        "cache_hits": monitor.stats.cache_hits,
+        "local_rechecks": monitor.stats.local_rechecks,
+        "final_n": monitor.graph.n,
+        "final_m": monitor.graph.m,
+    }
+
+
+@benchmark(
+    "dynamic",
+    smoke=[{"n": 512, "p": 0.02, "snapshots": 20}],
+    default=[{"n": 2048, "p": 0.005, "snapshots": 20}],
+)
+def snapshot_hash(case: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Content-hashed snapshot cost on a mid-sized evolving graph."""
+    from ..dynamic import DynamicGraph
+    from ..graphs.generators import erdos_renyi_gnp
+
+    g = erdos_renyi_gnp(case["n"], case["p"], seed=seed)
+    dyn = DynamicGraph(g)
+    seen = set()
+    for i in range(case["snapshots"]):
+        dyn.add_vertex()
+        dyn.add_edge(i, dyn.n - 1)
+        snap = dyn.snapshot()
+        assert snap.version == dyn.version
+        seen.add(snap.content_hash)
+    assert len(seen) == case["snapshots"], "snapshot hashes must be distinct"
+    # Identical history must reproduce the identical final hash.
+    assert DynamicGraph.replay(g, dyn.log).content_hash() == dyn.content_hash()
+    return {"snapshots": case["snapshots"], "final_n": dyn.n, "final_m": dyn.m}

@@ -5,8 +5,11 @@ Examples::
     repro test --generator gnp --n 200 --p 0.05 --k 5 --eps 0.1
     repro detect --generator figure1 --k 5 --edge 0 1
     repro experiment T2
+    repro dynamic run --stream uniform-churn:steps=40 --k 5 --n 30
+    repro dynamic replay --base base.edges --stream-file churn.stream --k 5
     repro campaign define --preset smoke --out smoke.json
     repro campaign run --spec smoke.json --store smoke.jsonl --workers 4
+    repro campaign run --preset dynamic --streams uniform-churn burst
     repro campaign report --store smoke.jsonl
     repro bench run --suite smoke --workers 2 --out fresh-results
     repro bench compare --baseline benchmarks/results --fresh fresh-results
@@ -23,6 +26,7 @@ from typing import Callable, Dict, List, Optional
 from . import analysis
 from .bench.cli import add_bench_subparser
 from .congest.engine import ENGINE_NAMES
+from .congest.faults import build_fault_model
 from .core.algorithm1 import detect_cycle_through_edge
 from .core.tester import CkFreenessTester
 from .errors import ReproError
@@ -61,7 +65,8 @@ def _build_graph(args: argparse.Namespace) -> Graph:
 def _cmd_test(args: argparse.Namespace) -> int:
     g = _build_graph(args)
     tester = CkFreenessTester(
-        args.k, args.eps, repetitions=args.repetitions, engine=args.engine
+        args.k, args.eps, repetitions=args.repetitions, engine=args.engine,
+        faults=build_fault_model(args.faults, seed=args.seed),
     )
     result = tester.run(g, seed=args.seed)
     print(result)
@@ -73,7 +78,10 @@ def _cmd_test(args: argparse.Namespace) -> int:
 def _cmd_detect(args: argparse.Namespace) -> int:
     g = _build_graph(args)
     u, v = args.edge
-    det = detect_cycle_through_edge(g, (u, v), args.k, engine=args.engine)
+    det = detect_cycle_through_edge(
+        g, (u, v), args.k, engine=args.engine,
+        faults=build_fault_model(args.faults, seed=args.seed),
+    )
     print(f"k={args.k} edge=({u},{v}) detected={det.detected}")
     if det.detected:
         print(f"cycle (node IDs): {det.any_cycle_ids()}")
@@ -138,6 +146,126 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# dynamic subcommand
+# ---------------------------------------------------------------------------
+def _monitor_step_line(record) -> str:
+    """One human-readable line per monitor step."""
+    verdict = "ACCEPT" if record.accepted else "REJECT"
+    line = (
+        f"step {record.version:>4}  {record.mutation.to_line():<12} "
+        f"{record.action:<13} {verdict}"
+    )
+    if record.flipped:
+        line += "  <- verdict flip"
+    return line
+
+
+def _replay_monitor(base: Graph, mutations, args: argparse.Namespace) -> int:
+    """Shared run/replay body: drive a monitor, print, optionally log."""
+    from .dynamic import CkMonitor
+
+    monitor = CkMonitor(
+        base, args.k, engine=args.engine, epsilon=args.eps, seed=args.seed,
+        faults=build_fault_model(args.faults, seed=args.seed),
+    )
+    verdict = "ACCEPT" if monitor.accepted else "REJECT"
+    print(f"base: n={base.n} m={base.m} verdict={verdict} "
+          f"hash={base.content_hash()[:12]}")
+    log_records: List[Dict[str, object]] = []
+    for mutation in mutations:
+        record = monitor.apply(mutation)
+        if not args.quiet:
+            print(_monitor_step_line(record))
+        log_records.append({
+            "step": record.version,
+            "mutation": record.mutation.to_line(),
+            "action": record.action,
+            "accepted": record.accepted,
+            "flipped": record.flipped,
+            "witness": list(record.witness) if record.witness else None,
+        })
+    stats = monitor.stats.as_dict()
+    final = "ACCEPT" if monitor.accepted else "REJECT"
+    print(f"final: n={monitor.graph.n} m={monitor.graph.m} verdict={final} "
+          f"hash={monitor.dynamic.content_hash()[:12]}")
+    print("monitor: " + ", ".join(f"{key}={stats[key]}" for key in (
+        "steps", "cache_hits", "local_rechecks", "full_retests",
+        "verdict_flips", "cache_hit_rate")))
+    if args.log:
+        path = Path(args.log)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            for rec in log_records:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+            fh.write(json.dumps({"summary": stats}, sort_keys=True) + "\n")
+        print(f"log: {path}")
+    return 0
+
+
+def _cmd_dynamic_run(args: argparse.Namespace) -> int:
+    from .dynamic import build_stream
+    from .graphs import io as graph_io
+
+    base = _build_graph(args)
+    stream = build_stream(args.stream, base, seed=args.seed, k=args.k)
+    print(f"stream: {stream.scenario} x{len(stream.mutations)} "
+          f"({', '.join(f'{k}={v}' for k, v in sorted(stream.params.items()))})")
+    if args.base_out:
+        graph_io.write_edge_list(stream.base, args.base_out,
+                                 comment=f"base graph, seed={args.seed}")
+        print(f"base graph: {args.base_out}")
+    if args.stream_out:
+        graph_io.write_edge_stream(
+            stream.mutations, args.stream_out,
+            comment=f"{stream.scenario} stream, seed={args.seed}",
+        )
+        print(f"edge stream: {args.stream_out}")
+    return _replay_monitor(stream.base, stream.mutations, args)
+
+
+def _cmd_dynamic_replay(args: argparse.Namespace) -> int:
+    from .graphs import io as graph_io
+
+    base = graph_io.read_edge_list(args.base)
+    mutations = graph_io.read_edge_stream(args.stream_file)
+    print(f"replay: {args.stream_file} ({len(mutations)} mutations) "
+          f"over {args.base}")
+    return _replay_monitor(base, mutations, args)
+
+
+def _cmd_dynamic_report(args: argparse.Namespace) -> int:
+    path = Path(args.log)
+    if not path.exists():
+        raise SystemExit(f"no dynamic log at {args.log!r}")
+    actions: Dict[str, int] = {}
+    steps = reject_steps = flips = 0
+    summary: Optional[Dict[str, object]] = None
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"{args.log}:{lineno}: corrupt log line ({exc})")
+        if "summary" in rec:
+            summary = rec["summary"]
+            continue
+        steps += 1
+        actions[rec["action"]] = actions.get(rec["action"], 0) + 1
+        reject_steps += 0 if rec["accepted"] else 1
+        flips += 1 if rec["flipped"] else 0
+    print(f"dynamic log {args.log}: {steps} steps, "
+          f"{reject_steps} rejecting, {flips} verdict flips")
+    for action in sorted(actions):
+        share = actions[action] / steps if steps else 0.0
+        print(f"  {action:<13} {actions[action]:>6}  ({share:.1%})")
+    if summary is not None:
+        print("summary: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(summary.items())))
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # campaign subcommand
 # ---------------------------------------------------------------------------
 #: Built-in campaign presets (factor grids); ``smoke`` is CI-sized.
@@ -168,6 +296,19 @@ _PRESETS: Dict[str, Callable[[int], CampaignSpec]] = {
         repetitions=3,
         seed=seed,
     ),
+    "dynamic": lambda seed: CampaignSpec(
+        name="dynamic",
+        generators=[
+            {"family": "gnp", "params": {"n": 24, "p": 0.1}},
+            {"family": "cycle", "params": {"n": 16}},
+        ],
+        ks=[5],
+        epsilons=[0.15],
+        algorithms=["monitor", "tester"],
+        streams=["uniform-churn:steps=24", "near-cycle:steps=16"],
+        repetitions=2,
+        seed=seed,
+    ),
     "grid": lambda seed: CampaignSpec(
         name="grid",
         generators=[
@@ -192,6 +333,13 @@ def _csv(cast: Callable[[str], object]) -> Callable[[str], List[object]]:
         return [cast(item) for item in text.split(",") if item]
 
     return parse
+
+
+def _optional_name(text: str) -> Optional[str]:
+    """The literal ``none`` becomes ``None`` (the static/reliable axis
+    value of the streams and faults factors); anything else passes
+    through as a spec string."""
+    return None if text == "none" else text
 
 
 def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
@@ -243,6 +391,10 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         spec.algorithms = args.algorithms
     if getattr(args, "engines", None) is not None:
         spec.engines = args.engines
+    if getattr(args, "streams", None) is not None:
+        spec.streams = args.streams
+    if getattr(args, "faults", None) is not None:
+        spec.faults = args.faults
     if getattr(args, "repetitions", None) is not None:
         spec.repetitions = args.repetitions
     if getattr(args, "seed", None) is not None:
@@ -280,8 +432,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 #: Columns a result record carries that reports may group by.
 _REPORT_COLUMNS = ("campaign", "generator", "params", "k", "eps",
-                   "algorithm", "engine", "repetition", "seed", "n", "m",
-                   "status")
+                   "algorithm", "engine", "stream", "faults", "repetition",
+                   "seed", "n", "m", "status")
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
@@ -318,6 +470,16 @@ def _add_campaign_factor_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--engines", type=_csv(str), metavar="E1,E2,...",
                    help=f"scheduler backends to cross: "
                    f"{', '.join(ENGINE_NAMES)}")
+    p.add_argument("--streams", type=_optional_name, nargs="+",
+                   metavar="SPEC",
+                   help="stream scenarios to cross (temporal campaign), "
+                   "e.g. uniform-churn burst:steps=40,burst=6; "
+                   "'none' = static rows")
+    p.add_argument("--faults", type=_optional_name, nargs="+",
+                   metavar="SPEC",
+                   help="fault models to cross, e.g. none drop:p=0.05 "
+                   "targeted:u=0,v=1 (faulted rows run on the reference "
+                   "engine)")
     p.add_argument("--repetitions", type=int, help="replicates per cell")
     p.add_argument("--seed", type=int, default=None, help="campaign master seed")
 
@@ -343,6 +505,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--engine", default="reference", choices=ENGINE_NAMES,
                        help="scheduler backend (fast = batched numpy; "
                        "identical verdicts)")
+        p.add_argument("--faults", type=_optional_name, default=None,
+                       metavar="SPEC",
+                       help="fault model, e.g. drop:p=0.05 or "
+                       "targeted:u=0,v=1 (reference engine only)")
 
     p_test = sub.add_parser("test", help="run the full Ck-freeness tester")
     add_graph_args(p_test)
@@ -361,6 +527,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_detect.add_argument("--timeline", action="store_true",
                           help="print the per-round bandwidth timeline")
     p_detect.set_defaults(func=_cmd_detect)
+
+    p_dyn = sub.add_parser(
+        "dynamic",
+        help="dynamic graphs: run churn scenarios, replay edge streams, "
+        "report monitor logs",
+    )
+    dyn_sub = p_dyn.add_subparsers(dest="action", required=True)
+
+    p_dyn_run = dyn_sub.add_parser(
+        "run", help="generate a base graph, build a stream, run the monitor"
+    )
+    add_graph_args(p_dyn_run)
+    p_dyn_run.add_argument("--k", type=int, required=True)
+    p_dyn_run.add_argument("--eps", type=float, default=0.1)
+    p_dyn_run.add_argument("--stream", default="uniform-churn",
+                           metavar="SPEC",
+                           help="scenario spec, e.g. uniform-churn or "
+                           "burst:steps=40,burst=6")
+    p_dyn_run.add_argument("--base-out", help="write the base graph "
+                           "(edge-list format) here")
+    p_dyn_run.add_argument("--stream-out", help="write the mutation "
+                           "sequence (edge-stream format) here")
+    p_dyn_run.add_argument("--log", help="write per-step JSONL records here")
+    p_dyn_run.add_argument("--quiet", action="store_true",
+                           help="suppress per-step output")
+    p_dyn_run.set_defaults(func=_cmd_dynamic_run)
+
+    p_dyn_replay = dyn_sub.add_parser(
+        "replay", help="replay a saved edge stream over a saved base graph"
+    )
+    p_dyn_replay.add_argument("--base", required=True,
+                              help="base graph file (edge-list format)")
+    p_dyn_replay.add_argument("--stream-file", required=True,
+                              help="mutation file (edge-stream format)")
+    p_dyn_replay.add_argument("--k", type=int, required=True)
+    p_dyn_replay.add_argument("--eps", type=float, default=0.1)
+    p_dyn_replay.add_argument("--seed", type=int, default=0)
+    p_dyn_replay.add_argument("--engine", default="reference",
+                              choices=ENGINE_NAMES)
+    p_dyn_replay.add_argument("--faults", type=_optional_name, default=None,
+                              metavar="SPEC")
+    p_dyn_replay.add_argument("--log", help="write per-step JSONL records")
+    p_dyn_replay.add_argument("--quiet", action="store_true")
+    p_dyn_replay.set_defaults(func=_cmd_dynamic_replay)
+
+    p_dyn_report = dyn_sub.add_parser(
+        "report", help="aggregate a per-step JSONL monitor log"
+    )
+    p_dyn_report.add_argument("--log", required=True)
+    p_dyn_report.set_defaults(func=_cmd_dynamic_report)
 
     p_exp = sub.add_parser("experiment", help="run a DESIGN.md experiment")
     p_exp.add_argument("name", help="T1..T5, F1..F3 or 'all'")

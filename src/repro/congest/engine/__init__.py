@@ -90,7 +90,8 @@ def create_engine(name: str, network: Network, **kwargs) -> CongestEngine:
     """Instantiate the named backend for ``network``.
 
     ``kwargs`` are forwarded to the engine constructor (``size_model``,
-    ``strict_bandwidth``).
+    ``strict_bandwidth``, ``faults`` — the last only honoured by the
+    reference backend).
     """
     ensure_engine_available(name)
     if name == "reference":

@@ -57,6 +57,11 @@ class CongestEngine(ABC):
     strict_bandwidth:
         Raise :class:`~repro.errors.BandwidthExceededError` if any
         message exceeds the CONGEST budget.
+    faults:
+        Optional :class:`~repro.congest.faults.FaultModel` deciding the
+        fate of every delivery.  Only the ``reference`` backend simulates
+        unreliable links; other backends must reject a non-``None``
+        model with a clear :class:`~repro.errors.ConfigurationError`.
     """
 
     #: Stable backend name (the value of ``--engine``).
@@ -68,12 +73,14 @@ class CongestEngine(ABC):
         *,
         size_model: Optional[SizeModel] = None,
         strict_bandwidth: bool = False,
+        faults=None,
     ) -> None:
         self._net = network
         self._size_model = (
             size_model if size_model is not None else network.default_size_model()
         )
         self._strict = strict_bandwidth
+        self._faults = faults
 
     @property
     def network(self) -> Network:

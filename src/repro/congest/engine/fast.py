@@ -47,7 +47,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ...errors import BandwidthExceededError, CongestError
+from ...errors import BandwidthExceededError, CongestError, ConfigurationError
 from ..instrumentation import ExecutionTrace, RoundStats
 from ..message import SequenceBundle
 from ..network import Network
@@ -68,6 +68,12 @@ class FastEngine(CongestEngine):
 
     def __init__(self, network: Network, **kwargs) -> None:
         super().__init__(network, **kwargs)
+        if self._faults is not None:
+            raise ConfigurationError(
+                "fault injection requires the reference engine (the fast "
+                "backend batches deliveries and cannot drop them "
+                "individually); run with engine='reference'"
+            )
         g = network.graph
         ids = np.asarray(network.ids(), dtype=np.int64)
         if ids.size and int(ids.max()) >= MAX_UINT32_ENTROPY:

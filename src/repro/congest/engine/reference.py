@@ -18,11 +18,25 @@ __all__ = ["ReferenceEngine"]
 
 
 class ReferenceEngine(CongestEngine):
-    """Per-node message-passing execution (the executable specification)."""
+    """Per-node message-passing execution (the executable specification).
+
+    The only backend that simulates unreliable links: passing a
+    ``faults`` model swaps the lock-step scheduler for the
+    :class:`~repro.congest.faults.FaultyScheduler`.
+    """
 
     name = "reference"
 
     def _scheduler(self) -> SynchronousScheduler:
+        if self._faults is not None:
+            from ..faults import FaultyScheduler
+
+            return FaultyScheduler(
+                self._net,
+                self._faults,
+                size_model=self._size_model,
+                strict_bandwidth=self._strict,
+            )
         return SynchronousScheduler(
             self._net,
             size_model=self._size_model,

@@ -23,17 +23,26 @@ The interesting, *testable* consequences (see
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from .instrumentation import Instrumentation
 from .message import SizeModel
 from .network import Network
 from .node import NodeProgram
 from .scheduler import RunResult, SynchronousScheduler
 
-__all__ = ["FaultModel", "DropFaults", "TargetedFaults", "FaultyScheduler"]
+__all__ = [
+    "FAULT_NAMES",
+    "FaultModel",
+    "DropFaults",
+    "TargetedFaults",
+    "FaultyScheduler",
+    "build_fault_model",
+    "parse_fault_spec",
+]
 
 
 class FaultModel(ABC):
@@ -144,3 +153,101 @@ class FaultyScheduler(SynchronousScheduler):
             for sender in doomed:
                 del inbox[sender]
         return inboxes
+
+
+# ---------------------------------------------------------------------------
+# Declarative fault specs (campaign factor / CLI flag)
+# ---------------------------------------------------------------------------
+#: Fault-model names a spec string may start with; ``none`` is the
+#: reliable network (no model at all).
+FAULT_NAMES: Tuple[str, ...] = ("none", "drop", "targeted")
+
+
+def parse_fault_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Parse a compact fault spec string into ``(name, params)``.
+
+    Grammar (mirrors the stream-scenario specs)::
+
+        none                       reliable links (no fault model)
+        drop:0.05                  i.i.d. loss, shorthand for p=0.05
+        drop:p=0.05                i.i.d. loss with probability p
+        targeted:u=3,v=7           censor the directed links 3->7 and
+                                   7->3 (node IDs) in every round
+        targeted:u=3,v=7,round=2   same, but only in round 2
+
+    Raises :class:`~repro.errors.ConfigurationError` on anything
+    malformed, so campaign validation fails before any row executes.
+    """
+    if not isinstance(spec, str) or not spec:
+        raise ConfigurationError(
+            f"fault spec must be a non-empty string, got {spec!r}"
+        )
+    name, _, tail = spec.partition(":")
+    name = name.strip()
+    if name not in FAULT_NAMES:
+        raise ConfigurationError(
+            f"unknown fault model {name!r}; choose from "
+            f"{', '.join(FAULT_NAMES)}"
+        )
+    params: Dict[str, Any] = {}
+    if name == "none":
+        if tail:
+            raise ConfigurationError("fault spec 'none' takes no parameters")
+        return name, params
+    if name == "drop":
+        body = tail.strip()
+        if body.startswith("p="):
+            body = body[2:]
+        try:
+            p = float(body)
+        except ValueError:
+            raise ConfigurationError(
+                f"fault spec {spec!r}: expected drop:p=<float>"
+            ) from None
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(
+                f"fault spec {spec!r}: drop probability must be in [0,1]"
+            )
+        params["p"] = p
+        return name, params
+    # targeted
+    for item in tail.split(","):
+        key, eq, value = item.partition("=")
+        key = key.strip()
+        if not eq or key not in ("u", "v", "round") or not value.strip():
+            raise ConfigurationError(
+                f"fault spec {spec!r}: expected targeted:u=<id>,v=<id>"
+                f"[,round=<r>], got {item!r}"
+            )
+        try:
+            params[key] = int(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"fault spec {spec!r}: non-integer value in {item!r}"
+            ) from None
+    if "u" not in params or "v" not in params:
+        raise ConfigurationError(
+            f"fault spec {spec!r}: targeted needs both u= and v="
+        )
+    return name, params
+
+
+def build_fault_model(spec: Optional[str], *, seed=None) -> Optional[FaultModel]:
+    """Instantiate the fault model named by ``spec`` (``None``/'none' →
+    no model).
+
+    ``seed`` drives the :class:`DropFaults` stream so faulted campaign
+    rows replay identically under resume.
+    """
+    if spec is None:
+        return None
+    name, params = parse_fault_spec(spec)
+    if name == "none":
+        return None
+    if name == "drop":
+        return DropFaults(params["p"], seed=seed)
+    blocked = {
+        (params.get("round"), params["u"], params["v"]),
+        (params.get("round"), params["v"], params["u"]),
+    }
+    return TargetedFaults(blocked)

@@ -256,6 +256,7 @@ def detect_cycle_through_edge(
     pruner: Optional[Pruner] = None,
     strict_bandwidth: bool = False,
     engine: str = "reference",
+    faults=None,
 ) -> EdgeDetectionResult:
     """Run Algorithm 1 for ``edge`` (vertex indices) on ``graph``.
 
@@ -277,6 +278,10 @@ def detect_cycle_through_edge(
     engine:
         Scheduler backend (``"reference"`` or ``"fast"``); see
         :mod:`repro.congest.engine`.
+    faults:
+        Optional :class:`~repro.congest.faults.FaultModel` (reference
+        engine only): dropped deliveries can hide the only witness, so
+        the deterministic completeness guarantee no longer applies.
     """
     from ..congest.engine import create_engine
 
@@ -285,7 +290,9 @@ def detect_cycle_through_edge(
     if not graph.has_edge(u, v):
         raise ConfigurationError(f"edge {edge} not in graph")
     edge_ids = net.edge_ids(u, v)
-    eng = create_engine(engine, net, strict_bandwidth=strict_bandwidth)
+    eng = create_engine(
+        engine, net, strict_bandwidth=strict_bandwidth, faults=faults
+    )
     result = eng.run_detect(k, edge_ids, pruner=pruner)
     outcomes: Dict[int, DetectionOutcome] = result.outputs
     detected = any(o.rejects for o in outcomes.values())

@@ -55,6 +55,11 @@ class CkFreenessTester:
         Scheduler backend: ``"reference"`` (per-node simulation) or
         ``"fast"`` (batched numpy); see :mod:`repro.congest.engine`.
         Both produce identical verdicts under a fixed seed.
+    faults:
+        Optional :class:`~repro.congest.faults.FaultModel`: run every
+        repetition over unreliable links (reference engine only).
+        Message loss preserves soundness (rejections still carry genuine
+        cycle evidence) but voids the completeness guarantee.
     """
 
     def __init__(
@@ -66,6 +71,7 @@ class CkFreenessTester:
         pruner: Optional[Pruner] = None,
         strict_bandwidth: bool = False,
         engine: str = "reference",
+        faults=None,
     ) -> None:
         if k < 3:
             raise ConfigurationError(f"k must be >= 3, got {k}")
@@ -82,6 +88,7 @@ class CkFreenessTester:
         self.engine = engine
         self._pruner = pruner if pruner is not None else HittingSetPruner()
         self._strict = strict_bandwidth
+        self._faults = faults
 
     # ------------------------------------------------------------------
     def run(
@@ -118,7 +125,10 @@ class CkFreenessTester:
                 rounds_per_repetition=rounds_per_repetition(self.k),
             )
         net = network if network is not None else Network(graph)
-        eng = create_engine(self.engine, net, strict_bandwidth=self._strict)
+        eng = create_engine(
+            self.engine, net, strict_bandwidth=self._strict,
+            faults=self._faults,
+        )
         ss = np.random.SeedSequence(seed)
         rep_seeds = ss.generate_state(self.repetitions)
 

@@ -1,0 +1,52 @@
+"""Dynamic-graph subsystem: edge streams, incremental C_k monitoring.
+
+The paper's tester answers one-shot questions on frozen graphs; this
+package keeps verdicts current while the graph changes:
+
+* :mod:`repro.dynamic.mutations` — the atomic update vocabulary
+  (``add_edge``/``remove_edge``/``add_vertex``) with a one-line text
+  form (the edge-stream format of :mod:`repro.graphs.io`);
+* :mod:`repro.dynamic.graph` — :class:`DynamicGraph`: an evolving graph
+  with an append-only mutation log, versioning and content-hashed
+  snapshots;
+* :mod:`repro.dynamic.streams` — named, seeded, replayable churn
+  scenarios (uniform churn, bursts, adversarial near-cycle toggling,
+  growth models);
+* :mod:`repro.dynamic.monitor` — :class:`CkMonitor`: exact incremental
+  C_k-freeness with verdict caching (cache hit / locality-limited
+  recheck through the touched edge / full re-test fallback);
+* :mod:`repro.dynamic.equivalence` — the mandatory gate proving monitor
+  verdicts identical to from-scratch runs at every timestep;
+* :mod:`repro.dynamic.campaign` — temporal-campaign execution units
+  (incremental vs naive per-step strategies).
+
+See ``docs/dynamic.md`` for the architecture and cache-invalidation
+rules, and ``repro dynamic run|replay|report`` for the CLI.
+"""
+
+from .equivalence import (
+    MonitorEquivalenceReport,
+    MonitorMismatch,
+    monitor_equivalence_report,
+)
+from .graph import DynamicGraph, Snapshot, apply_mutation
+from .monitor import CkMonitor, MonitorStats, StepRecord, full_redetect
+from .mutations import Mutation
+from .streams import EdgeStream, build_stream, parse_stream_spec
+
+__all__ = [
+    "CkMonitor",
+    "DynamicGraph",
+    "EdgeStream",
+    "MonitorEquivalenceReport",
+    "MonitorMismatch",
+    "MonitorStats",
+    "Mutation",
+    "Snapshot",
+    "StepRecord",
+    "apply_mutation",
+    "build_stream",
+    "full_redetect",
+    "monitor_equivalence_report",
+    "parse_stream_spec",
+]

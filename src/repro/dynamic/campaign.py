@@ -1,0 +1,120 @@
+"""Temporal-campaign execution: stream rows for the campaign runner.
+
+The campaign runner executes rows; for temporal rows (``stream`` factor
+set) the unit of work is a whole scenario replay rather than one
+detection.  This module provides the two replay strategies a temporal
+row can name as its ``algorithm``:
+
+* ``monitor`` → :func:`run_monitor_stream` — the incremental
+  :class:`~repro.dynamic.monitor.CkMonitor` (verdict caching, locality
+  rechecks, rare full re-tests);
+* ``tester``  → :func:`run_naive_stream` — naive per-step from-scratch
+  re-detection (:func:`~repro.dynamic.monitor.full_redetect` at every
+  mutation), the baseline the monitor's speedup is measured against.
+
+Both return flat, deterministic outcome dicts (protocol-determined
+integers plus derived float rates), so campaign stores and benchmark
+artifacts can gate on them exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..graphs.graph import Graph
+from ..runner.runtable import derive_seed
+from .monitor import CkMonitor, full_redetect
+from .streams import build_stream
+
+__all__ = ["run_monitor_stream", "run_naive_stream"]
+
+
+def run_monitor_stream(
+    base: Graph,
+    stream_spec: str,
+    k: int,
+    *,
+    engine: str = "reference",
+    seed: int = 0,
+    epsilon: float = 0.1,
+    faults=None,
+) -> Dict[str, Any]:
+    """Replay a scenario through the incremental monitor; summary record.
+
+    The returned dict contains the decision counters (cache hits, local
+    rechecks, full re-tests), verdict trajectory statistics, and the
+    final state fingerprint — everything integer-deterministic under the
+    given seed.
+    """
+    stream = build_stream(stream_spec, base, seed=seed, k=k)
+    monitor = CkMonitor(
+        stream.base, k, engine=engine, epsilon=epsilon, seed=seed,
+        faults=faults,
+    )
+    records = monitor.run_stream(stream.mutations)
+    out: Dict[str, Any] = {
+        "strategy": "monitor",
+        "scenario": stream.scenario,
+        "final_accepted": monitor.accepted,
+        "reject_steps": sum(1 for r in records if not r.accepted),
+        "final_n": monitor.graph.n,
+        "final_m": monitor.graph.m,
+        "final_hash": monitor.dynamic.content_hash(),
+    }
+    out.update(monitor.stats.as_dict())
+    return out
+
+
+def run_naive_stream(
+    base: Graph,
+    stream_spec: str,
+    k: int,
+    *,
+    engine: str = "reference",
+    seed: int = 0,
+    epsilon: float = 0.1,
+    faults=None,
+    tester_repetitions: Optional[int] = 8,
+) -> Dict[str, Any]:
+    """Replay a scenario with naive per-step re-detection; summary record.
+
+    Runs :func:`~repro.dynamic.monitor.full_redetect` from scratch after
+    every mutation, on the same per-step seed schedule as the monitor —
+    so ``reject_steps``/``verdict_flips``/``final_accepted`` must agree
+    with :func:`run_monitor_stream` exactly (asserted by the ``dynamic``
+    benchmarks) while the work done per step is maximal.
+    """
+    stream = build_stream(stream_spec, base, seed=seed, k=k)
+    graph = stream.base.copy()
+    from .graph import apply_mutation
+
+    accepted, _ = full_redetect(
+        graph, k, engine=engine, seed=derive_seed(seed, "monitor-step", 0),
+        epsilon=epsilon, tester_repetitions=tester_repetitions, faults=faults,
+    )
+    reject_steps = 0
+    flips = 0
+    for step, mutation in enumerate(stream.mutations, start=1):
+        apply_mutation(graph, mutation)
+        now_accepted, _ = full_redetect(
+            graph, k, engine=engine,
+            seed=derive_seed(seed, "monitor-step", step),
+            epsilon=epsilon, tester_repetitions=tester_repetitions,
+            faults=faults,
+        )
+        if not now_accepted:
+            reject_steps += 1
+        if now_accepted != accepted:
+            flips += 1
+        accepted = now_accepted
+    return {
+        "strategy": "naive",
+        "scenario": stream.scenario,
+        "steps": len(stream.mutations),
+        "final_accepted": accepted,
+        "reject_steps": reject_steps,
+        "verdict_flips": flips,
+        "final_n": graph.n,
+        "final_m": graph.m,
+        "final_hash": graph.content_hash(),
+    }

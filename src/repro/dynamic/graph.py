@@ -1,0 +1,178 @@
+"""Dynamic graphs: an evolving :class:`~repro.graphs.graph.Graph` with an
+append-only mutation log and content-hashed snapshots.
+
+A :class:`DynamicGraph` owns a private working copy of its base graph and
+applies :class:`~repro.dynamic.mutations.Mutation` objects to it, logging
+every update.  The log is append-only, so
+
+* ``version`` (the number of applied mutations) names every historical
+  state unambiguously,
+* any past state can be rebuilt exactly (:meth:`as_of`), and
+* a scenario replayed from the same base and log prefix is byte-identical
+  everywhere (the property the incremental/naive parity gates rely on).
+
+Snapshots (:meth:`snapshot`) pair a frozen copy with its
+:meth:`~repro.graphs.graph.Graph.content_hash`, so two histories that
+reach the same graph state are detectably equal without edge-by-edge
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import GraphError
+from ..graphs.graph import Graph
+from .mutations import ADD_EDGE, ADD_VERTEX, REMOVE_EDGE, Mutation
+
+__all__ = ["DynamicGraph", "Snapshot", "apply_mutation"]
+
+
+def apply_mutation(graph: Graph, mutation: Mutation) -> None:
+    """Apply one mutation to ``graph`` in place.
+
+    Validity is enforced by the underlying :class:`Graph` operations:
+    duplicate insertions, deletions of absent edges, self-loops and
+    out-of-range endpoints all raise :class:`~repro.errors.GraphError`.
+    """
+    if mutation.op == ADD_EDGE:
+        graph.add_edge(mutation.u, mutation.v)
+    elif mutation.op == REMOVE_EDGE:
+        graph.remove_edge(mutation.u, mutation.v)
+    elif mutation.op == ADD_VERTEX:
+        graph.add_vertex()
+    else:  # pragma: no cover - Mutation.__post_init__ rejects unknown ops
+        raise GraphError(f"unknown mutation op {mutation.op!r}")
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A frozen state of a dynamic graph: version, content hash, copy."""
+
+    version: int
+    content_hash: str
+    graph: Graph
+
+
+class DynamicGraph:
+    """An evolving graph with an append-only mutation log.
+
+    Parameters
+    ----------
+    base:
+        The initial graph.  Copied on construction — later changes to the
+        caller's object do not leak into the history.
+    """
+
+    def __init__(self, base: Graph) -> None:
+        self._base = base.copy()
+        self._graph = base.copy()
+        self._log: List[Mutation] = []
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The current graph state (treat as read-only; mutate via
+        :meth:`apply`)."""
+        return self._graph
+
+    @property
+    def base(self) -> Graph:
+        """A copy of the version-0 graph."""
+        return self._base.copy()
+
+    @property
+    def version(self) -> int:
+        """Number of applied mutations; names the current state."""
+        return len(self._log)
+
+    @property
+    def log(self) -> Tuple[Mutation, ...]:
+        """The applied mutations, oldest first."""
+        return tuple(self._log)
+
+    @property
+    def n(self) -> int:
+        """Current vertex count."""
+        return self._graph.n
+
+    @property
+    def m(self) -> int:
+        """Current edge count."""
+        return self._graph.m
+
+    def content_hash(self) -> str:
+        """Content hash of the current state (see
+        :meth:`Graph.content_hash <repro.graphs.graph.Graph.content_hash>`)."""
+        return self._graph.content_hash()
+
+    def snapshot(self) -> Snapshot:
+        """A frozen copy of the current state with its version and hash."""
+        return Snapshot(
+            version=self.version,
+            content_hash=self.content_hash(),
+            graph=self._graph.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply(self, mutation: Mutation) -> Mutation:
+        """Apply one mutation and log it; returns the canonical mutation.
+
+        An invalid mutation raises :class:`~repro.errors.GraphError` and
+        leaves both the graph and the log untouched.
+        """
+        canonical = mutation.canonical()
+        apply_mutation(self._graph, canonical)
+        self._log.append(canonical)
+        return canonical
+
+    def apply_all(self, mutations: Iterable[Mutation]) -> List[Mutation]:
+        """Apply a mutation sequence in order; returns the canonical list."""
+        return [self.apply(m) for m in mutations]
+
+    def add_edge(self, u: int, v: int) -> Mutation:
+        """Insert edge ``{u, v}`` through the log."""
+        return self.apply(Mutation(ADD_EDGE, u, v))
+
+    def remove_edge(self, u: int, v: int) -> Mutation:
+        """Delete edge ``{u, v}`` through the log."""
+        return self.apply(Mutation(REMOVE_EDGE, u, v))
+
+    def add_vertex(self) -> Mutation:
+        """Append a fresh isolated vertex through the log."""
+        return self.apply(Mutation(ADD_VERTEX))
+
+    # ------------------------------------------------------------------
+    # History
+    # ------------------------------------------------------------------
+    def as_of(self, version: int) -> Graph:
+        """Rebuild the graph exactly as it was at ``version``.
+
+        ``version`` counts applied mutations: 0 is the base graph, the
+        current :attr:`version` is the present state.
+        """
+        if not 0 <= version <= self.version:
+            raise GraphError(
+                f"version {version} out of range [0, {self.version}]"
+            )
+        g = self._base.copy()
+        for mutation in self._log[:version]:
+            apply_mutation(g, mutation)
+        return g
+
+    @classmethod
+    def replay(cls, base: Graph, mutations: Sequence[Mutation]) -> "DynamicGraph":
+        """Construct a dynamic graph by applying ``mutations`` to ``base``."""
+        dyn = cls(base)
+        dyn.apply_all(mutations)
+        return dyn
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(n={self.n}, m={self.m}, version={self.version})"
+        )

@@ -1,0 +1,140 @@
+"""Edge-stream mutations: the atomic update vocabulary of dynamic graphs.
+
+A :class:`Mutation` is one of three operations on an evolving graph —
+``add_edge``, ``remove_edge`` or ``add_vertex`` — expressed purely as
+data so that mutation sequences can be logged, hashed, serialised
+(:mod:`repro.graphs.io` edge-stream format) and replayed deterministically.
+
+The one-line text form is::
+
+    + 3 7      # add the undirected edge {3, 7}
+    - 3 7      # remove the undirected edge {3, 7}
+    +v         # append a fresh isolated vertex
+
+This module is dependency-free by design: :mod:`repro.graphs.io` imports
+it lazily for the stream format, and the rest of :mod:`repro.dynamic`
+builds on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import GraphError
+
+__all__ = ["ADD_EDGE", "REMOVE_EDGE", "ADD_VERTEX", "MUTATION_OPS", "Mutation"]
+
+#: Operation tags (the ``op`` field of :class:`Mutation`).
+ADD_EDGE = "add_edge"
+REMOVE_EDGE = "remove_edge"
+ADD_VERTEX = "add_vertex"
+
+#: All valid operation tags.
+MUTATION_OPS: Tuple[str, ...] = (ADD_EDGE, REMOVE_EDGE, ADD_VERTEX)
+
+#: Text tokens of the one-line stream format, by operation.
+_OP_TOKEN = {ADD_EDGE: "+", REMOVE_EDGE: "-", ADD_VERTEX: "+v"}
+_TOKEN_OP = {token: op for op, token in _OP_TOKEN.items()}
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One atomic update of a dynamic graph.
+
+    ``u``/``v`` are the edge endpoints for the edge operations (stored in
+    canonical ``u < v`` order by :meth:`canonical`) and ``None`` for
+    ``add_vertex``.
+    """
+
+    op: str
+    u: Optional[int] = None
+    v: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in MUTATION_OPS:
+            raise GraphError(
+                f"unknown mutation op {self.op!r}; "
+                f"choose from {', '.join(MUTATION_OPS)}"
+            )
+        if self.op == ADD_VERTEX:
+            if self.u is not None or self.v is not None:
+                raise GraphError("add_vertex mutation takes no endpoints")
+        else:
+            if self.u is None or self.v is None:
+                raise GraphError(f"{self.op} mutation needs both endpoints")
+            if self.u == self.v:
+                raise GraphError(
+                    f"self-loop mutation ({self.u},{self.v}) not allowed"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_edge_op(self) -> bool:
+        """Whether this mutation names an edge (add/remove)."""
+        return self.op != ADD_VERTEX
+
+    @property
+    def edge(self) -> Optional[Tuple[int, int]]:
+        """The canonical ``(u, v)`` pair, or ``None`` for add_vertex."""
+        if not self.is_edge_op:
+            return None
+        return (self.u, self.v) if self.u < self.v else (self.v, self.u)
+
+    def canonical(self) -> "Mutation":
+        """The same mutation with edge endpoints in ``u < v`` order."""
+        if not self.is_edge_op or self.u < self.v:
+            return self
+        return Mutation(self.op, self.v, self.u)
+
+    # ------------------------------------------------------------------
+    # One-line text form (the edge-stream format of repro.graphs.io)
+    # ------------------------------------------------------------------
+    def to_line(self) -> str:
+        """Serialise to the one-line stream form (``+ u v`` / ``- u v`` /
+        ``+v``)."""
+        if self.op == ADD_VERTEX:
+            return _OP_TOKEN[ADD_VERTEX]
+        u, v = self.edge
+        return f"{_OP_TOKEN[self.op]} {u} {v}"
+
+    @classmethod
+    def from_line(cls, line: str, *, lineno: int = 0) -> "Mutation":
+        """Parse one stream line; raises :class:`GraphError` on bad input.
+
+        ``lineno`` (1-based) is included in error messages so malformed
+        files point at the offending line.
+        """
+        where = f"line {lineno}: " if lineno else ""
+        tokens = line.split()
+        if not tokens or tokens[0] not in _TOKEN_OP:
+            raise GraphError(
+                f"{where}expected '+ u v', '- u v' or '+v', got {line!r}"
+            )
+        op = _TOKEN_OP[tokens[0]]
+        if op == ADD_VERTEX:
+            if len(tokens) != 1:
+                raise GraphError(
+                    f"{where}'+v' takes no arguments, got {line!r}"
+                )
+            return cls(ADD_VERTEX)
+        if len(tokens) != 3:
+            raise GraphError(
+                f"{where}expected two endpoints after {tokens[0]!r}, "
+                f"got {line!r}"
+            )
+        try:
+            u, v = int(tokens[1]), int(tokens[2])
+        except ValueError:
+            raise GraphError(
+                f"{where}non-integer endpoint in {line!r}"
+            ) from None
+        if u < 0 or v < 0:
+            raise GraphError(f"{where}negative endpoint in {line!r}")
+        try:
+            return cls(op, u, v).canonical()
+        except GraphError as exc:
+            raise GraphError(f"{where}{exc}") from None
+
+    def __repr__(self) -> str:
+        return f"Mutation({self.to_line()!r})"

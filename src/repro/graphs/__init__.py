@@ -67,7 +67,16 @@ from .farness import (
     min_edge_deletions_to_ck_free,
 )
 from .convert import from_networkx, to_networkx
-from .io import dumps, loads, read_edge_list, write_edge_list
+from .io import (
+    dumps,
+    dumps_stream,
+    loads,
+    loads_stream,
+    read_edge_list,
+    read_edge_stream,
+    write_edge_list,
+    write_edge_stream,
+)
 from .properties import (
     bfs_distances,
     bipartition,
@@ -135,9 +144,13 @@ __all__ = [
     "to_networkx",
     # io
     "dumps",
+    "dumps_stream",
     "loads",
+    "loads_stream",
     "read_edge_list",
+    "read_edge_stream",
     "write_edge_list",
+    "write_edge_stream",
     # properties
     "bfs_distances",
     "bipartition",

@@ -12,6 +12,7 @@ path never imports networkx.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, List, Sequence, Set, Tuple
 
 import numpy as np
@@ -264,8 +265,24 @@ class Graph:
             return NotImplemented
         return self._n == other._n and self._adj == other._adj
 
-    def __hash__(self):  # pragma: no cover - graphs are mutable
-        raise TypeError("Graph is unhashable (mutable)")
+    # Mutable container: explicitly unhashable (``hash(g)`` raises
+    # TypeError).  Identity-keyed caches must use ``content_hash()``.
+    __hash__ = None  # type: ignore[assignment]
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of the graph's canonical serialisation.
+
+        Two graphs have equal hashes iff they have the same vertex count
+        and the same canonical edge set — exactly the :meth:`__eq__`
+        relation.  The digest is stable across processes and Python
+        versions, which is what dynamic-graph snapshots
+        (:mod:`repro.dynamic.graph`) key their version store on.
+        """
+        h = hashlib.sha256()
+        h.update(f"graph/1 n={self._n}\n".encode())
+        for u, v in self.edges():
+            h.update(f"{u} {v}\n".encode())
+        return h.hexdigest()
 
     def __repr__(self) -> str:
         return f"Graph(n={self._n}, m={self._m})"

@@ -1,20 +1,37 @@
-"""Plain-text graph serialisation (edge-list format).
+"""Plain-text graph serialisation (edge-list and edge-stream formats).
 
-Format: optional comment lines (``#``), then a header line ``n m``, then
-one ``u v`` pair per line.  Deterministic output (canonical edge order),
-round-trip safe, and tolerant of blank lines on input.
+Two formats live here:
+
+* **edge list** (a frozen graph): optional comment lines (``#``), then a
+  header line ``n m``, then one ``u v`` pair per line.  Deterministic
+  output (canonical edge order), round-trip safe, and tolerant of blank
+  lines on input.
+* **edge stream** (a mutation sequence for dynamic graphs): one
+  :class:`~repro.dynamic.mutations.Mutation` per line — ``+ u v`` /
+  ``- u v`` / ``+v`` — with the same comment/blank-line conventions.
+  Streams pair with a base edge-list file; ``repro dynamic replay``
+  reads both and replays the scenario.
 """
 
 from __future__ import annotations
 
 import io
 import pathlib
-from typing import TextIO, Union
+from typing import List, Sequence, Union
 
 from ..errors import GraphError
 from .graph import Graph
 
-__all__ = ["write_edge_list", "read_edge_list", "dumps", "loads"]
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "dumps",
+    "loads",
+    "dumps_stream",
+    "loads_stream",
+    "read_edge_stream",
+    "write_edge_stream",
+]
 
 PathLike = Union[str, pathlib.Path]
 
@@ -69,3 +86,52 @@ def write_edge_list(g: Graph, path: PathLike, comment: str = "") -> None:
 def read_edge_list(path: PathLike) -> Graph:
     """Read a graph from ``path``."""
     return loads(pathlib.Path(path).read_text())
+
+
+# ---------------------------------------------------------------------------
+# Edge-stream format (mutation sequences for dynamic graphs)
+# ---------------------------------------------------------------------------
+def dumps_stream(mutations: Sequence, comment: str = "") -> str:
+    """Serialise a mutation sequence to the edge-stream text format.
+
+    One mutation per line (``+ u v`` / ``- u v`` / ``+v``), preceded by
+    optional ``#`` comment lines.  Round-trips through
+    :func:`loads_stream` exactly.
+    """
+    buf = io.StringIO()
+    if comment:
+        for line in comment.splitlines():
+            buf.write(f"# {line}\n")
+    for mutation in mutations:
+        buf.write(mutation.to_line() + "\n")
+    return buf.getvalue()
+
+
+def loads_stream(text: str) -> List:
+    """Parse the edge-stream text format into a mutation list.
+
+    Blank lines and ``#`` comments are skipped; any other malformed line
+    raises :class:`~repro.errors.GraphError` with its line number.
+    """
+    # Imported lazily: repro.graphs is a low layer, and pulling the
+    # repro.dynamic package in at import time would create a cycle.
+    from ..dynamic.mutations import Mutation
+
+    out: List[Mutation] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        out.append(Mutation.from_line(line, lineno=lineno))
+    return out
+
+
+def write_edge_stream(mutations: Sequence, path: PathLike,
+                      comment: str = "") -> None:
+    """Write a mutation sequence to ``path`` in edge-stream format."""
+    pathlib.Path(path).write_text(dumps_stream(mutations, comment=comment))
+
+
+def read_edge_stream(path: PathLike) -> List:
+    """Read a mutation sequence from an edge-stream file."""
+    return loads_stream(pathlib.Path(path).read_text())

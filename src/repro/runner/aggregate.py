@@ -26,7 +26,8 @@ __all__ = [
 ]
 
 DEFAULT_GROUP_BY: Tuple[str, ...] = (
-    "generator", "params", "k", "eps", "algorithm", "engine",
+    "generator", "params", "k", "eps", "algorithm", "engine", "stream",
+    "faults",
 )
 
 
@@ -53,10 +54,13 @@ def _group_key(record: Dict[str, Any], group_by: Sequence[str]) -> Tuple[str, ..
 
 
 def _positive(record: Dict[str, Any]) -> bool:
-    """Whether the run found a cycle (tester reject / detect hit)."""
+    """Whether the run found a cycle (tester reject / detect hit / a
+    temporal replay ending in reject)."""
     outcome = record.get("outcome") or {}
     if "accepted" in outcome:
         return not outcome["accepted"]
+    if "final_accepted" in outcome:
+        return not outcome["final_accepted"]
     return bool(outcome.get("detected"))
 
 

@@ -27,7 +27,7 @@ from ..core.tester import CkFreenessTester
 from ..errors import ConfigurationError, ReproError
 from ..graphs.graph import Graph
 from . import registry
-from .runtable import RunRow, RunTable, derive_seed
+from .runtable import STREAM_ALGORITHMS, RunRow, RunTable, derive_seed
 from .store import CampaignStore
 
 __all__ = [
@@ -75,9 +75,11 @@ def _probe_edge(graph: Graph) -> tuple:
 
 
 def _run_tester(
-    graph: Graph, k: int, eps: float, seed: int, engine: str
+    graph: Graph, k: int, eps: float, seed: int, engine: str, faults=None
 ) -> Dict[str, Any]:
-    result = CkFreenessTester(k, eps, engine=engine).run(graph, seed=seed)
+    result = CkFreenessTester(k, eps, engine=engine, faults=faults).run(
+        graph, seed=seed
+    )
     return {
         "accepted": result.accepted,
         "repetitions_run": result.repetitions_run,
@@ -88,9 +90,11 @@ def _run_tester(
 
 
 def _run_detect(
-    graph: Graph, k: int, eps: float, seed: int, engine: str
+    graph: Graph, k: int, eps: float, seed: int, engine: str, faults=None
 ) -> Dict[str, Any]:
-    det = detect_cycle_through_edge(graph, _probe_edge(graph), k, engine=engine)
+    det = detect_cycle_through_edge(
+        graph, _probe_edge(graph), k, engine=engine, faults=faults
+    )
     return {
         "detected": det.detected,
         "rounds": det.run.trace.num_rounds,
@@ -100,7 +104,7 @@ def _run_detect(
 
 
 def _run_naive(
-    graph: Graph, k: int, eps: float, seed: int, engine: str
+    graph: Graph, k: int, eps: float, seed: int, engine: str, faults=None
 ) -> Dict[str, Any]:
     # Baselines run on the reference scheduler regardless of the engine
     # factor: their point is the per-message congestion audit.
@@ -113,7 +117,7 @@ def _run_naive(
 
 
 def _run_gather(
-    graph: Graph, k: int, eps: float, seed: int, engine: str
+    graph: Graph, k: int, eps: float, seed: int, engine: str, faults=None
 ) -> Dict[str, Any]:
     res = gather_detect_cycle_through_edge(graph, _probe_edge(graph), k)
     return {
@@ -122,12 +126,32 @@ def _run_gather(
     }
 
 
-_ALGORITHMS: Dict[str, Callable[[Graph, int, float, int, str], Dict[str, Any]]] = {
+_ALGORITHMS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "tester": _run_tester,
     "detect": _run_detect,
     "naive": _run_naive,
     "gather": _run_gather,
 }
+
+
+def _run_stream_row(
+    graph: Graph, row: RunRow, seed: int, faults=None
+) -> Dict[str, Any]:
+    """Execute a temporal row: replay the row's scenario over ``graph``.
+
+    ``monitor`` rows run the incremental :class:`~repro.dynamic.monitor.
+    CkMonitor`; ``tester`` rows run the naive per-step from-scratch
+    baseline on the identical seed schedule, so their verdict
+    trajectories are directly comparable (and must agree).
+    """
+    # Imported lazily: repro.dynamic sits above the runner layer.
+    from ..dynamic.campaign import run_monitor_stream, run_naive_stream
+
+    run = run_monitor_stream if row.algorithm == "monitor" else run_naive_stream
+    return run(
+        graph, row.stream, row.k,
+        engine=row.engine, seed=seed, epsilon=row.eps, faults=faults,
+    )
 
 
 def execute_row(row: RunRow) -> Dict[str, Any]:
@@ -143,10 +167,14 @@ def execute_row(row: RunRow) -> Dict[str, Any]:
     # Independent sub-seeds for instance sampling and protocol randomness.
     graph_seed = derive_seed(row.seed, "graph")
     algo_seed = derive_seed(row.seed, "algorithm")
-    try:
-        algorithm = _ALGORITHMS[row.algorithm]
-    except KeyError:
-        raise ConfigurationError(f"unknown algorithm {row.algorithm!r}") from None
+    if row.stream is None:
+        if row.algorithm not in _ALGORITHMS:
+            raise ConfigurationError(f"unknown algorithm {row.algorithm!r}")
+    elif row.algorithm not in STREAM_ALGORITHMS:
+        raise ConfigurationError(
+            f"algorithm {row.algorithm!r} cannot replay a stream; "
+            f"temporal rows take one of {', '.join(STREAM_ALGORITHMS)}"
+        )
     try:
         # The row's k/eps double as family parameters (flower, eps-far, ...)
         # unless the generator entry pinned its own values.
@@ -154,7 +182,19 @@ def execute_row(row: RunRow) -> Dict[str, Any]:
         graph = registry.build_graph(row.generator, seed=graph_seed, **gen_params)
         record["n"] = graph.n
         record["m"] = graph.m
-        record["outcome"] = algorithm(graph, row.k, row.eps, algo_seed, row.engine)
+        faults = None
+        if row.faults is not None:
+            from ..congest.faults import build_fault_model
+
+            faults = build_fault_model(
+                row.faults, seed=derive_seed(row.seed, "faults")
+            )
+        if row.stream is not None:
+            record["outcome"] = _run_stream_row(graph, row, algo_seed, faults)
+        else:
+            record["outcome"] = _ALGORITHMS[row.algorithm](
+                graph, row.k, row.eps, algo_seed, row.engine, faults
+            )
         record["status"] = "ok"
     except ReproError as exc:
         record["status"] = "error"

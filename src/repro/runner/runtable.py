@@ -22,7 +22,7 @@ import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..congest.engine import ENGINE_NAMES
 from ..errors import ConfigurationError
@@ -31,6 +31,8 @@ from . import registry
 __all__ = [
     "ALGORITHM_NAMES",
     "ENGINE_NAMES",
+    "FAULT_AWARE_ALGORITHMS",
+    "STREAM_ALGORITHMS",
     "CampaignSpec",
     "RunRow",
     "RunTable",
@@ -39,14 +41,28 @@ __all__ = [
 ]
 
 #: Algorithm/baseline variants a run row may name (executed by
-#: :mod:`repro.runner.executor`).
-ALGORITHM_NAMES: Tuple[str, ...] = ("tester", "detect", "naive", "gather")
+#: :mod:`repro.runner.executor`).  ``monitor`` is the incremental
+#: :class:`~repro.dynamic.monitor.CkMonitor` and only exists on temporal
+#: rows (``stream`` factor set).
+ALGORITHM_NAMES: Tuple[str, ...] = ("tester", "detect", "naive", "gather",
+                                    "monitor")
 
 #: Variants that actually take an engine; the baselines always run on the
 #: reference scheduler (their point is the per-message congestion audit),
 #: so the grid expansion pins them there instead of crossing them with
 #: the engines factor — no duplicate work, no mislabeled report rows.
-ENGINE_AWARE_ALGORITHMS: Tuple[str, ...] = ("tester", "detect")
+ENGINE_AWARE_ALGORITHMS: Tuple[str, ...] = ("tester", "detect", "monitor")
+
+#: Variants that can replay a temporal row: the incremental monitor and
+#: the naive per-step from-scratch tester it is benchmarked against.
+#: Other algorithms collapse the stream axis (run_id dedup drops twins),
+#: exactly like the engine axis for engine-blind baselines.
+STREAM_ALGORITHMS: Tuple[str, ...] = ("monitor", "tester")
+
+#: Variants that accept a fault model.  Fault injection lives in the
+#: reference scheduler, so faulted rows are also pinned to the
+#: ``reference`` engine during expansion.
+FAULT_AWARE_ALGORITHMS: Tuple[str, ...] = ("tester", "detect", "monitor")
 
 _SEED_MASK = (1 << 63) - 1
 
@@ -70,7 +86,16 @@ def derive_seed(master_seed: int, *tokens: Any) -> int:
 
 @dataclass(frozen=True)
 class RunRow:
-    """One concrete unit of work in a campaign."""
+    """One concrete unit of work in a campaign.
+
+    ``stream`` (a scenario spec string, see
+    :func:`repro.dynamic.streams.parse_stream_spec`) marks a *temporal*
+    row: the generator builds the base graph and the named scenario is
+    replayed over it.  ``faults`` (a fault spec string, see
+    :func:`repro.congest.faults.parse_fault_spec`) runs the row over
+    unreliable links.  Both default to ``None`` (static, reliable), which
+    keeps every pre-dynamic campaign store resumable with unchanged ids.
+    """
 
     run_id: str
     campaign: str
@@ -82,14 +107,20 @@ class RunRow:
     repetition: int
     seed: int
     engine: str = "reference"
+    stream: Optional[str] = None
+    faults: Optional[str] = None
 
     def params_dict(self) -> Dict[str, Any]:
         """Generator params as a plain dict."""
         return dict(self.params)
 
     def factors(self) -> Dict[str, Any]:
-        """The factor coordinates (everything except run_id and seed)."""
-        return {
+        """The factor coordinates (everything except run_id and seed).
+
+        ``stream``/``faults`` appear only when set, so static reliable
+        rows keep their historical record shape byte for byte.
+        """
+        out = {
             "campaign": self.campaign,
             "generator": self.generator,
             "params": self.params_dict(),
@@ -99,6 +130,11 @@ class RunRow:
             "engine": self.engine,
             "repetition": self.repetition,
         }
+        if self.stream is not None:
+            out["stream"] = self.stream
+        if self.faults is not None:
+            out["faults"] = self.faults
+        return out
 
 
 @dataclass
@@ -137,9 +173,16 @@ class CampaignSpec:
     ``generators`` is a list of ``{"family": name, "params": {...}}``
     entries; list-valued params are crossed (so one entry can sweep n).
     The full grid is generators x ks x epsilons x algorithms x engines x
-    repetitions.  ``engines`` selects the scheduler backend(s)
-    (:data:`~repro.congest.engine.ENGINE_NAMES`); sweeping it turns any
-    campaign into an engine benchmark/equivalence check.
+    streams x faults x repetitions.  ``engines`` selects the scheduler
+    backend(s) (:data:`~repro.congest.engine.ENGINE_NAMES`); sweeping it
+    turns any campaign into an engine benchmark/equivalence check.
+
+    ``streams`` makes a campaign *temporal*: each non-``None`` entry is a
+    scenario spec string (``"uniform-churn"``, ``"burst:steps=40"`` ...)
+    replayed over the generated base graph, so churn models sweep exactly
+    like static families.  ``faults`` entries are fault spec strings
+    (``"drop:p=0.05"``, ``"targeted:u=0,v=1"``); faulted rows run on the
+    reference engine.  ``None`` entries mean static/reliable.
     """
 
     name: str
@@ -148,6 +191,8 @@ class CampaignSpec:
     epsilons: Sequence[float] = (0.1,)
     algorithms: Sequence[str] = ("tester",)
     engines: Sequence[str] = ("reference",)
+    streams: Sequence[Optional[str]] = (None,)
+    faults: Sequence[Optional[str]] = (None,)
     repetitions: int = 1
     seed: int = 0
 
@@ -191,6 +236,31 @@ class CampaignSpec:
                     f"unknown engine {eng!r}; choose from "
                     f"{', '.join(ENGINE_NAMES)}"
                 )
+        for attr in ("streams", "faults"):
+            value = getattr(self, attr)
+            if not isinstance(value, (list, tuple)) or not value:
+                raise ConfigurationError(
+                    f"campaign {attr} must be a non-empty list "
+                    f"(use [null] for none)"
+                )
+        for strm in self.streams:
+            if strm is not None:
+                # Validates the scenario name and every parameter key.
+                from ..dynamic.streams import parse_stream_spec
+
+                parse_stream_spec(strm)
+        for flt in self.faults:
+            if flt is not None:
+                from ..congest.faults import parse_fault_spec
+
+                parse_fault_spec(flt)
+        if "monitor" in self.algorithms and all(
+            strm is None for strm in self.streams
+        ):
+            raise ConfigurationError(
+                "the 'monitor' algorithm is temporal: give the campaign a "
+                "streams factor (e.g. streams=['uniform-churn'])"
+            )
         if self.repetitions < 1:
             raise ConfigurationError("repetitions must be >= 1")
 
@@ -203,13 +273,27 @@ class CampaignSpec:
         for entry in self.generators:
             family = entry["family"]
             for params in _expand_params(entry.get("params", {})):
-                for k, eps, algo, eng, rep in itertools.product(
+                for k, eps, algo, eng, strm, flt, rep in itertools.product(
                     self.ks, self.epsilons, self.algorithms, self.engines,
-                    range(self.repetitions),
+                    self.streams, self.faults, range(self.repetitions),
                 ):
-                    if algo not in ENGINE_AWARE_ALGORITHMS:
-                        # Engine-independent baseline: collapse the engine
-                        # axis (the run_id dedup below drops the twins).
+                    if flt == "none":
+                        # parse_fault_spec accepts the spelling 'none';
+                        # normalise it so both spellings share one row
+                        # identity (and no engine pinning happens).
+                        flt = None
+                    if algo == "monitor" and strm is None:
+                        continue  # the monitor only exists on streams
+                    if algo not in STREAM_ALGORITHMS:
+                        # Stream-blind variant: collapse the stream axis
+                        # (the run_id dedup below drops the twins).
+                        strm = None
+                    if algo not in FAULT_AWARE_ALGORITHMS:
+                        flt = None  # baselines audit reliable links only
+                    if algo not in ENGINE_AWARE_ALGORITHMS or flt is not None:
+                        # Engine-independent baseline — or a faulted row:
+                        # fault injection lives in the reference
+                        # scheduler, so the engine axis collapses too.
                         eng = "reference"
                     factors = {
                         "campaign": self.name,
@@ -220,6 +304,13 @@ class CampaignSpec:
                         "algorithm": algo,
                         "repetition": rep,
                     }
+                    # Temporal/fault coordinates join the identity hash
+                    # only when set: static reliable rows keep their
+                    # historical ids, so old stores stay resumable.
+                    if strm is not None:
+                        factors["stream"] = strm
+                    if flt is not None:
+                        factors["faults"] = flt
                     # The master seed is part of a row's identity: the
                     # same grid under a new seed is a *new* set of rows,
                     # so resume never serves stale-seed results.  The
@@ -244,6 +335,26 @@ class CampaignSpec:
                     if run_id in seen:
                         continue  # identical factor combination listed twice
                     seen.add(run_id)
+                    # Temporal rows derive their seed from an
+                    # *algorithm-independent* hash (same trick as the
+                    # engine axis above): the monitor row and its naive
+                    # 'tester' twin then build the identical base graph,
+                    # the identical mutation stream and the identical
+                    # per-step seed schedule — so any temporal campaign
+                    # doubles as an incremental-vs-naive equivalence
+                    # comparison.  Static rows keep the historical
+                    # per-algorithm seeds byte for byte.
+                    seed_basis = base_id
+                    if strm is not None:
+                        seed_factors = {
+                            key: value for key, value in factors.items()
+                            if key != "algorithm"
+                        }
+                        seed_basis = hashlib.sha256(
+                            canonical_json(
+                                {**seed_factors, "seed": self.seed}
+                            ).encode()
+                        ).hexdigest()[:16]
                     table.rows.append(
                         RunRow(
                             run_id=run_id,
@@ -254,8 +365,10 @@ class CampaignSpec:
                             eps=eps,
                             algorithm=algo,
                             repetition=rep,
-                            seed=derive_seed(self.seed, base_id),
+                            seed=derive_seed(self.seed, seed_basis),
                             engine=eng,
+                            stream=strm,
+                            faults=flt,
                         )
                     )
         return table
@@ -271,6 +384,8 @@ class CampaignSpec:
                 "epsilons": list(self.epsilons),
                 "algorithms": list(self.algorithms),
                 "engines": list(self.engines),
+                "streams": list(self.streams),
+                "faults": list(self.faults),
                 "repetitions": self.repetitions,
                 "seed": self.seed,
             },
@@ -292,6 +407,8 @@ class CampaignSpec:
                 epsilons=data.get("epsilons", [0.1]),
                 algorithms=data.get("algorithms", ["tester"]),
                 engines=data.get("engines", ["reference"]),
+                streams=data.get("streams", [None]),
+                faults=data.get("faults", [None]),
                 repetitions=data.get("repetitions", 1),
                 seed=data.get("seed", 0),
             )

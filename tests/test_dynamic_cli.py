@@ -1,0 +1,275 @@
+"""CLI + campaign integration for the dynamic subsystem and the faults
+factor: ``repro dynamic run|replay|report``, temporal campaigns
+(streams factor, monitor algorithm), fault spec strings end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.congest.faults import (
+    DropFaults,
+    TargetedFaults,
+    build_fault_model,
+    parse_fault_spec,
+)
+from repro.errors import ConfigurationError, EngineUnavailableError
+from repro.runner import CampaignSpec, CampaignStore, execute_row, run_campaign
+
+
+class TestFaultSpecs:
+    def test_parse_none(self):
+        assert parse_fault_spec("none") == ("none", {})
+        assert build_fault_model(None) is None
+        assert build_fault_model("none") is None
+
+    def test_parse_drop_forms(self):
+        assert parse_fault_spec("drop:0.05") == ("drop", {"p": 0.05})
+        assert parse_fault_spec("drop:p=0.25") == ("drop", {"p": 0.25})
+        model = build_fault_model("drop:p=0.5", seed=1)
+        assert isinstance(model, DropFaults) and model.p == 0.5
+
+    def test_parse_targeted(self):
+        name, params = parse_fault_spec("targeted:u=3,v=7")
+        assert name == "targeted" and params == {"u": 3, "v": 7}
+        model = build_fault_model("targeted:u=3,v=7,round=2")
+        assert isinstance(model, TargetedFaults)
+        assert not model.delivers(2, 3, 7)
+        assert not model.delivers(2, 7, 3)
+        assert model.delivers(1, 3, 7)
+
+    @pytest.mark.parametrize("bad", [
+        "", "zap", "none:x=1", "drop", "drop:p=nope", "drop:p=1.5",
+        "targeted:u=1", "targeted:u=1,w=2", "targeted:u=a,v=2",
+    ])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_fault_spec(bad)
+
+    def test_fast_engine_rejects_faults(self):
+        pytest.importorskip("numpy")
+        from repro.core.tester import CkFreenessTester
+        from repro.graphs.generators import cycle_graph
+
+        tester = CkFreenessTester(
+            5, 0.1, engine="fast", faults=build_fault_model("drop:p=0.5")
+        )
+        with pytest.raises(ConfigurationError, match="reference"):
+            tester.run(cycle_graph(5), seed=0)
+
+    def test_targeted_fault_hides_the_witness(self):
+        # Censoring one cycle link in every round starves detection on
+        # the lone 5-cycle: soundness keeps it accept, completeness dies.
+        from repro.core.algorithm1 import detect_cycle_through_edge
+        from repro.graphs.generators import cycle_graph
+
+        g = cycle_graph(5)
+        clean = detect_cycle_through_edge(g, (0, 1), 5)
+        assert clean.detected
+        jammed = detect_cycle_through_edge(
+            g, (0, 1), 5, faults=build_fault_model("targeted:u=2,v=3"),
+        )
+        assert not jammed.detected
+
+
+class TestTemporalCampaigns:
+    def spec(self, **overrides):
+        base = dict(
+            name="dyn-unit",
+            generators=[{"family": "gnp", "params": {"n": 14, "p": 0.12}}],
+            ks=[5],
+            epsilons=[0.15],
+            algorithms=["monitor", "tester"],
+            streams=["uniform-churn:steps=8"],
+            repetitions=1,
+            seed=3,
+        )
+        base.update(overrides)
+        return CampaignSpec(**base)
+
+    def test_monitor_requires_streams(self):
+        with pytest.raises(ConfigurationError, match="temporal"):
+            self.spec(streams=[None]).validate()
+
+    def test_invalid_stream_spec_fails_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.spec(streams=["no-such-scenario"]).validate()
+
+    def test_invalid_fault_spec_fails_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.spec(faults=["zap:1"]).validate()
+
+    def test_stream_axis_collapses_for_stream_blind_algorithms(self):
+        spec = self.spec(algorithms=["monitor", "tester", "naive"],
+                         streams=[None, "uniform-churn:steps=8"])
+        rows = spec.expand()
+        by_algo = {}
+        for row in rows:
+            by_algo.setdefault(row.algorithm, []).append(row.stream)
+        assert by_algo["monitor"] == ["uniform-churn:steps=8"]
+        assert sorted(by_algo["tester"], key=str) == \
+            [None, "uniform-churn:steps=8"]
+        assert by_algo["naive"] == [None]  # collapsed, deduped
+
+    def test_faulted_rows_pin_reference_engine(self):
+        spec = self.spec(algorithms=["tester"], streams=[None],
+                         engines=["reference", "fast"],
+                         faults=[None, "drop:p=0.3"])
+        rows = spec.expand()
+        faulted = [r for r in rows if r.faults is not None]
+        assert faulted and all(r.engine == "reference" for r in faulted)
+        clean = [r for r in rows if r.faults is None]
+        assert {r.engine for r in clean} == {"reference", "fast"}
+
+    def test_none_fault_spelling_normalises_to_reliable(self):
+        # 'none' (the spelling parse_fault_spec accepts) must behave
+        # exactly like None: same row identity, no engine pinning.
+        explicit = self.spec(algorithms=["tester"], streams=[None],
+                             engines=["fast"], faults=["none"]).expand()
+        implicit = self.spec(algorithms=["tester"], streams=[None],
+                             engines=["fast"], faults=[None]).expand()
+        assert explicit.row_ids() == implicit.row_ids()
+        assert all(r.engine == "fast" and r.faults is None
+                   for r in explicit.rows)
+
+    def test_temporal_row_with_stream_blind_algorithm_raises(self):
+        from repro.runner.runtable import RunRow
+
+        row = RunRow(run_id="x", campaign="c", generator="cycle",
+                     params=(("n", 8),), k=5, eps=0.1, algorithm="gather",
+                     repetition=0, seed=1, stream="uniform-churn:steps=4")
+        with pytest.raises(ConfigurationError, match="temporal"):
+            execute_row(row)
+
+    def test_stream_and_fault_join_run_id_identity(self):
+        plain = self.spec(algorithms=["tester"], streams=[None]).expand()
+        churn = self.spec(algorithms=["tester"]).expand()
+        faulted = self.spec(algorithms=["tester"], streams=[None],
+                            faults=["drop:p=0.2"]).expand()
+        ids = [t.rows[0].run_id for t in (plain, churn, faulted)]
+        assert len(set(ids)) == 3
+
+    def test_execute_monitor_row_outcome(self):
+        row = next(r for r in self.spec().expand()
+                   if r.algorithm == "monitor")
+        record = execute_row(row)
+        assert record["status"] == "ok"
+        assert record["stream"] == "uniform-churn:steps=8"
+        out = record["outcome"]
+        assert out["strategy"] == "monitor" and out["steps"] == 8
+        assert out["cache_hits"] + out["local_rechecks"] + \
+            out["full_retests"] == 8
+
+    def test_monitor_and_naive_rows_agree_on_trajectory(self):
+        rows = {r.algorithm: r for r in self.spec().expand()}
+        monitor = execute_row(rows["monitor"])["outcome"]
+        naive = execute_row(rows["tester"])["outcome"]
+        assert naive["strategy"] == "naive"
+        for field in ("final_accepted", "reject_steps", "verdict_flips",
+                      "final_hash", "final_n", "final_m"):
+            assert monitor[field] == naive[field], field
+
+    def test_faulted_stream_row_executes(self):
+        row = self.spec(faults=["drop:p=0.1"]).expand().rows[0]
+        assert row.faults == "drop:p=0.1"
+        record = execute_row(row)
+        assert record["status"] == "ok"
+        assert record["faults"] == "drop:p=0.1"
+
+    def test_temporal_campaign_runs_and_resumes(self, tmp_path):
+        spec = self.spec()
+        store = CampaignStore(tmp_path / "dyn.jsonl")
+        report = run_campaign(spec.expand(), store)
+        assert report.errors == 0 and report.executed == 2
+        again = run_campaign(spec.expand(), store)
+        assert again.executed == 0 and again.skipped == 2
+
+    def test_spec_json_round_trip_keeps_new_factors(self):
+        spec = self.spec(faults=[None, "drop:p=0.2"])
+        twin = CampaignSpec.from_json(spec.to_json())
+        assert list(twin.streams) == list(spec.streams)
+        assert list(twin.faults) == list(spec.faults)
+        assert twin.expand().row_ids() == spec.expand().row_ids()
+
+    def test_legacy_spec_json_defaults_to_static_reliable(self):
+        text = json.dumps({
+            "name": "old", "generators": [{"family": "cycle",
+                                           "params": {"n": 8}}],
+        })
+        spec = CampaignSpec.from_json(text)
+        assert list(spec.streams) == [None]
+        assert list(spec.faults) == [None]
+
+
+class TestDynamicCli:
+    def test_run_replay_report_round_trip(self, tmp_path, capsys):
+        base = tmp_path / "base.edges"
+        stream = tmp_path / "churn.stream"
+        log = tmp_path / "dyn.jsonl"
+        rc = main([
+            "dynamic", "run", "--generator", "gnp", "--n", "16",
+            "--p", "0.12", "--k", "5",
+            "--stream", "uniform-churn:steps=8,p=0.6",
+            "--base-out", str(base), "--stream-out", str(stream),
+            "--log", str(log), "--seed", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "monitor:" in out and "steps=8" in out
+        assert base.exists() and stream.exists() and log.exists()
+        # Every step line plus the summary line is valid JSON.
+        lines = [json.loads(line) for line in
+                 log.read_text().splitlines() if line.strip()]
+        assert len(lines) == 9 and "summary" in lines[-1]
+
+        rc = main([
+            "dynamic", "replay", "--base", str(base),
+            "--stream-file", str(stream), "--k", "5", "--quiet",
+        ])
+        assert rc == 0
+        replay_out = capsys.readouterr().out
+        # Replay reproduces the identical final state fingerprint.
+        final_line = [l for l in out.splitlines() if l.startswith("final:")]
+        assert final_line[0] in replay_out
+
+        rc = main(["dynamic", "report", "--log", str(log)])
+        assert rc == 0
+        report_out = capsys.readouterr().out
+        assert "8 steps" in report_out and "summary:" in report_out
+
+    def test_report_missing_log_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no dynamic log"):
+            main(["dynamic", "report", "--log", str(tmp_path / "nope")])
+
+    def test_run_with_faults_flag(self, capsys):
+        rc = main([
+            "dynamic", "run", "--generator", "cycle", "--n", "12",
+            "--k", "5", "--stream", "growth:steps=6", "--quiet",
+            "--faults", "drop:p=0.05",
+        ])
+        assert rc == 0
+        assert "monitor:" in capsys.readouterr().out
+
+    def test_test_command_accepts_faults(self, capsys):
+        rc = main([
+            "test", "--generator", "cycle", "--n", "5", "--k", "5",
+            "--repetitions", "4", "--faults", "drop:p=1.0",
+        ])
+        # Total loss: nothing can be detected, so the tester accepts.
+        assert rc == 0
+        assert "accept" in capsys.readouterr().out
+
+    def test_campaign_cli_streams_and_faults_flags(self, tmp_path, capsys):
+        store = tmp_path / "t.jsonl"
+        rc = main([
+            "campaign", "run", "--generators", "gnp", "--ns", "12",
+            "--ks", "5", "--algorithms", "monitor,tester",
+            "--streams", "uniform-churn:steps=6", "--faults", "none",
+            "--name", "cli-dyn", "--store", str(store), "--workers", "1",
+        ])
+        assert rc == 0
+        rc = main(["campaign", "report", "--store", str(store),
+                   "--group-by", "algorithm,stream"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "monitor" in out and "uniform-churn:steps=6" in out

@@ -21,6 +21,7 @@ EXAMPLES = [
     "figure1_walkthrough",
     "girth_probe",
     "campaign_demo",
+    "dynamic_demo",
 ]
 
 

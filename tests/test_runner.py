@@ -151,8 +151,16 @@ class TestRunTable:
 
 class TestExecutor:
     def test_execute_row_runs_every_algorithm(self):
-        spec = small_spec(algorithms=list(ALGORITHM_NAMES))
-        for row in spec.expand():
+        # 'monitor' is temporal-only, so give the grid a stream axis; the
+        # None entry keeps the static variants in the table too.
+        spec = small_spec(
+            algorithms=list(ALGORITHM_NAMES),
+            streams=[None, "uniform-churn:steps=6"],
+            repetitions=1,
+        )
+        rows = spec.expand()
+        assert {row.algorithm for row in rows} == set(ALGORITHM_NAMES)
+        for row in rows:
             record = execute_row(row)
             assert record["status"] == "ok"
             assert record["run_id"] == row.run_id
