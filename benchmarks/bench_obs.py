@@ -1,0 +1,26 @@
+"""Observability overhead: telemetry on vs off, exposition round-trip.
+
+Thin shim over the registry-driven harness: the benchmark bodies, size
+grids and correctness assertions live in ``repro.bench.specs`` (area
+``obs``); see docs/benchmarks.md and docs/observability.md.  The
+overhead benchmark enforces the documented <5% budget in-body, so a
+green run *is* the overhead gate.  Both entry points work from a plain
+checkout —
+
+* ``pytest benchmarks/bench_obs.py``
+* ``python benchmarks/bench_obs.py [smoke|default|full]``
+
+and the canonical invocations are ``repro bench run --areas obs`` or
+``python -m repro.bench run --areas obs``.
+"""
+
+import _bench_utils
+
+
+def test_obs_area():
+    """The registered ``obs`` smoke grid runs clean (checks included)."""
+    _bench_utils.assert_area_ok("obs")
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bench_utils.main("obs"))

@@ -31,6 +31,7 @@ from .core.algorithm1 import detect_cycle_through_edge
 from .core.tester import CkFreenessTester
 from .errors import ReproError
 from .graphs.graph import Graph
+from .obs import LOG, Telemetry, set_telemetry
 from .runner import registry
 from .runner.aggregate import DEFAULT_GROUP_BY, summarize_store
 from .runner.executor import run_campaign
@@ -51,14 +52,18 @@ def _build_graph(args: argparse.Namespace) -> Graph:
         name: getattr(args, name, None) for name in registry.PARAMETERS
     }
     g, info = spec.build_with_info(seed=args.seed, **supplied)
+    fields = {}
     for key, value in info.items():
-        label = key.replace("_", " ")
-        if isinstance(value, float):
-            print(f"# {args.generator} instance, {label} {value:.4f}")
-        elif isinstance(value, (list, tuple)) and len(value) > 8:
-            print(f"# {args.generator} instance, {len(value)} {label}")
+        if isinstance(value, (list, tuple)) and len(value) > 8:
+            fields[key] = f"[{len(value)} items]"
         else:
-            print(f"# {args.generator} instance, {label}: {value}")
+            fields[key] = value
+    if fields:
+        LOG.info(f"{args.generator} instance", **fields)
+    LOG.debug(
+        "graph built", n=g.n, m=g.m, seed=args.seed,
+        engine=getattr(args, "engine", None),
+    )
     return g
 
 
@@ -262,6 +267,49 @@ def _cmd_dynamic_report(args: argparse.Namespace) -> int:
     if summary is not None:
         print("summary: " + ", ".join(
             f"{key}={value}" for key, value in sorted(summary.items())))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# obs subcommand
+# ---------------------------------------------------------------------------
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    """Summarize telemetry artifacts: JSONL event logs and Prometheus
+    textfiles written by ``--telemetry`` / ``Telemetry.finalize``."""
+    from .obs import parse_textfile, read_events, summarize_events
+
+    if not args.events and not args.textfile:
+        raise SystemExit("error: give --events and/or --textfile")
+    if args.events:
+        path = Path(args.events)
+        if not path.exists():
+            raise SystemExit(f"no event log at {args.events!r}")
+        agg = summarize_events(read_events(path))
+        print(f"event log {path}: {agg['events']} events")
+        if agg["spans"]:
+            print("spans:")
+            for name in sorted(agg["spans"]):
+                s = agg["spans"][name]
+                print(f"  {name:<24} x{s['count']:<6} "
+                      f"total={s['total_ms']:.1f}ms "
+                      f"mean={s['mean_ms']:.2f}ms max={s['max_ms']:.2f}ms")
+        if agg["marks"]:
+            print("marks: " + ", ".join(
+                f"{name}={count}" for name, count in sorted(agg["marks"].items())))
+        if agg["metrics"]:
+            print("metrics (final snapshot):")
+            for name, value in sorted(agg["metrics"].items()):
+                print(f"  {name} = {value}")
+    if args.textfile:
+        path = Path(args.textfile)
+        if not path.exists():
+            raise SystemExit(f"no metrics textfile at {args.textfile!r}")
+        families = parse_textfile(path.read_text(encoding="utf-8"))
+        print(f"textfile {path}: {len(families)} metric families (valid)")
+        for name in sorted(families):
+            family = families[name]
+            print(f"  {family.kind:<9} {name} "
+                  f"({len(family.series('_count' if family.kind == 'histogram' else ''))} series)")
     return 0
 
 
@@ -491,7 +539,17 @@ def build_parser() -> argparse.ArgumentParser:
         description="Distributed Ck-freeness testing (Fraigniaud & Olivetti, "
         "SPAA 2017) on a simulated CONGEST network.",
     )
+    parser.add_argument("--verbose", action="store_true",
+                        help="show debug diagnostics")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress diagnostic commentary (results and "
+                        "warnings still print)")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_telemetry_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--telemetry", metavar="PATH", default=None,
+                       help="record telemetry: JSONL events to PATH, "
+                       "Prometheus textfile to PATH.prom")
 
     def add_graph_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--generator", default="gnp", choices=registry.names())
@@ -515,6 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_test.add_argument("--k", type=int, required=True)
     p_test.add_argument("--eps", type=float, default=0.1)
     p_test.add_argument("--repetitions", type=int, default=None)
+    add_telemetry_arg(p_test)
     p_test.set_defaults(func=_cmd_test)
 
     p_detect = sub.add_parser(
@@ -526,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_detect.add_argument("--edge", type=int, nargs=2, default=(0, 1))
     p_detect.add_argument("--timeline", action="store_true",
                           help="print the per-round bandwidth timeline")
+    add_telemetry_arg(p_detect)
     p_detect.set_defaults(func=_cmd_detect)
 
     p_dyn = sub.add_parser(
@@ -551,7 +611,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "sequence (edge-stream format) here")
     p_dyn_run.add_argument("--log", help="write per-step JSONL records here")
     p_dyn_run.add_argument("--quiet", action="store_true",
+                           default=argparse.SUPPRESS,
                            help="suppress per-step output")
+    add_telemetry_arg(p_dyn_run)
     p_dyn_run.set_defaults(func=_cmd_dynamic_run)
 
     p_dyn_replay = dyn_sub.add_parser(
@@ -569,7 +631,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_dyn_replay.add_argument("--faults", type=_optional_name, default=None,
                               metavar="SPEC")
     p_dyn_replay.add_argument("--log", help="write per-step JSONL records")
-    p_dyn_replay.add_argument("--quiet", action="store_true")
+    p_dyn_replay.add_argument("--quiet", action="store_true",
+                              default=argparse.SUPPRESS)
+    add_telemetry_arg(p_dyn_replay)
     p_dyn_replay.set_defaults(func=_cmd_dynamic_replay)
 
     p_dyn_report = dyn_sub.add_parser(
@@ -615,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="parallel worker processes (1 = serial)")
         p_run.add_argument("--chunksize", type=int, default=1,
                            help="rows per worker dispatch")
+        add_telemetry_arg(p_run)
         p_run.set_defaults(func=_cmd_campaign_run)
 
     p_report = camp_sub.add_parser(
@@ -627,6 +692,19 @@ def build_parser() -> argparse.ArgumentParser:
                           f"{','.join(DEFAULT_GROUP_BY)})")
     p_report.set_defaults(func=_cmd_campaign_report)
 
+    p_obs = sub.add_parser(
+        "obs", help="observability: inspect telemetry artifacts"
+    )
+    obs_sub = p_obs.add_subparsers(dest="action", required=True)
+    p_obs_report = obs_sub.add_parser(
+        "report", help="summarize a JSONL event log / validate a textfile"
+    )
+    p_obs_report.add_argument("--events", help="JSONL event log "
+                              "(written by --telemetry PATH)")
+    p_obs_report.add_argument("--textfile", help="Prometheus textfile "
+                              "(written as PATH.prom); parsed and validated")
+    p_obs_report.set_defaults(func=_cmd_obs_report)
+
     add_bench_subparser(sub)
     return parser
 
@@ -635,10 +713,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    LOG.configure(
+        verbose=getattr(args, "verbose", False),
+        quiet=getattr(args, "quiet", False),
+    )
+    telemetry_path = getattr(args, "telemetry", None)
+    if telemetry_path:
+        set_telemetry(Telemetry.to_jsonl(telemetry_path))
     try:
         return args.func(args)
     except ReproError as exc:
         raise SystemExit(f"error: {exc}") from exc
+    finally:
+        if telemetry_path:
+            tel = set_telemetry(None)
+            tel.finalize(textfile=f"{telemetry_path}.prom")
+            LOG.info("telemetry written", events=telemetry_path,
+                     textfile=f"{telemetry_path}.prom")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -62,6 +62,11 @@ class CongestEngine(ABC):
         fate of every delivery.  Only the ``reference`` backend simulates
         unreliable links; other backends must reject a non-``None``
         model with a clear :class:`~repro.errors.ConfigurationError`.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`; ``None`` resolves to the
+        process global (disabled by default).  Completed runs export
+        their trace aggregates into it via
+        :func:`~repro.congest.instrumentation.export_trace`.
     """
 
     #: Stable backend name (the value of ``--engine``).
@@ -74,13 +79,17 @@ class CongestEngine(ABC):
         size_model: Optional[SizeModel] = None,
         strict_bandwidth: bool = False,
         faults=None,
+        telemetry=None,
     ) -> None:
+        from ...obs import resolve_telemetry
+
         self._net = network
         self._size_model = (
             size_model if size_model is not None else network.default_size_model()
         )
         self._strict = strict_bandwidth
         self._faults = faults
+        self._telemetry = resolve_telemetry(telemetry)
 
     @property
     def network(self) -> Network:
@@ -104,6 +113,14 @@ class CongestEngine(ABC):
         (``⌊k/2⌋`` communication rounds)."""
 
     # ------------------------------------------------------------------
+    def _finish(self, run: RunResult) -> RunResult:
+        """Export a completed run's trace aggregates to telemetry."""
+        if self._telemetry.enabled:
+            from ..instrumentation import export_trace
+
+            export_trace(run.trace, self._telemetry, engine=self.name)
+        return run
+
     @staticmethod
     def _check_k(k: int) -> None:
         if k < 3:

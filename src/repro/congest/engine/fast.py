@@ -424,7 +424,7 @@ class FastEngine(CongestEngine):
             if cycle is not None:
                 outputs[v] = DetectionOutcome(rejects=True, cycle=cycle)
         assert trace.num_rounds == protocol_rounds(k)
-        return RunResult(outputs, trace)
+        return self._finish(RunResult(outputs, trace))
 
     # ------------------------------------------------------------------
     def run_detect(
@@ -518,4 +518,4 @@ class FastEngine(CongestEngine):
             )
             if cycle is not None:
                 outputs[v] = DetectionOutcome(rejects=True, cycle=cycle)
-        return RunResult(outputs, trace)
+        return self._finish(RunResult(outputs, trace))

@@ -50,9 +50,13 @@ class ReferenceEngine(CongestEngine):
         from ...core.phase1 import MultiplexedCkProgram, protocol_rounds
 
         self._check_k(k)
-        return self._scheduler().run(
-            lambda ctx: MultiplexedCkProgram(ctx, k, rep_seed, pruner=pruner),
-            num_rounds=protocol_rounds(k),
+        return self._finish(
+            self._scheduler().run(
+                lambda ctx: MultiplexedCkProgram(
+                    ctx, k, rep_seed, pruner=pruner
+                ),
+                num_rounds=protocol_rounds(k),
+            )
         )
 
     def run_detect(
@@ -62,7 +66,9 @@ class ReferenceEngine(CongestEngine):
         from ...core.algorithm1 import DetectCkProgram, phase2_rounds
 
         self._check_k(k)
-        return self._scheduler().run(
-            lambda ctx: DetectCkProgram(ctx, k, edge_ids, pruner=pruner),
-            num_rounds=phase2_rounds(k),
+        return self._finish(
+            self._scheduler().run(
+                lambda ctx: DetectCkProgram(ctx, k, edge_ids, pruner=pruner),
+                num_rounds=phase2_rounds(k),
+            )
         )

@@ -15,7 +15,12 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..errors import BandwidthExceededError
 from .message import SequenceBundle, SizeModel
 
-__all__ = ["RoundStats", "ExecutionTrace", "Instrumentation"]
+__all__ = [
+    "RoundStats",
+    "ExecutionTrace",
+    "Instrumentation",
+    "export_trace",
+]
 
 
 @dataclass
@@ -148,6 +153,67 @@ class Instrumentation:
                 bits,
                 self._size_model.budget_bits(self._n),
             )
+
+
+def export_trace(trace: ExecutionTrace, telemetry, *, engine: str) -> None:
+    """Fold one run's aggregates into ``telemetry``'s metric registry.
+
+    This is the single bridge between the per-run
+    :class:`ExecutionTrace` audit and the process-wide
+    :mod:`repro.obs` registry — engines call it once per completed run,
+    so trace aggregates and exported metrics cannot drift apart.  A
+    disabled telemetry returns immediately (the bit-identity guarantee:
+    nothing here touches RNG state or protocol data).
+    """
+    if not getattr(telemetry, "enabled", False):
+        return
+    telemetry.counter(
+        "repro_congest_runs_total",
+        "Completed CONGEST protocol runs, by engine backend.",
+        ("engine",),
+    ).inc(engine=engine)
+    telemetry.counter(
+        "repro_congest_rounds_total",
+        "Communication rounds executed, by engine backend.",
+        ("engine",),
+    ).inc(trace.num_rounds, engine=engine)
+    telemetry.counter(
+        "repro_congest_messages_total",
+        "Messages delivered, by engine backend.",
+        ("engine",),
+    ).inc(trace.total_messages, engine=engine)
+    telemetry.counter(
+        "repro_congest_bits_total",
+        "Audited message bits delivered, by engine backend.",
+        ("engine",),
+    ).inc(trace.total_bits, engine=engine)
+    telemetry.gauge(
+        "repro_congest_max_message_bits",
+        "Largest single audited message seen, in bits.",
+        ("engine",),
+    ).set_max(trace.max_message_bits, engine=engine)
+    telemetry.gauge(
+        "repro_congest_max_sequences_per_message",
+        "Largest per-message sequence count seen (Lemma 3 audit).",
+        ("engine",),
+    ).set_max(trace.max_sequences_per_message, engine=engine)
+
+
+def __getattr__(name: str) -> Any:
+    # Historical alias for ExecutionTrace, kept one deprecation cycle;
+    # the obs registry (export_trace) is now the aggregate source of
+    # truth and new code should not grow parallel counter structs.
+    if name == "TraceAggregates":
+        import warnings
+
+        warnings.warn(
+            "TraceAggregates is deprecated; use ExecutionTrace and "
+            "repro.obs (export_trace) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ExecutionTrace
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _nested_sequences(message: Any) -> int:

@@ -257,6 +257,7 @@ def detect_cycle_through_edge(
     strict_bandwidth: bool = False,
     engine: str = "reference",
     faults=None,
+    telemetry=None,
 ) -> EdgeDetectionResult:
     """Run Algorithm 1 for ``edge`` (vertex indices) on ``graph``.
 
@@ -282,18 +283,37 @@ def detect_cycle_through_edge(
         Optional :class:`~repro.congest.faults.FaultModel` (reference
         engine only): dropped deliveries can hide the only witness, so
         the deterministic completeness guarantee no longer applies.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`; ``None`` resolves to the
+        process global (disabled by default).
     """
     from ..congest.engine import create_engine
+    from ..obs import resolve_telemetry
 
+    tel = resolve_telemetry(telemetry)
     net = network if network is not None else Network(graph)
     u, v = edge
     if not graph.has_edge(u, v):
         raise ConfigurationError(f"edge {edge} not in graph")
     edge_ids = net.edge_ids(u, v)
     eng = create_engine(
-        engine, net, strict_bandwidth=strict_bandwidth, faults=faults
+        engine, net, strict_bandwidth=strict_bandwidth, faults=faults,
+        telemetry=tel,
     )
-    result = eng.run_detect(k, edge_ids, pruner=pruner)
+    with tel.span("detect.run", k=k, engine=engine):
+        result = eng.run_detect(k, edge_ids, pruner=pruner)
     outcomes: Dict[int, DetectionOutcome] = result.outputs
     detected = any(o.rejects for o in outcomes.values())
+    if tel.enabled:
+        tel.counter(
+            "repro_detect_runs_total",
+            "Algorithm 1 edge detections run, by engine backend.",
+            ("engine",),
+        ).inc(engine=engine)
+        if detected:
+            tel.counter(
+                "repro_detect_hits_total",
+                "Edge detections that found a k-cycle, by engine backend.",
+                ("engine",),
+            ).inc(engine=engine)
     return EdgeDetectionResult(detected=detected, outcomes=outcomes, run=result)

@@ -60,6 +60,11 @@ class CkFreenessTester:
         repetition over unreliable links (reference engine only).
         Message loss preserves soundness (rejections still carry genuine
         cycle evidence) but voids the completeness guarantee.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`; ``None`` resolves to the
+        process global (disabled by default).  Records run/repetition/
+        reject counters and a ``tester.run`` span; never affects
+        verdicts or randomness.
     """
 
     def __init__(
@@ -72,6 +77,7 @@ class CkFreenessTester:
         strict_bandwidth: bool = False,
         engine: str = "reference",
         faults=None,
+        telemetry=None,
     ) -> None:
         if k < 3:
             raise ConfigurationError(f"k must be >= 3, got {k}")
@@ -89,6 +95,7 @@ class CkFreenessTester:
         self._pruner = pruner if pruner is not None else HittingSetPruner()
         self._strict = strict_bandwidth
         self._faults = faults
+        self._telemetry = telemetry
 
     # ------------------------------------------------------------------
     def run(
@@ -114,6 +121,9 @@ class CkFreenessTester:
         keep_traces:
             Retain the full instrumentation trace of every repetition.
         """
+        from ..obs import resolve_telemetry
+
+        telemetry = resolve_telemetry(self._telemetry)
         if graph.m == 0:
             # An edgeless graph is trivially Ck-free; all nodes accept.
             return TesterResult(
@@ -127,7 +137,7 @@ class CkFreenessTester:
         net = network if network is not None else Network(graph)
         eng = create_engine(
             self.engine, net, strict_bandwidth=self._strict,
-            faults=self._faults,
+            faults=self._faults, telemetry=telemetry,
         )
         ss = np.random.SeedSequence(seed)
         rep_seeds = ss.generate_state(self.repetitions)
@@ -140,38 +150,56 @@ class CkFreenessTester:
             repetitions_planned=self.repetitions,
             rounds_per_repetition=rounds_per_repetition(self.k),
         )
-        for i in range(self.repetitions):
-            rep_seed = int(rep_seeds[i])
-            run = eng.run_tester_repetition(
-                self.k, rep_seed, pruner=self._pruner
-            )
-            rejecting = tuple(
-                v
-                for v, out in run.outputs.items()
-                if isinstance(out, DetectionOutcome) and out.rejects
-            )
-            cycle = None
-            for v in rejecting:
-                if run.outputs[v].cycle is not None:
-                    cycle = run.outputs[v].cycle
-                    break
-            rejected = bool(rejecting)
-            result.reports.append(
-                RepetitionReport(
-                    index=i,
-                    rejected=rejected,
-                    cycle_ids=cycle,
-                    rejecting_vertices=rejecting,
-                    rounds=run.trace.num_rounds,
+        with telemetry.span("tester.run", k=self.k, engine=self.engine):
+            for i in range(self.repetitions):
+                rep_seed = int(rep_seeds[i])
+                run = eng.run_tester_repetition(
+                    self.k, rep_seed, pruner=self._pruner
                 )
-            )
-            if keep_traces:
-                result.traces.append(run.trace)
-            result.repetitions_run = i + 1
-            if rejected:
-                result.accepted = False
-                if stop_on_reject:
-                    break
+                rejecting = tuple(
+                    v
+                    for v, out in run.outputs.items()
+                    if isinstance(out, DetectionOutcome) and out.rejects
+                )
+                cycle = None
+                for v in rejecting:
+                    if run.outputs[v].cycle is not None:
+                        cycle = run.outputs[v].cycle
+                        break
+                rejected = bool(rejecting)
+                result.reports.append(
+                    RepetitionReport(
+                        index=i,
+                        rejected=rejected,
+                        cycle_ids=cycle,
+                        rejecting_vertices=rejecting,
+                        rounds=run.trace.num_rounds,
+                    )
+                )
+                if keep_traces:
+                    result.traces.append(run.trace)
+                result.repetitions_run = i + 1
+                if rejected:
+                    result.accepted = False
+                    if stop_on_reject:
+                        break
+        if telemetry.enabled:
+            telemetry.counter(
+                "repro_tester_runs_total",
+                "Full tester executions, by engine backend.",
+                ("engine",),
+            ).inc(engine=self.engine)
+            telemetry.counter(
+                "repro_tester_repetitions_total",
+                "Tester repetitions executed, by engine backend.",
+                ("engine",),
+            ).inc(result.repetitions_run, engine=self.engine)
+            if not result.accepted:
+                telemetry.counter(
+                    "repro_tester_rejects_total",
+                    "Tester runs ending in rejection, by engine backend.",
+                    ("engine",),
+                ).inc(engine=self.engine)
         return result
 
 

@@ -38,6 +38,7 @@ def run_monitor_stream(
     seed: int = 0,
     epsilon: float = 0.1,
     faults=None,
+    telemetry=None,
 ) -> Dict[str, Any]:
     """Replay a scenario through the incremental monitor; summary record.
 
@@ -49,7 +50,7 @@ def run_monitor_stream(
     stream = build_stream(stream_spec, base, seed=seed, k=k)
     monitor = CkMonitor(
         stream.base, k, engine=engine, epsilon=epsilon, seed=seed,
-        faults=faults,
+        faults=faults, telemetry=telemetry,
     )
     records = monitor.run_stream(stream.mutations)
     out: Dict[str, Any] = {
@@ -75,6 +76,7 @@ def run_naive_stream(
     epsilon: float = 0.1,
     faults=None,
     tester_repetitions: Optional[int] = 8,
+    telemetry=None,
 ) -> Dict[str, Any]:
     """Replay a scenario with naive per-step re-detection; summary record.
 
@@ -91,6 +93,7 @@ def run_naive_stream(
     accepted, _ = full_redetect(
         graph, k, engine=engine, seed=derive_seed(seed, "monitor-step", 0),
         epsilon=epsilon, tester_repetitions=tester_repetitions, faults=faults,
+        telemetry=telemetry,
     )
     reject_steps = 0
     flips = 0
@@ -100,7 +103,7 @@ def run_naive_stream(
             graph, k, engine=engine,
             seed=derive_seed(seed, "monitor-step", step),
             epsilon=epsilon, tester_repetitions=tester_repetitions,
-            faults=faults,
+            faults=faults, telemetry=telemetry,
         )
         if not now_accepted:
             reject_steps += 1

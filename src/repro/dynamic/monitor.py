@@ -108,6 +108,7 @@ def _detect_local(
     *,
     engine: str,
     faults=None,
+    telemetry=None,
 ) -> Optional[Tuple[int, ...]]:
     """Run Algorithm 1 through ``edge`` inside its k-neighbourhood ball.
 
@@ -117,12 +118,20 @@ def _detect_local(
     all of their edges, and any cycle found in the subgraph exists in
     the full graph.
     """
+    from ..obs import resolve_telemetry
+
+    tel = resolve_telemetry(telemetry)
     ball = k_neighborhood_ball(graph, edge, k // 2)
+    if tel.enabled:
+        tel.histogram(
+            "repro_monitor_ball_size",
+            "Vertices in the ⌊k/2⌋-ball of a locally rechecked edge.",
+        ).observe(len(ball))
     sub = graph.subgraph(ball)
     index = {vertex: i for i, vertex in enumerate(ball)}
     det = detect_cycle_through_edge(
         sub, (index[edge[0]], index[edge[1]]), k,
-        engine=engine, faults=faults,
+        engine=engine, faults=faults, telemetry=tel,
     )
     if not det.detected:
         return None
@@ -144,6 +153,7 @@ def full_redetect(
     tester_repetitions: Optional[int] = None,
     use_tester_fast_path: bool = True,
     faults=None,
+    telemetry=None,
 ) -> Tuple[bool, Optional[Tuple[int, ...]]]:
     """From-scratch exact k-cycle detection: ``(accepted, witness)``.
 
@@ -165,7 +175,7 @@ def full_redetect(
     if use_tester_fast_path:
         tester = CkFreenessTester(
             k, epsilon, repetitions=tester_repetitions, engine=engine,
-            faults=faults,
+            faults=faults, telemetry=telemetry,
         )
         result = tester.run(graph, seed=seed)
         if result.rejected and result.evidence is not None:
@@ -173,7 +183,10 @@ def full_redetect(
             # vertex indices.
             return False, tuple(result.evidence)
     for edge in graph.edges():
-        witness = _detect_local(graph, edge, k, engine=engine, faults=faults)
+        witness = _detect_local(
+            graph, edge, k, engine=engine, faults=faults,
+            telemetry=telemetry,
+        )
         if witness is not None:
             return False, witness
     return True, None
@@ -245,6 +258,10 @@ class CkMonitor:
         (reference engine only).  Message loss can hide witnesses, so
         with faults the monitor keeps only the tester's soundness
         guarantee, not exactness.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`; ``None`` resolves to the
+        process global (disabled by default).  Records step/cache-hit
+        counters, ball-size histograms and ``monitor.*`` spans.
     """
 
     def __init__(
@@ -258,7 +275,10 @@ class CkMonitor:
         seed: int = 0,
         use_tester_fast_path: bool = True,
         faults=None,
+        telemetry=None,
     ) -> None:
+        from ..obs import resolve_telemetry
+
         if k < 3:
             raise ConfigurationError(f"k must be >= 3, got {k}")
         self.k = k
@@ -268,6 +288,7 @@ class CkMonitor:
         self.seed = seed
         self.use_tester_fast_path = use_tester_fast_path
         self._faults = faults
+        self._telemetry = resolve_telemetry(telemetry)
         self.dynamic = (
             graph if isinstance(graph, DynamicGraph) else DynamicGraph(graph)
         )
@@ -313,20 +334,30 @@ class CkMonitor:
         """Apply one mutation and bring the verdict up to date."""
         mutation = self.dynamic.apply(mutation)
         was_accepted = self._accepted
+        hit_kind = None
         if mutation.op == ADD_VERTEX:
             action = CACHE_HIT
+            hit_kind = "add_vertex"
         elif mutation.op == ADD_EDGE:
-            action = CACHE_HIT if not self._accepted else LOCAL_RECHECK
-            if action == LOCAL_RECHECK:
+            if not self._accepted:
+                action = CACHE_HIT
+                hit_kind = "insert_into_reject"
+            else:
+                action = LOCAL_RECHECK
                 witness = _detect_local(
                     self.graph, mutation.edge, self.k,
                     engine=self.engine, faults=self._faults,
+                    telemetry=self._telemetry,
                 )
                 if witness is not None:
                     self._accepted, self._witness = False, witness
         elif mutation.op == REMOVE_EDGE:
-            if self._accepted or not self._witness_uses(mutation.edge):
+            if self._accepted:
                 action = CACHE_HIT
+                hit_kind = "delete_in_accept"
+            elif not self._witness_uses(mutation.edge):
+                action = CACHE_HIT
+                hit_kind = "witness_survives"
             else:
                 action = FULL_RETEST
                 self._accepted, self._witness = self._full_redetect()
@@ -342,6 +373,8 @@ class CkMonitor:
         flipped = self._accepted != was_accepted
         if flipped:
             self.stats.verdict_flips += 1
+        if self._telemetry.enabled:
+            self._export_step(action, hit_kind, flipped)
         record = StepRecord(
             version=self.version,
             mutation=mutation,
@@ -358,6 +391,31 @@ class CkMonitor:
         return [self.apply(m) for m in mutations]
 
     # ------------------------------------------------------------------
+    def _export_step(self, action: str, hit_kind, flipped: bool) -> None:
+        """Record one step's decision in the telemetry registry."""
+        tel = self._telemetry
+        tel.counter(
+            "repro_monitor_steps_total",
+            "Monitor steps processed, by decision-table action.",
+            ("action",),
+        ).inc(action=action)
+        if hit_kind is not None:
+            tel.counter(
+                "repro_monitor_cache_hits_total",
+                "Cache-hit steps, by decision-table row.",
+                ("kind",),
+            ).inc(kind=hit_kind)
+        if action == FULL_RETEST:
+            tel.counter(
+                "repro_monitor_full_redetects_total",
+                "Witness-destroying deletions forcing full re-detection.",
+            ).inc()
+        if flipped:
+            tel.counter(
+                "repro_monitor_verdict_flips_total",
+                "Steps at which the cached verdict changed.",
+            ).inc()
+
     def _witness_uses(self, edge: Tuple[int, int]) -> bool:
         """Whether the cached witness cycle traverses ``edge``."""
         if self._witness is None:  # pragma: no cover - guarded by caller
@@ -373,16 +431,20 @@ class CkMonitor:
 
     def _full_redetect(self) -> Tuple[bool, Optional[Tuple[int, ...]]]:
         """From-scratch detection at the current version's step seed."""
-        return full_redetect(
-            self.graph,
-            self.k,
-            engine=self.engine,
-            seed=self.step_seed(self.version),
-            epsilon=self.epsilon,
-            tester_repetitions=self.tester_repetitions,
-            use_tester_fast_path=self.use_tester_fast_path,
-            faults=self._faults,
-        )
+        with self._telemetry.span(
+            "monitor.full_redetect", version=self.version
+        ):
+            return full_redetect(
+                self.graph,
+                self.k,
+                engine=self.engine,
+                seed=self.step_seed(self.version),
+                epsilon=self.epsilon,
+                tester_repetitions=self.tester_repetitions,
+                use_tester_fast_path=self.use_tester_fast_path,
+                faults=self._faults,
+                telemetry=self._telemetry,
+            )
 
     def __repr__(self) -> str:
         verdict = "accept" if self._accepted else "reject"

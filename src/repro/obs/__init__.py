@@ -1,0 +1,89 @@
+"""repro.obs — the unified telemetry layer.
+
+The reproduction's claims are quantitative (round complexity, per-edge
+bandwidth, cache-hit behaviour), so measurement is a first-class
+subsystem rather than per-module counter structs:
+
+* :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Histogram``
+  families with labels, owned by a :class:`MetricsRegistry`;
+* :mod:`repro.obs.exposition` — Prometheus text rendering
+  (:func:`render_textfile`) and the strict round-trip parser
+  (:func:`parse_textfile`) that keeps it honest;
+* :mod:`repro.obs.tracing` — nestable spans (wall clock + counter
+  deltas) emitted as structured events;
+* :mod:`repro.obs.events` — the JSONL event sink and its summarizer;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` bundle threaded
+  through engines, tester, monitor and campaigns; process-global but
+  injectable, **disabled by default** with a bit-identity guarantee;
+* :mod:`repro.obs.log` — the CLI's structured diagnostic logger.
+
+Quickstart::
+
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry.to_jsonl("events.jsonl")
+    with telemetry.span("experiment"):
+        telemetry.counter("repro_demo_total", "Demo events.").inc()
+    print(telemetry.render())        # Prometheus textfile
+    telemetry.finalize()             # snapshot event + close the log
+
+See ``docs/observability.md`` for the metric-name catalogue, label
+conventions, span taxonomy and the instrumentation overhead budget.
+"""
+
+from .events import (
+    EventLogError,
+    JsonlSink,
+    NullSink,
+    read_events,
+    summarize_events,
+)
+from .exposition import (
+    ExpositionError,
+    ParsedMetric,
+    parse_textfile,
+    render_textfile,
+)
+from .log import LOG, StructuredLogger, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    resolve_telemetry,
+    set_telemetry,
+)
+from .tracing import NullSpan, Span
+
+__all__ = [
+    "Counter",
+    "EventLogError",
+    "ExpositionError",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LOG",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullSink",
+    "NullSpan",
+    "NullTelemetry",
+    "ParsedMetric",
+    "Span",
+    "StructuredLogger",
+    "Telemetry",
+    "get_logger",
+    "get_telemetry",
+    "parse_textfile",
+    "read_events",
+    "render_textfile",
+    "resolve_telemetry",
+    "set_telemetry",
+    "summarize_events",
+]

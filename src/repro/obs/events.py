@@ -1,0 +1,140 @@
+"""Structured JSONL event sink and its reader/summarizer.
+
+Telemetry events (span completions, explicit marks, the final metrics
+snapshot) are appended as one JSON object per line — the same
+append-only discipline as the campaign stores, so a crashed run leaves
+a readable prefix.  :func:`read_events` tolerates a torn final line for
+exactly that reason; anything else malformed is an error.
+
+``repro obs report --events <path>`` renders the summary computed by
+:func:`summarize_events`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..errors import ReproError
+
+__all__ = [
+    "EventLogError",
+    "JsonlSink",
+    "NullSink",
+    "read_events",
+    "summarize_events",
+]
+
+
+class EventLogError(ReproError):
+    """A JSONL event log was malformed beyond the torn-tail allowance."""
+
+
+class NullSink:
+    """Swallows events; the sink of disabled telemetry."""
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Discard ``event``."""
+
+    def close(self) -> None:
+        """No-op."""
+
+
+class JsonlSink:
+    """Append events to a JSONL file, one canonical object per line.
+
+    The file (and its parent directory) is created lazily on the first
+    event, so constructing telemetry never touches the filesystem.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh = None
+        self.events_written = 0
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Append one event as a canonical (sorted-key) JSON line."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a JSONL event log; a torn *final* line is silently dropped.
+
+    A malformed line anywhere else raises :class:`EventLogError` with
+    its line number — that is corruption, not an interrupted run.
+    """
+    p = Path(path)
+    if not p.exists():
+        raise EventLogError(f"no event log at {str(p)!r}")
+    lines = p.read_text(encoding="utf-8").splitlines()
+    events: List[Dict[str, Any]] = []
+    last = len(lines)
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if lineno == last:
+                break  # torn tail from an interrupted writer
+            raise EventLogError(
+                f"{p}:{lineno}: corrupt event line ({exc})"
+            ) from exc
+    return events
+
+
+def summarize_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate an event stream: per-span stats + the last snapshot.
+
+    Returns ``{"events", "spans", "marks", "metrics"}`` where ``spans``
+    maps span name to ``{count, total_ms, max_ms, mean_ms}``, ``marks``
+    counts explicit events by name, and ``metrics`` is the flat summary
+    carried by the final ``snapshot`` event (empty if none was written).
+    """
+    spans: Dict[str, Dict[str, float]] = {}
+    marks: Dict[str, int] = {}
+    metrics: Dict[str, Any] = {}
+    for event in events:
+        kind = event.get("type")
+        if kind == "span":
+            name = str(event.get("name"))
+            elapsed = float(event.get("elapsed_ms", 0.0))
+            stats = spans.setdefault(
+                name, {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
+            )
+            stats["count"] += 1
+            stats["total_ms"] += elapsed
+            if elapsed > stats["max_ms"]:
+                stats["max_ms"] = elapsed
+        elif kind == "mark":
+            name = str(event.get("name"))
+            marks[name] = marks.get(name, 0) + 1
+        elif kind == "snapshot":
+            metrics = dict(event.get("summary") or {})
+    for stats in spans.values():
+        stats["mean_ms"] = (
+            stats["total_ms"] / stats["count"] if stats["count"] else 0.0
+        )
+    return {
+        "events": len(events),
+        "spans": spans,
+        "marks": marks,
+        "metrics": metrics,
+    }

@@ -1,0 +1,335 @@
+"""Prometheus text exposition: rendering and a strict round-trip parser.
+
+:func:`render_textfile` serialises a :class:`~repro.obs.metrics.
+MetricsRegistry` in the Prometheus text format (version 0.0.4) — the
+format the ROADMAP's detection-as-a-service daemon will serve from its
+``/metrics`` endpoint, and the one node_exporter's textfile collector
+ingests from disk.  Histograms render with cumulative ``_bucket`` series
+(``le`` label, ``+Inf`` last), ``_sum`` and ``_count``, exactly as
+Prometheus clients do.
+
+:func:`parse_textfile` is the strict inverse used by the tests: it
+re-reads a rendered file into :class:`ParsedMetric` values and
+*validates* the invariants renderers can silently break — ``TYPE``
+before samples, no duplicate series, bucket cumulativity and
+``_count``/``+Inf`` agreement.  ``render → parse → render`` must be a
+fixed point (asserted by ``tests/test_obs_exposition.py`` and the
+``obs`` benchmark area), so the exposition surface cannot drift without
+a test noticing.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "ExpositionError",
+    "ParsedMetric",
+    "parse_textfile",
+    "render_registry",
+    "render_textfile",
+]
+
+
+class ExpositionError(ReproError):
+    """A textfile violated the exposition format or its invariants."""
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _unescape(text: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            else:
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    """Canonical sample value: integral floats render without a dot."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(pairs: List[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def render_registry(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text format (families sorted by name)."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if isinstance(family, (Counter, Gauge)):
+            for key, value in family.samples():
+                labels = _format_labels(list(zip(family.labelnames, key)))
+                lines.append(
+                    f"{family.name}{labels} {_format_value(value)}"
+                )
+        elif isinstance(family, Histogram):
+            for key, value in family.samples():
+                base = list(zip(family.labelnames, key))
+                bounds = [_format_value(b) for b in value["buckets"]]
+                for bound, cumulative in zip(
+                    bounds + ["+Inf"], value["cumulative"]
+                ):
+                    labels = _format_labels(base + [("le", bound)])
+                    lines.append(
+                        f"{family.name}_bucket{labels} {cumulative}"
+                    )
+                labels = _format_labels(base)
+                lines.append(
+                    f"{family.name}_sum{labels} {_format_value(value['sum'])}"
+                )
+                lines.append(f"{family.name}_count{labels} {value['count']}")
+        else:  # pragma: no cover - registry only creates the three kinds
+            raise ExpositionError(f"cannot render metric kind {family.kind!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: Alias under the name the docs and CLI use ("render the textfile").
+render_textfile = render_registry
+
+
+@dataclass
+class ParsedMetric:
+    """One metric family re-read from a textfile."""
+
+    name: str
+    kind: str
+    help: str = ""
+    #: ``(sample_name, label pairs, value)`` in file order.  For plain
+    #: counters/gauges the sample name equals the family name; histograms
+    #: additionally carry ``<name>_bucket`` / ``_sum`` / ``_count``.
+    samples: List[Tuple[str, Tuple[Tuple[str, str], ...], float]] = field(
+        default_factory=list
+    )
+
+    def series(
+        self, suffix: str = ""
+    ) -> List[Tuple[Tuple[Tuple[str, str], ...], float]]:
+        """Samples of ``<name><suffix>`` (empty list when absent)."""
+        wanted = self.name + suffix
+        return [
+            (labels, value)
+            for sample_name, labels, value in self.samples
+            if sample_name == wanted
+        ]
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _parse_value(text: str, where: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        raise ExpositionError(f"{where}: invalid sample value {text!r}") from None
+
+
+def _parse_labels(text: str, where: str) -> Tuple[Tuple[str, str], ...]:
+    pairs: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_PAIR_RE.match(text, pos)
+        if match is None:
+            raise ExpositionError(f"{where}: malformed labels {text!r}")
+        pairs.append((match.group("name"), _unescape(match.group("value"))))
+        pos = match.end()
+    names = [name for name, _ in pairs]
+    if len(set(names)) != len(names):
+        raise ExpositionError(f"{where}: duplicate label names in {text!r}")
+    return tuple(pairs)
+
+
+def _family_of(sample_name: str, families: Dict[str, ParsedMetric]) -> Optional[str]:
+    """Resolve a sample name to its declaring family (histogram suffixes)."""
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families and families[base].kind == "histogram":
+                return base
+    return None
+
+
+def parse_textfile(text: str) -> Dict[str, ParsedMetric]:
+    """Parse and validate a Prometheus textfile; ``{name: ParsedMetric}``.
+
+    Strictness (each violation raises :class:`ExpositionError`):
+
+    * every sample must follow a ``# TYPE`` declaration of its family;
+    * duplicate ``TYPE`` declarations and duplicate series are rejected;
+    * histogram children must carry ``le`` buckets ending in ``+Inf``,
+      with non-decreasing cumulative counts that agree with ``_count``.
+    """
+    families: Dict[str, ParsedMetric] = {}
+    pending_help: Dict[str, str] = {}
+    seen_series: set = set()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        where = f"line {lineno}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "HELP":
+                pending_help[parts[2]] = _unescape(
+                    parts[3] if len(parts) > 3 else ""
+                )
+            elif len(parts) >= 3 and parts[1] == "TYPE":
+                name = parts[2]
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "untyped"):
+                    raise ExpositionError(
+                        f"{where}: unknown metric type {kind!r}"
+                    )
+                if name in families:
+                    raise ExpositionError(
+                        f"{where}: duplicate TYPE for {name!r}"
+                    )
+                families[name] = ParsedMetric(
+                    name=name, kind=kind, help=pending_help.pop(name, "")
+                )
+            # other comments are ignored, as the format requires
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ExpositionError(f"{where}: malformed sample {line!r}")
+        sample_name = match.group("name")
+        family_name = _family_of(sample_name, families)
+        if family_name is None:
+            raise ExpositionError(
+                f"{where}: sample {sample_name!r} has no preceding TYPE"
+            )
+        labels = _parse_labels(match.group("labels") or "", where)
+        series_key = (sample_name, labels)
+        if series_key in seen_series:
+            raise ExpositionError(
+                f"{where}: duplicate series {sample_name}{dict(labels)!r}"
+            )
+        seen_series.add(series_key)
+        value = _parse_value(match.group("value"), where)
+        families[family_name].samples.append((sample_name, labels, value))
+    for family in families.values():
+        if family.kind == "histogram":
+            _validate_histogram(family)
+    return families
+
+
+def _validate_histogram(family: ParsedMetric) -> None:
+    """Check bucket cumulativity and the ``_count``/``+Inf`` agreement."""
+    by_child: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+    for labels, value in family.series("_bucket"):
+        le = dict(labels).get("le")
+        if le is None:
+            raise ExpositionError(
+                f"histogram {family.name!r}: bucket sample without le label"
+            )
+        base = tuple(pair for pair in labels if pair[0] != "le")
+        by_child.setdefault(base, []).append(
+            (_parse_value(le, f"histogram {family.name!r}"), value)
+        )
+    counts = {
+        tuple(labels): value for labels, value in family.series("_count")
+    }
+    if set(counts) != set(by_child):
+        raise ExpositionError(
+            f"histogram {family.name!r}: _count series do not match buckets"
+        )
+    for base, buckets in by_child.items():
+        bounds = [b for b, _ in buckets]
+        if bounds != sorted(bounds):
+            raise ExpositionError(
+                f"histogram {family.name!r}: bucket bounds out of order"
+            )
+        if not bounds or not math.isinf(bounds[-1]):
+            raise ExpositionError(
+                f"histogram {family.name!r}: missing +Inf bucket"
+            )
+        values = [v for _, v in buckets]
+        if any(v2 < v1 for v1, v2 in zip(values, values[1:])):
+            raise ExpositionError(
+                f"histogram {family.name!r}: cumulative counts decrease"
+            )
+        if values[-1] != counts[base]:
+            raise ExpositionError(
+                f"histogram {family.name!r}: +Inf bucket ({values[-1]:g}) "
+                f"!= _count ({counts[base]:g})"
+            )
+
+
+def render_parsed(families: Dict[str, ParsedMetric]) -> str:
+    """Re-render parsed metrics (the round-trip fixed-point check)."""
+    lines: List[str] = []
+    for name in sorted(families):
+        family = families[name]
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample_name, labels, value in family.samples:
+            lines.append(
+                f"{sample_name}{_format_labels(list(labels))} "
+                f"{_format_value(value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_equals_parsed(
+    registry: MetricsRegistry, families: Dict[str, ParsedMetric]
+) -> bool:
+    """Whether a parsed textfile carries exactly the registry's data."""
+    return render_registry(registry) == render_parsed(families)

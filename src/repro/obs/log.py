@@ -1,0 +1,126 @@
+"""A small structured logger for CLI diagnostics.
+
+The CLI used to sprinkle bare ``print`` calls for its diagnostic chatter
+(instance parameters, progress notes).  They now flow through one
+:class:`StructuredLogger`, so ``--quiet`` can silence them, ``--verbose``
+can add debug detail, and every line has a uniform shape::
+
+    # <message> key=value key=value
+
+Diagnostics keep their historical leading ``# `` on stdout — they are
+commentary a shell pipeline can strip with ``grep -v '^#'`` — while
+*results* (verdicts, tables, file paths) remain plain ``print`` output
+and are never suppressed.  Warnings and errors go to stderr regardless
+of level, so ``--quiet`` never hides a problem.
+
+The module-level :data:`LOG` is what the CLI configures from its
+``--verbose``/``--quiet`` flags; library code should not log (it records
+telemetry instead).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Optional, TextIO
+
+__all__ = ["LEVELS", "LOG", "StructuredLogger", "configure", "get_logger"]
+
+#: Numeric severities, ascending.
+LEVELS = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+
+def _format_fields(fields: Any) -> str:
+    parts = []
+    for key, value in fields.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+class StructuredLogger:
+    """Leveled ``message + fields`` logging with a quiet/verbose switch."""
+
+    def __init__(
+        self,
+        level: str = "info",
+        stream: Optional[TextIO] = None,
+        err_stream: Optional[TextIO] = None,
+    ) -> None:
+        self.configure(level=level, stream=stream, err_stream=err_stream)
+
+    def configure(
+        self,
+        *,
+        verbose: bool = False,
+        quiet: bool = False,
+        level: Optional[str] = None,
+        stream: Optional[TextIO] = None,
+        err_stream: Optional[TextIO] = None,
+    ) -> "StructuredLogger":
+        """(Re)configure; ``verbose``/``quiet`` beat an explicit level."""
+        if level is None:
+            level = "info"
+        if verbose:
+            level = "debug"
+        if quiet:
+            level = "warn"
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {', '.join(LEVELS)}"
+            )
+        self.level = level
+        self._threshold = LEVELS[level]
+        self._stream = stream
+        self._err_stream = err_stream
+        return self
+
+    # ------------------------------------------------------------------
+    def enabled_for(self, level: str) -> bool:
+        """Whether messages at ``level`` currently pass the threshold."""
+        return LEVELS[level] >= self._threshold
+
+    def _emit(self, level: str, message: str, fields: Any) -> None:
+        if not self.enabled_for(level):
+            return
+        tail = _format_fields(fields)
+        line = message if not tail else f"{message} {tail}"
+        if level in ("warn", "error"):
+            stream = self._err_stream or sys.stderr
+            print(f"{level}: {line}", file=stream)
+        else:
+            # Diagnostics keep the historical '# ' comment prefix.
+            stream = self._stream or sys.stdout
+            print(f"# {line}", file=stream)
+
+    def debug(self, message: str, **fields: Any) -> None:
+        """Verbose-only diagnostic (shown under ``--verbose``)."""
+        self._emit("debug", message, fields)
+
+    def info(self, message: str, **fields: Any) -> None:
+        """Default diagnostic commentary (hidden under ``--quiet``)."""
+        self._emit("info", message, fields)
+
+    def warn(self, message: str, **fields: Any) -> None:
+        """Problem worth seeing even under ``--quiet`` (stderr)."""
+        self._emit("warn", message, fields)
+
+    def error(self, message: str, **fields: Any) -> None:
+        """Failure diagnostic (stderr, never suppressed)."""
+        self._emit("error", message, fields)
+
+
+#: The CLI's logger; ``repro --verbose/--quiet`` configure it.
+LOG = StructuredLogger()
+
+
+def get_logger() -> StructuredLogger:
+    """The shared CLI logger."""
+    return LOG
+
+
+def configure(**kwargs: Any) -> StructuredLogger:
+    """Configure the shared logger (see
+    :meth:`StructuredLogger.configure`)."""
+    return LOG.configure(**kwargs)

@@ -1,0 +1,439 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The paper's claims are quantitative — round counts, per-edge bandwidth,
+error probability — so the reproduction keeps one uniform measurement
+vocabulary instead of ad-hoc counter structs per subsystem:
+
+* :class:`Counter` — monotone event totals (rounds executed, messages
+  delivered, cache hits).  Integer-deterministic under fixed seeds, so
+  campaign stores and benchmark baselines may gate on them exactly.
+* :class:`Gauge` — point-in-time or high-water values (max message bits
+  of a run).
+* :class:`Histogram` — fixed-bucket distributions with cumulative
+  Prometheus semantics and conservative p50/p99 summaries (ball-recheck
+  sizes, span latencies).
+
+All three support *labels*: a metric family declares its label names at
+registration and every distinct label-value combination becomes one
+child time series (``engine="reference"`` vs ``engine="fast"``).
+
+A :class:`MetricsRegistry` owns the families, deduplicates registration
+(get-or-create; conflicting re-registration is a
+:class:`~repro.errors.ConfigurationError`) and renders deterministic
+snapshots.  Prometheus text exposition lives in
+:mod:`repro.obs.exposition`; the process-global wiring in
+:mod:`repro.obs.telemetry`.
+
+Everything here is pure Python with zero dependencies and no hidden
+clock or RNG access — recording a metric can never perturb a protocol's
+random stream, which is what makes the telemetry-off/on verdict
+identity guarantee structural (see ``tests/test_obs_integration.py``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+]
+
+#: Metric and label names follow the Prometheus data model.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Log-spaced seconds buckets for span latencies (100µs .. 10s).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Power-of-two buckets for cardinalities (ball sizes, sequence counts).
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigurationError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labelnames(labelnames: Sequence[str]) -> Tuple[str, ...]:
+    out = tuple(labelnames)
+    for label in out:
+        if not _LABEL_RE.match(label) or label.startswith("__"):
+            raise ConfigurationError(f"invalid label name {label!r}")
+    if len(set(out)) != len(out):
+        raise ConfigurationError(f"duplicate label names in {out!r}")
+    return out
+
+
+class MetricFamily:
+    """One named metric family: fixed type, help text and label names.
+
+    Children (one per label-value combination) are created lazily on
+    first use; the unlabeled family has a single child keyed ``()``.
+    """
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = _check_labelnames(labelnames)
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    # ------------------------------------------------------------------
+    def _key(self, labels: Mapping[str, Any]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes labels {self.labelnames!r}, "
+                f"got {tuple(sorted(labels))!r}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _child(self, key: Tuple[str, ...]) -> Any:
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _new_child(self) -> Any:  # pragma: no cover - subclasses override
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def samples(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        """``(label_values, child_value)`` pairs, sorted by label values."""
+        return [
+            (key, self._child_value(self._children[key]))
+            for key in sorted(self._children)
+        ]
+
+    def _child_value(self, child: Any) -> Any:
+        return child
+
+    def describe(self) -> Dict[str, Any]:
+        """Static description (name/kind/help/labels) for listings."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+        }
+
+
+class Counter(MetricFamily):
+    """Monotonically increasing totals (per label-value child)."""
+
+    kind = "counter"
+
+    def _new_child(self) -> List[float]:
+        return [0]
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        """Add ``amount`` (>= 0) to the child selected by ``labels``."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self._child(self._key(labels))[0] += amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one child (0 if never incremented)."""
+        child = self._children.get(self._key(labels))
+        return child[0] if child is not None else 0
+
+    def total(self) -> float:
+        """Sum across all children."""
+        return sum(child[0] for child in self._children.values())
+
+    def _child_value(self, child: List[float]) -> float:
+        return child[0]
+
+
+class Gauge(MetricFamily):
+    """Settable point-in-time values, with a high-water helper."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> List[float]:
+        return [0]
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set one child to ``value``."""
+        self._child(self._key(labels))[0] = value
+
+    def set_max(self, value: float, **labels: Any) -> None:
+        """Raise one child to ``value`` if it is below (high-water mark)."""
+        child = self._child(self._key(labels))
+        if value > child[0]:
+            child[0] = value
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        """Add ``amount`` (may be negative) to one child."""
+        self._child(self._key(labels))[0] += amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one child (0 if never set)."""
+        child = self._children.get(self._key(labels))
+        return child[0] if child is not None else 0
+
+    def total(self) -> float:
+        """Max across children (a gauge family's headline is its peak)."""
+        return max(
+            (child[0] for child in self._children.values()), default=0
+        )
+
+    def _child_value(self, child: List[float]) -> float:
+        return child[0]
+
+
+class _HistogramChild:
+    """Cumulative bucket counts plus sum/count/max for one time series."""
+
+    __slots__ = ("bucket_counts", "count", "sum", "max")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.bucket_counts = [0] * (num_buckets + 1)  # + the +Inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+
+class Histogram(MetricFamily):
+    """Fixed-bucket distribution with Prometheus cumulative semantics.
+
+    ``buckets`` are the finite upper bounds, strictly increasing; a
+    ``+Inf`` bucket is always appended.  :meth:`quantile` answers from
+    bucket boundaries (conservative: the upper bound of the bucket the
+    quantile falls in, clamped to the observed maximum), which is the
+    usual fixed-bucket p50/p99 estimate — exact ranks would require
+    keeping every observation.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_SIZE_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(f"histogram {name!r} needs >= 1 bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be strictly increasing"
+            )
+        self.buckets = bounds
+        super().__init__(name, help, labelnames)
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(len(self.buckets))
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Fold one observation into the child selected by ``labels``."""
+        child = self._child(self._key(labels))
+        child.count += 1
+        child.sum += value
+        if value > child.max:
+            child.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                child.bucket_counts[i] += 1
+                return
+        child.bucket_counts[-1] += 1
+
+    # ------------------------------------------------------------------
+    def _resolve(self, labels: Mapping[str, Any]) -> Optional[_HistogramChild]:
+        return self._children.get(self._key(labels))
+
+    def count(self, **labels: Any) -> int:
+        """Observations folded into one child."""
+        child = self._resolve(labels)
+        return child.count if child is not None else 0
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Bucket-boundary quantile estimate for one child.
+
+        Returns 0.0 for an empty child.  Observations above the largest
+        finite bound report the observed maximum (the +Inf bucket has no
+        finite boundary to answer with).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0,1], got {q}")
+        child = self._resolve(labels)
+        if child is None or child.count == 0:
+            return 0.0
+        rank = q * child.count
+        cumulative = 0
+        for i, bound in enumerate(self.buckets):
+            cumulative += child.bucket_counts[i]
+            if cumulative >= rank and cumulative > 0:
+                return min(bound, child.max)
+        return child.max
+
+    def summary(self, **labels: Any) -> Dict[str, float]:
+        """``{count, sum, p50, p99}`` for one child."""
+        child = self._resolve(labels)
+        return {
+            "count": child.count if child else 0,
+            "sum": child.sum if child else 0.0,
+            "p50": self.quantile(0.5, **labels),
+            "p99": self.quantile(0.99, **labels),
+        }
+
+    def _child_value(self, child: _HistogramChild) -> Dict[str, Any]:
+        cumulative: List[int] = []
+        running = 0
+        for c in child.bucket_counts:
+            running += c
+            cumulative.append(running)
+        return {
+            "buckets": list(self.buckets),
+            "cumulative": cumulative,
+            "count": child.count,
+            "sum": child.sum,
+        }
+
+
+class MetricsRegistry:
+    """Owns metric families; get-or-create registration, stable snapshots."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------------------
+    def _register(
+        self,
+        cls,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        **kwargs: Any,
+    ):
+        existing = self._families.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, requested {cls.kind}"
+                )
+            if existing.labelnames != tuple(labelnames):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.labelnames!r}, requested {tuple(labelnames)!r}"
+                )
+            return existing
+        family = cls(name, help, labelnames, **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Get or create a :class:`Counter` family."""
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Get or create a :class:`Gauge` family."""
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_SIZE_BUCKETS,
+    ) -> Histogram:
+        """Get or create a :class:`Histogram` family (buckets fixed at
+        first registration)."""
+        return self._register(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    # ------------------------------------------------------------------
+    def families(self) -> List[MetricFamily]:
+        """All registered families, sorted by name."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> MetricFamily:
+        """Look up one family by name."""
+        try:
+            return self._families[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no metric named {name!r} is registered"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Deterministic nested view: name -> description + samples.
+
+        Samples are keyed by the canonical ``label=value`` joined string
+        (empty string for the unlabeled child), values are numbers for
+        counters/gauges and bucket dicts for histograms.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for family in self.families():
+            samples = {
+                ",".join(
+                    f"{n}={v}" for n, v in zip(family.labelnames, key)
+                ): value
+                for key, value in family.samples()
+            }
+            out[family.name] = {**family.describe(), "samples": samples}
+        return out
+
+    def counter_totals(self) -> Dict[str, float]:
+        """``{name: total}`` over every counter family (delta tracking)."""
+        return {
+            family.name: family.total()
+            for family in self.families()
+            if isinstance(family, Counter)
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Flat deterministic totals: counters summed, gauges peaked.
+
+        Histograms are excluded — their sums may be wall-derived (span
+        latencies), and this summary is what campaign records persist
+        and byte-identity tests compare.
+        """
+        out: Dict[str, float] = {}
+        for family in self.families():
+            if isinstance(family, (Counter, Gauge)):
+                total = family.total()
+                out[family.name] = (
+                    int(total) if float(total).is_integer() else total
+                )
+        return out
+
+    def clear(self) -> None:
+        """Drop every family (test isolation)."""
+        self._families.clear()

@@ -1,0 +1,263 @@
+"""The Telemetry object: registry + tracer + sink, global but injectable.
+
+One :class:`Telemetry` bundles the three observability surfaces —
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` (counters / gauges /
+  histograms),
+* span tracing (:mod:`repro.obs.tracing`),
+* a structured event sink (:mod:`repro.obs.events`),
+
+and is what the instrumented layers (engines, tester, monitor, campaign
+executor) accept as their ``telemetry=`` parameter.  Resolution order is
+*explicit argument > process global > disabled*:
+
+* passing a :class:`Telemetry` uses exactly that object (campaign
+  workers build a private one per row so parallel runs cannot share
+  state);
+* passing ``None`` (the default everywhere) uses the process-global
+  object, which **starts disabled** — a :class:`NullTelemetry` whose
+  every operation is a no-op.
+
+The disabled default is a guarantee, not an optimisation: no code path
+may behave differently under telemetry, and since metrics/spans never
+draw randomness or reorder work, fixed-seed verdicts and evidence are
+bit-identical with telemetry off, on, or absent (asserted by
+``tests/test_obs_integration.py`` and the ``obs`` benchmark area).
+
+Enable globally for a process with::
+
+    from repro.obs import Telemetry, set_telemetry
+
+    set_telemetry(Telemetry())          # in-memory metrics only
+    set_telemetry(Telemetry.to_jsonl("events.jsonl"))  # + event log
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+from .events import JsonlSink, NullSink
+from .exposition import render_registry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_SIZE_BUCKETS,
+)
+from .tracing import NULL_SPAN, NullSpan, Span
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "get_telemetry",
+    "resolve_telemetry",
+    "set_telemetry",
+]
+
+
+class Telemetry:
+    """Enabled telemetry: metrics, spans and events share one lifetime.
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry to record into; a fresh one by default.
+    sink:
+        Event sink for spans/marks/snapshots; discarded by default
+        (metrics-only telemetry is the common campaign configuration).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        sink: Optional[Any] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sink = sink if sink is not None else NullSink()
+        self._span_stack: list = []
+
+    @classmethod
+    def to_jsonl(cls, path: Union[str, Path]) -> "Telemetry":
+        """Telemetry whose events append to the JSONL file at ``path``."""
+        return cls(sink=JsonlSink(path))
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Get or create a counter family in this telemetry's registry."""
+        return self.registry.counter(name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Get or create a gauge family."""
+        return self.registry.gauge(name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_SIZE_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram family."""
+        return self.registry.histogram(name, help, labelnames, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # Tracing and events
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A nestable timed span; use as a context manager."""
+        return Span(self, name, attrs)
+
+    def mark(self, name: str, **fields: Any) -> None:
+        """Emit one explicit ``mark`` event to the sink."""
+        event: Dict[str, Any] = {"type": "mark", "name": name}
+        if fields:
+            event["fields"] = fields
+        self.sink.emit(event)
+
+    # ------------------------------------------------------------------
+    # Snapshots and lifecycle
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Flat deterministic totals (counters summed, gauges peaked).
+
+        This is the view campaign records persist: protocol-determined
+        integers only, independent of wall clock and worker count.
+        """
+        return self.registry.summary()
+
+    def render(self) -> str:
+        """The registry in Prometheus text-exposition format."""
+        return render_registry(self.registry)
+
+    def finalize(
+        self, textfile: Optional[Union[str, Path]] = None
+    ) -> Dict[str, float]:
+        """End-of-process bookkeeping; returns the final summary.
+
+        Emits a ``snapshot`` event (full metric snapshot + flat summary)
+        to the sink, closes it, and — when ``textfile`` is given —
+        writes the rendered Prometheus textfile there.
+        """
+        summary = self.summary()
+        self.sink.emit({
+            "type": "snapshot",
+            "summary": summary,
+            "metrics": self.registry.snapshot(),
+        })
+        self.sink.close()
+        if textfile is not None:
+            path = Path(textfile)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(self.render(), encoding="utf-8")
+        return summary
+
+
+class NullTelemetry:
+    """Disabled telemetry: every operation is a cheap no-op.
+
+    Mirrors the :class:`Telemetry` surface so instrumented code never
+    branches — it calls the same methods and nothing happens.  The
+    metric accessors return a shared :class:`_NullMetric` that swallows
+    ``inc``/``set``/``observe``.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.registry = None
+        self.sink = NullSink()
+        self._span_stack: list = []
+
+    def counter(self, *args: Any, **kwargs: Any) -> "_NullMetric":
+        """A no-op metric handle."""
+        return _NULL_METRIC
+
+    gauge = counter
+    histogram = counter
+
+    def span(self, name: str, **attrs: Any) -> NullSpan:
+        """The shared no-op span."""
+        return NULL_SPAN
+
+    def mark(self, name: str, **fields: Any) -> None:
+        """Discarded."""
+
+    def summary(self) -> Dict[str, float]:
+        """Always empty."""
+        return {}
+
+    def render(self) -> str:
+        """Always empty."""
+        return ""
+
+    def finalize(
+        self, textfile: Optional[Union[str, Path]] = None
+    ) -> Dict[str, float]:
+        """No-op; returns the empty summary."""
+        return {}
+
+
+class _NullMetric:
+    """Accepts any recording call and does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def set(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def set_max(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def observe(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def value(self, *args: Any, **kwargs: Any) -> float:
+        return 0
+
+    def total(self) -> float:
+        return 0
+
+
+_NULL_METRIC = _NullMetric()
+
+#: The shared disabled instance (the process-global default).
+NULL_TELEMETRY = NullTelemetry()
+
+_GLOBAL: Any = NULL_TELEMETRY
+
+
+def get_telemetry() -> Any:
+    """The process-global telemetry (disabled unless explicitly set)."""
+    return _GLOBAL
+
+
+def set_telemetry(telemetry: Optional[Any]) -> Any:
+    """Install ``telemetry`` as the process global; returns the previous.
+
+    ``None`` restores the disabled default.
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous
+
+
+def resolve_telemetry(telemetry: Optional[Any]) -> Any:
+    """Resolution rule used by every instrumented layer:
+    explicit argument > process global (which defaults to disabled)."""
+    return telemetry if telemetry is not None else _GLOBAL

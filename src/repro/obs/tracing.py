@@ -1,0 +1,115 @@
+"""Span-style tracing: nestable timed phases with counter deltas.
+
+A span brackets one phase of work::
+
+    with telemetry.span("tester.run", k=5, engine="fast"):
+        ...
+
+On exit it knows three things and emits them as one ``span`` event to
+the telemetry's sink:
+
+* **wall clock** — elapsed milliseconds (``time.perf_counter``);
+* **counter deltas** — how much every counter in the registry grew
+  while the span was open (only non-zero deltas are recorded), so an
+  event like ``tester.run`` carries "this run cost 18 rounds and 412
+  messages" without the protocol code saying so twice;
+* **nesting** — spans stack per telemetry object; each event records
+  its depth and parent span name.
+
+Span durations are additionally folded into the
+``repro_span_seconds`` histogram (labeled by span name), which is where
+the Prometheus exposition gets its p50/p99 phase latencies.
+
+Spans never touch RNG state and a disabled telemetry's
+:class:`NullSpan` does nothing at all, so tracing cannot perturb
+verdicts (the bit-identity guarantee of :mod:`repro.obs.telemetry`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from .metrics import DEFAULT_LATENCY_BUCKETS
+
+__all__ = ["NULL_SPAN", "NullSpan", "Span"]
+
+#: Histogram family recording span durations (seconds, by span name).
+SPAN_SECONDS = "repro_span_seconds"
+
+
+class NullSpan:
+    """The span of disabled telemetry: a reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+#: Shared instance — entering it allocates nothing.
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One live span; created by :meth:`Telemetry.span`, used as a
+    context manager."""
+
+    __slots__ = ("_telemetry", "name", "attrs", "_t0", "_counters0")
+
+    def __init__(
+        self, telemetry, name: str, attrs: Dict[str, Any]
+    ) -> None:
+        self._telemetry = telemetry
+        self.name = name
+        self.attrs = attrs
+        self._t0 = 0.0
+        self._counters0: Dict[str, float] = {}
+
+    def __enter__(self) -> "Span":
+        self._counters0 = self._telemetry.registry.counter_totals()
+        self._telemetry._span_stack.append(self.name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        elapsed = time.perf_counter() - self._t0
+        telemetry = self._telemetry
+        stack = telemetry._span_stack
+        stack.pop()
+        deltas = {
+            name: total - self._counters0.get(name, 0)
+            for name, total in telemetry.registry.counter_totals().items()
+            if total != self._counters0.get(name, 0)
+        }
+        telemetry.registry.histogram(
+            SPAN_SECONDS,
+            "Span duration in seconds, by span name.",
+            ("span",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        ).observe(elapsed, span=self.name)
+        event: Dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "elapsed_ms": round(elapsed * 1e3, 3),
+            "depth": len(stack),
+        }
+        if stack:
+            event["parent"] = stack[-1]
+        if self.attrs:
+            event["attrs"] = self.attrs
+        if deltas:
+            event["deltas"] = {
+                name: int(v) if float(v).is_integer() else v
+                for name, v in sorted(deltas.items())
+            }
+        telemetry.sink.emit(event)
+
+
+def current_span(telemetry) -> Optional[str]:
+    """Name of the innermost open span of ``telemetry`` (or ``None``)."""
+    stack = getattr(telemetry, "_span_stack", None)
+    return stack[-1] if stack else None

@@ -64,6 +64,42 @@ def _positive(record: Dict[str, Any]) -> bool:
     return bool(outcome.get("detected"))
 
 
+def _mean_of(values: List[float]):
+    return sum(values) / len(values) if values else None
+
+
+def _telemetry_means(ok: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Per-group means of the per-run telemetry summaries.
+
+    Newer records carry ``record["telemetry"]`` (flat counter totals from
+    the run's private :class:`~repro.obs.Telemetry`); older stores lack
+    it, so every figure degrades to ``None`` rather than erroring.
+    Cache-hit rate falls back to the monitor outcome's own counters for
+    pre-telemetry records.
+    """
+    rounds: List[float] = []
+    messages: List[float] = []
+    hit_rates: List[float] = []
+    for rec in ok:
+        tel = rec.get("telemetry") or {}
+        if "repro_congest_rounds_total" in tel:
+            rounds.append(tel["repro_congest_rounds_total"])
+        if "repro_congest_messages_total" in tel:
+            messages.append(tel["repro_congest_messages_total"])
+        if "repro_monitor_steps_total" in tel:
+            steps = tel["repro_monitor_steps_total"]
+            hits = tel.get("repro_monitor_cache_hits_total", 0)
+            if steps:
+                hit_rates.append(hits / steps)
+        elif "cache_hit_rate" in (rec.get("outcome") or {}):
+            hit_rates.append(rec["outcome"]["cache_hit_rate"])
+    return {
+        "mean_rounds": _mean_of(rounds),
+        "mean_messages": _mean_of(messages),
+        "cache_hit_rate": _mean_of(hit_rates),
+    }
+
+
 def aggregate_records(
     records: Iterable[Dict[str, Any]],
     *,
@@ -75,7 +111,10 @@ def aggregate_records(
         groups.setdefault(_group_key(rec, group_by), []).append(rec)
 
     table = Table(
-        [*group_by, "runs", "errors", "positive rate", "95% CI", "mean seqs/msg"],
+        [
+            *group_by, "runs", "errors", "positive rate", "95% CI",
+            "mean seqs/msg", "mean rounds", "mean msgs", "hit rate",
+        ],
         title="campaign summary",
     )
     summary = CampaignSummary(group_by=tuple(group_by), table=table)
@@ -92,9 +131,13 @@ def aggregate_records(
             if "max_sequences_per_message" in (r.get("outcome") or {})
         ]
         mean_seqs = sum(seqs) / len(seqs) if seqs else float("nan")
+        tel = _telemetry_means(ok)
         table.add_row(
             *key, len(recs), errors, rate, f"[{lo:.3f},{hi:.3f}]",
             mean_seqs if seqs else "-",
+            "-" if tel["mean_rounds"] is None else tel["mean_rounds"],
+            "-" if tel["mean_messages"] is None else tel["mean_messages"],
+            "-" if tel["cache_hit_rate"] is None else tel["cache_hit_rate"],
         )
         summary.rows.append(
             {
@@ -106,6 +149,7 @@ def aggregate_records(
                 "lo": lo,
                 "hi": hi,
                 "mean_seqs": mean_seqs if seqs else None,
+                **tel,
             }
         )
     return summary

@@ -75,11 +75,12 @@ def _probe_edge(graph: Graph) -> tuple:
 
 
 def _run_tester(
-    graph: Graph, k: int, eps: float, seed: int, engine: str, faults=None
+    graph: Graph, k: int, eps: float, seed: int, engine: str, faults=None,
+    telemetry=None,
 ) -> Dict[str, Any]:
-    result = CkFreenessTester(k, eps, engine=engine, faults=faults).run(
-        graph, seed=seed
-    )
+    result = CkFreenessTester(
+        k, eps, engine=engine, faults=faults, telemetry=telemetry
+    ).run(graph, seed=seed)
     return {
         "accepted": result.accepted,
         "repetitions_run": result.repetitions_run,
@@ -90,10 +91,12 @@ def _run_tester(
 
 
 def _run_detect(
-    graph: Graph, k: int, eps: float, seed: int, engine: str, faults=None
+    graph: Graph, k: int, eps: float, seed: int, engine: str, faults=None,
+    telemetry=None,
 ) -> Dict[str, Any]:
     det = detect_cycle_through_edge(
-        graph, _probe_edge(graph), k, engine=engine, faults=faults
+        graph, _probe_edge(graph), k, engine=engine, faults=faults,
+        telemetry=telemetry,
     )
     return {
         "detected": det.detected,
@@ -104,7 +107,8 @@ def _run_detect(
 
 
 def _run_naive(
-    graph: Graph, k: int, eps: float, seed: int, engine: str, faults=None
+    graph: Graph, k: int, eps: float, seed: int, engine: str, faults=None,
+    telemetry=None,
 ) -> Dict[str, Any]:
     # Baselines run on the reference scheduler regardless of the engine
     # factor: their point is the per-message congestion audit.
@@ -117,7 +121,8 @@ def _run_naive(
 
 
 def _run_gather(
-    graph: Graph, k: int, eps: float, seed: int, engine: str, faults=None
+    graph: Graph, k: int, eps: float, seed: int, engine: str, faults=None,
+    telemetry=None,
 ) -> Dict[str, Any]:
     res = gather_detect_cycle_through_edge(graph, _probe_edge(graph), k)
     return {
@@ -135,7 +140,7 @@ _ALGORITHMS: Dict[str, Callable[..., Dict[str, Any]]] = {
 
 
 def _run_stream_row(
-    graph: Graph, row: RunRow, seed: int, faults=None
+    graph: Graph, row: RunRow, seed: int, faults=None, telemetry=None
 ) -> Dict[str, Any]:
     """Execute a temporal row: replay the row's scenario over ``graph``.
 
@@ -151,6 +156,7 @@ def _run_stream_row(
     return run(
         graph, row.stream, row.k,
         engine=row.engine, seed=seed, epsilon=row.eps, faults=faults,
+        telemetry=telemetry,
     )
 
 
@@ -160,7 +166,16 @@ def execute_row(row: RunRow) -> Dict[str, Any]:
     Never raises on algorithm/generator errors: failures become records
     with ``"status": "error"`` so a campaign survives bad factor
     combinations and the failure is persisted rather than retried forever.
+
+    Every row runs under a *private* :class:`~repro.obs.Telemetry`
+    (metrics only, no event sink), and the record's ``"telemetry"``
+    field carries its flat summary — counters summed, gauges peaked, no
+    wall clock — so per-run rounds/messages/cache-hit figures are
+    deterministic and byte-identical between serial and parallel
+    execution.
     """
+    from ..obs import Telemetry
+
     record = dict(row.factors())
     record["run_id"] = row.run_id
     record["seed"] = row.seed
@@ -189,12 +204,16 @@ def execute_row(row: RunRow) -> Dict[str, Any]:
             faults = build_fault_model(
                 row.faults, seed=derive_seed(row.seed, "faults")
             )
+        tel = Telemetry()
         if row.stream is not None:
-            record["outcome"] = _run_stream_row(graph, row, algo_seed, faults)
+            record["outcome"] = _run_stream_row(
+                graph, row, algo_seed, faults, tel
+            )
         else:
             record["outcome"] = _ALGORITHMS[row.algorithm](
-                graph, row.k, row.eps, algo_seed, row.engine, faults
+                graph, row.k, row.eps, algo_seed, row.engine, faults, tel
             )
+        record["telemetry"] = tel.summary()
         record["status"] = "ok"
     except ReproError as exc:
         record["status"] = "error"

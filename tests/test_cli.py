@@ -39,7 +39,7 @@ class TestTestCommand:
         rc = main(["test", "--generator", "eps-far", "--n", "60", "--k", "4",
                    "--eps", "0.1", "--seed", "2"])
         out = capsys.readouterr().out
-        assert "certified farness" in out
+        assert "certified_farness=" in out
         assert rc == 1
 
     def test_unknown_generator(self):

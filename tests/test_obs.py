@@ -1,0 +1,256 @@
+"""Unit tests for the obs metric primitives, logger and telemetry bundle.
+
+Exposition round-trips live in ``test_obs_exposition.py``; end-to-end
+threading through engines/monitor/campaigns in
+``test_obs_integration.py``.
+"""
+
+import io
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    LOG,
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    StructuredLogger,
+    Telemetry,
+    get_telemetry,
+    read_events,
+    resolve_telemetry,
+    set_telemetry,
+    summarize_events,
+)
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
+
+
+class TestCounter:
+    def test_inc_and_totals(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_events_total", "Events.", ("kind",))
+        c.inc(kind="a")
+        c.inc(2, kind="a")
+        c.inc(5, kind="b")
+        assert c.value(kind="a") == 3
+        assert c.value(kind="b") == 5
+        assert c.total() == 8
+
+    def test_unlabeled_child(self):
+        c = MetricsRegistry().counter("repro_x_total")
+        c.inc()
+        assert c.value() == 1 and c.total() == 1
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("repro_x_total")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_missing_label_rejected(self):
+        c = MetricsRegistry().counter("repro_x_total", "", ("kind",))
+        with pytest.raises(ConfigurationError):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_and_peak_total(self):
+        g = MetricsRegistry().gauge("repro_depth", "", ("engine",))
+        g.set(3, engine="reference")
+        g.set(7, engine="fast")
+        g.set(5, engine="fast")  # overwrite, not max
+        assert g.value(engine="fast") == 5
+        assert g.total() == 5  # total() is the max across children
+
+    def test_set_max_keeps_peak(self):
+        g = MetricsRegistry().gauge("repro_depth")
+        g.set_max(4)
+        g.set_max(2)
+        assert g.value() == 4
+
+
+class TestHistogramBucketEdges:
+    """The le= boundary semantics the Prometheus format mandates."""
+
+    def test_value_on_boundary_counts_in_that_bucket(self):
+        h = MetricsRegistry().histogram("repro_h", buckets=(1, 2, 4))
+        h.observe(2)  # le="2" is inclusive
+        assert h.quantile(0.5) == 2.0
+
+    def test_above_largest_finite_bound_goes_to_inf(self):
+        h = MetricsRegistry().histogram("repro_h", buckets=(1, 2, 4))
+        h.observe(5)
+        # +Inf bucket has no finite boundary: report the observed max.
+        assert h.quantile(0.99) == 5
+        assert h.count() == 1
+
+    def test_power_of_two_default_quantiles(self):
+        h = MetricsRegistry().histogram("repro_h")
+        assert h.buckets[: len(DEFAULT_SIZE_BUCKETS)] == DEFAULT_SIZE_BUCKETS
+        for v in (1, 3, 9, 1000, 5000):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 5 and s["sum"] == 6013
+        # cumulative counts first reach rank 2.5 at le=16
+        assert s["p50"] == 16.0
+        assert s["p99"] == 5000  # above 1024 -> observed max
+
+    def test_quantile_clamped_to_observed_max(self):
+        h = MetricsRegistry().histogram("repro_h", buckets=(10, 100))
+        h.observe(3)
+        assert h.quantile(0.5) == 3  # min(bound=10, max=3)
+
+    def test_empty_child_quantile_is_zero(self):
+        h = MetricsRegistry().histogram("repro_h")
+        assert h.quantile(0.5) == 0.0
+        assert h.summary() == {"count": 0, "sum": 0.0, "p50": 0.0, "p99": 0.0}
+
+    def test_quantile_range_checked(self):
+        h = MetricsRegistry().histogram("repro_h")
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("repro_h", buckets=(4, 2))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro_x_total") is reg.counter("repro_x_total")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            reg.gauge("repro_x_total")
+
+    def test_label_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "", ("a",))
+        with pytest.raises(ConfigurationError, match="labels"):
+            reg.counter("repro_x_total", "", ("b",))
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("1bad name")
+
+    def test_summary_counters_summed_gauges_peaked_histograms_excluded(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c_total", "", ("k",)).inc(2, k="a")
+        reg.counter("repro_c_total", "", ("k",)).inc(3, k="b")
+        reg.gauge("repro_g").set(7)
+        reg.histogram("repro_h").observe(1)
+        assert reg.summary() == {"repro_c_total": 5, "repro_g": 7}
+
+    def test_summary_values_are_ints_when_integral(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c_total").inc(2)
+        assert isinstance(reg.summary()["repro_c_total"], int)
+
+    def test_counter_totals_excludes_gauges(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c_total").inc()
+        reg.gauge("repro_g").set(9)
+        assert reg.counter_totals() == {"repro_c_total": 1}
+
+    def test_get_unknown_is_clean_error(self):
+        with pytest.raises(ConfigurationError, match="no metric named"):
+            MetricsRegistry().get("repro_nope")
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c_total").inc()
+        reg.clear()
+        assert len(reg) == 0
+
+
+class TestStructuredLogger:
+    def _logger(self, **cfg):
+        out, err = io.StringIO(), io.StringIO()
+        log = StructuredLogger()
+        log.configure(stream=out, err_stream=err, **cfg)
+        return log, out, err
+
+    def test_info_formats_fields_on_stdout(self):
+        log, out, err = self._logger()
+        log.info("graph built", n=5, m=7)
+        assert out.getvalue() == "# graph built n=5 m=7\n"
+        assert err.getvalue() == ""
+
+    def test_debug_needs_verbose(self):
+        log, out, _ = self._logger()
+        log.debug("hidden")
+        assert out.getvalue() == ""
+        log.configure(verbose=True, stream=out)
+        log.debug("shown")
+        assert "# shown" in out.getvalue()
+
+    def test_quiet_suppresses_info_not_errors(self):
+        log, out, err = self._logger(quiet=True)
+        log.info("diagnostic")
+        log.warn("careful")
+        log.error("broken", code=2)
+        assert out.getvalue() == ""
+        assert "warn: careful" in err.getvalue()
+        assert "error: broken code=2" in err.getvalue()
+
+    def test_module_singleton(self):
+        assert isinstance(LOG, StructuredLogger)
+
+
+class TestTelemetryBundle:
+    def test_span_events_and_snapshot(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tel = Telemetry.to_jsonl(path)
+        with tel.span("outer", k=5):
+            tel.counter("repro_demo_total", "Demo.").inc(3)
+            with tel.span("inner"):
+                pass
+            tel.mark("checkpoint", note="mid")
+        tel.finalize()
+        events = read_events(path)
+        kinds = [e["type"] for e in events]
+        assert kinds == ["span", "mark", "span", "snapshot"]
+        inner, outer = events[0], events[2]
+        assert inner["name"] == "inner" and inner["depth"] == 1
+        assert inner["parent"] == "outer"
+        assert outer["name"] == "outer" and outer["attrs"] == {"k": 5}
+        assert outer["deltas"] == {"repro_demo_total": 3}
+        summary = summarize_events(events)
+        assert summary["spans"]["outer"]["count"] == 1
+        assert summary["marks"] == {"checkpoint": 1}
+        assert summary["metrics"] == {"repro_demo_total": 3}
+
+    def test_finalize_writes_textfile(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tel = Telemetry.to_jsonl(path)
+        tel.counter("repro_demo_total", "Demo.").inc()
+        tel.finalize(textfile=tmp_path / "out.prom")
+        text = (tmp_path / "out.prom").read_text()
+        assert "repro_demo_total 1" in text
+
+    def test_null_surface_is_inert(self):
+        assert not NULL_TELEMETRY.enabled
+        NULL_TELEMETRY.counter("x").inc()
+        NULL_TELEMETRY.gauge("y").set_max(4)
+        NULL_TELEMETRY.histogram("z").observe(1)
+        with NULL_TELEMETRY.span("s", k=1):
+            NULL_TELEMETRY.mark("m")
+        assert NULL_TELEMETRY.summary() == {}
+        assert NULL_TELEMETRY.render() == ""
+        NULL_TELEMETRY.finalize()  # must not raise
+
+    def test_global_resolution_order(self):
+        # explicit arg > process global > disabled default
+        assert resolve_telemetry(None) is NULL_TELEMETRY
+        tel = Telemetry()
+        try:
+            set_telemetry(tel)
+            assert get_telemetry() is tel
+            assert resolve_telemetry(None) is tel
+            other = Telemetry()
+            assert resolve_telemetry(other) is other
+        finally:
+            set_telemetry(None)
+        assert resolve_telemetry(None) is NULL_TELEMETRY

@@ -1,0 +1,157 @@
+"""Prometheus text exposition: rendering, strict parsing, round-trips.
+
+The format contract the rest of the repo relies on: whatever
+``render_textfile`` produces, ``parse_textfile`` re-reads losslessly and
+``render_parsed`` reproduces byte for byte — so a committed ``.prom``
+artifact can be validated (and diffed) mechanically.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    ExpositionError,
+    MetricsRegistry,
+    parse_textfile,
+    render_textfile,
+)
+from repro.obs.exposition import (
+    registry_equals_parsed,
+    render_parsed,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("repro_msgs_total", "Messages sent.", ("engine",))
+    c.inc(42, engine="reference")
+    c.inc(7, engine="fast")
+    reg.gauge("repro_depth", "Recursion depth.").set(3)
+    h = reg.histogram("repro_sizes", "Ball sizes.", ("kind",), buckets=(1, 2, 4))
+    for v in (1, 2, 3, 9):
+        h.observe(v, kind="ball")
+    weird = reg.counter("repro_weird_total", 'Help with \\ and\nnewline.', ("tag",))
+    weird.inc(1, tag='quote " backslash \\ newline \n done')
+    return reg
+
+
+class TestRendering:
+    def test_help_and_type_lines(self):
+        text = render_textfile(populated_registry())
+        assert "# HELP repro_msgs_total Messages sent.\n" in text
+        assert "# TYPE repro_msgs_total counter\n" in text
+        assert "# TYPE repro_sizes histogram\n" in text
+
+    def test_integral_values_render_as_ints(self):
+        text = render_textfile(populated_registry())
+        assert 'repro_msgs_total{engine="reference"} 42\n' in text
+        assert "42.0" not in text
+
+    def test_histogram_samples_cumulative_with_inf(self):
+        text = render_textfile(populated_registry())
+        assert 'repro_sizes_bucket{kind="ball",le="1"} 1\n' in text
+        assert 'repro_sizes_bucket{kind="ball",le="2"} 2\n' in text
+        assert 'repro_sizes_bucket{kind="ball",le="4"} 3\n' in text
+        assert 'repro_sizes_bucket{kind="ball",le="+Inf"} 4\n' in text
+        assert 'repro_sizes_sum{kind="ball"} 15\n' in text
+        assert 'repro_sizes_count{kind="ball"} 4\n' in text
+
+
+class TestRoundTrip:
+    def test_render_parse_render_is_fixed_point(self):
+        text = render_textfile(populated_registry())
+        assert render_parsed(parse_textfile(text)) == text
+
+    def test_registry_equals_parsed(self):
+        reg = populated_registry()
+        assert registry_equals_parsed(reg, parse_textfile(render_textfile(reg)))
+
+    def test_label_escaping_survives(self):
+        families = parse_textfile(render_textfile(populated_registry()))
+        [(labels, value)] = families["repro_weird_total"].series()
+        assert dict(labels)["tag"] == 'quote " backslash \\ newline \n done'
+        assert value == 1
+
+    def test_parsed_series_accessors(self):
+        families = parse_textfile(render_textfile(populated_registry()))
+        counter = families["repro_msgs_total"]
+        assert counter.kind == "counter"
+        assert counter.help == "Messages sent."
+        values = {dict(l)["engine"]: v for l, v in counter.series()}
+        assert values == {"reference": 42, "fast": 7}
+        hist = families["repro_sizes"]
+        buckets = hist.series("_bucket")
+        assert [v for _, v in buckets] == [1, 2, 3, 4]
+        assert dict(buckets[-1][0])["le"] == "+Inf"
+        assert hist.series("_count") == [((("kind", "ball"),), 4)]
+        assert hist.series("_nope") == []
+
+    def test_inf_value_round_trips(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_g").set(math.inf)
+        text = render_textfile(reg)
+        assert "repro_g +Inf\n" in text
+        assert render_parsed(parse_textfile(text)) == text
+
+
+class TestStrictParsing:
+    def test_unparseable_line_rejected(self):
+        with pytest.raises(ExpositionError):
+            parse_textfile("this is not a metric line\n")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ExpositionError):
+            parse_textfile("repro_x_total twelve\n")
+
+    def test_sample_without_family_rejected(self):
+        # A bare sample that matches no TYPE-declared family is an error
+        # in strict mode, not silently collected.
+        with pytest.raises(ExpositionError):
+            parse_textfile(
+                "# TYPE repro_a counter\nrepro_a 1\nrepro_b 2\n"
+            )
+
+    def test_histogram_must_be_cumulative(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="2"} 3\n'  # decreasing: invalid
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 9\n"
+            "repro_h_count 5\n"
+        )
+        with pytest.raises(ExpositionError, match="cumulative"):
+            parse_textfile(text)
+
+    def test_histogram_requires_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            "repro_h_sum 9\n"
+            "repro_h_count 5\n"
+        )
+        with pytest.raises(ExpositionError, match="Inf"):
+            parse_textfile(text)
+
+    def test_histogram_count_must_agree_with_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 4\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 9\n"
+            "repro_h_count 6\n"
+        )
+        with pytest.raises(ExpositionError):
+            parse_textfile(text)
+
+    def test_valid_handwritten_histogram_parses(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 4\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 9.5\n"
+            "repro_h_count 5\n"
+        )
+        families = parse_textfile(text)
+        assert families["repro_h"].kind == "histogram"
