@@ -1,0 +1,27 @@
+"""Detection-as-a-service: loadgen throughput and session lifecycle.
+
+Thin shim over the registry-driven harness: the benchmark bodies, size
+grids and correctness assertions live in ``repro.bench.specs`` (area
+``service``); see docs/benchmarks.md and docs/service.md.  The bodies
+boot a real in-process server on an ephemeral port, so the throughput
+gate (>= 500 req/s on the smoke profile) and the service-vs-offline
+parity assertion both exercise the actual wire protocol.  Both entry
+points work from a plain checkout —
+
+* ``pytest benchmarks/bench_service.py``
+* ``python benchmarks/bench_service.py [smoke|default|full]``
+
+and the canonical invocations are ``repro bench run --areas service``
+or ``python -m repro.bench run --areas service``.
+"""
+
+import _bench_utils
+
+
+def test_service_area():
+    """The registered ``service`` smoke grid runs clean (checks included)."""
+    _bench_utils.assert_area_ok("service")
+
+
+if __name__ == "__main__":
+    raise SystemExit(_bench_utils.main("service"))

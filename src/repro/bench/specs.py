@@ -975,3 +975,101 @@ def snapshot_hash(case: Dict[str, Any], seed: int) -> Dict[str, Any]:
     # Identical history must reproduce the identical final hash.
     assert DynamicGraph.replay(g, dyn.log).content_hash() == dyn.content_hash()
     return {"snapshots": case["snapshots"], "final_n": dyn.n, "final_m": dyn.m}
+
+
+# ---------------------------------------------------------------------------
+# service — detection-as-a-service: loadgen throughput and session lifecycle
+# ---------------------------------------------------------------------------
+
+
+@benchmark(
+    "service",
+    smoke=[{"clients": 8, "batch": 1, "min_rps": 500.0}],
+    default=[{"clients": 16, "batch": 2, "min_rps": 500.0}],
+)
+def loadgen_throughput(case: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Aggregate service throughput under the seeded loadgen profile.
+
+    Boots an in-process server, drives ``clients`` concurrent sessions
+    through the smoke scenario, and asserts the two service guarantees
+    in-body: the latency gate (aggregate requests/second above
+    ``min_rps``) and bit-exact parity between every session's final
+    state and an offline :class:`~repro.dynamic.CkMonitor` replay.
+    """
+    from ..service.loadgen import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        clients=case["clients"], batch=case["batch"], seed=seed
+    )
+    summary = run_loadgen(config)
+    assert summary["errors"] == 0, (
+        f"loadgen hit {summary['errors']} request errors"
+    )
+    assert summary["parity_ok"], (
+        "service sessions diverged from the offline CkMonitor replay"
+    )
+    assert summary["rps"] >= case["min_rps"], (
+        f"throughput {summary['rps']:.0f} req/s below the "
+        f"{case['min_rps']:.0f} req/s gate"
+    )
+    return {
+        "clients": case["clients"],
+        "requests": summary["requests"],
+        "errors": summary["errors"],
+        "rps": summary["rps"],
+        "p50_ms": summary["p50_ms"],
+        "p99_ms": summary["p99_ms"],
+    }
+
+
+@benchmark(
+    "service",
+    smoke=[{"n": 40, "p": 0.1, "steps": 30, "k": 5}],
+    default=[{"n": 80, "p": 0.05, "steps": 60, "k": 5}],
+)
+def session_lifecycle(case: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One full session lifetime over HTTP vs the offline monitor.
+
+    Walks create → mutate (one request per step) → verdict → snapshot →
+    delete through the real wire protocol and asserts the snapshot's
+    ``(version, content_hash, accepted)`` triple is bit-identical to an
+    offline monitor fed the same base graph and stream.
+    """
+    from ..dynamic import CkMonitor, build_stream
+    from ..graphs import io as graph_io
+    from ..runner import registry as graph_registry
+    from ..service import ServerHarness
+
+    base = graph_registry.build_graph(
+        "gnp", seed=seed, n=case["n"], p=case["p"]
+    )
+    stream = build_stream(
+        f"uniform-churn:steps={case['steps']},p=0.5",
+        base, seed=seed, k=case["k"],
+    )
+    with ServerHarness(max_sessions=4) as harness:
+        client = harness.client()
+        client.create_session(
+            name="bench", k=case["k"], seed=seed,
+            base=graph_io.dumps(stream.base),
+        )
+        for mutation in stream.mutations:
+            client.mutate("bench", mutation.to_line() + "\n")
+        verdict = client.verdict("bench")
+        snapshot = client.snapshot("bench")
+        client.delete("bench")
+
+    monitor = CkMonitor(stream.base, case["k"], seed=seed)
+    monitor.run_stream(stream.mutations)
+    assert snapshot["version"] == monitor.version
+    assert snapshot["content_hash"] == monitor.dynamic.content_hash(), (
+        "service content hash diverged from the offline replay"
+    )
+    assert snapshot["accepted"] == monitor.accepted
+    assert verdict["accepted"] == monitor.accepted
+    return {
+        "steps": case["steps"],
+        "version": snapshot["version"],
+        "final_m": snapshot["m"],
+        "accepted": int(snapshot["accepted"]),
+    }

@@ -314,6 +314,102 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# service subcommands (serve / loadgen)
+# ---------------------------------------------------------------------------
+def _parse_params(spec: Optional[str]) -> Dict[str, object]:
+    """Parse ``n=40,p=0.1`` into a typed parameter dict."""
+    params: Dict[str, object] = {}
+    if not spec:
+        return params
+    for item in spec.split(","):
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"error: bad --params item {item!r} (need key=value)"
+            )
+        try:
+            value: object = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        params[key.strip()] = value
+    return params
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the detection service in the foreground until SIGINT/SIGTERM."""
+    import asyncio
+    import signal
+
+    from .service import ServiceConfig, ServiceServer
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        request_timeout=args.request_timeout,
+        debug=args.debug,
+        default_engine=args.engine,
+    )
+
+    async def _run() -> None:
+        server = ServiceServer(config)
+        await server.start()
+        LOG.info(
+            "service listening",
+            host=config.host, port=server.port,
+            max_sessions=config.max_sessions,
+            request_timeout=config.request_timeout,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await stop.wait()
+        LOG.info("service draining", sessions=len(server.sessions))
+        await server.stop(drain=True)
+
+    asyncio.run(_run())
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a loadgen profile (in-process server unless --host given)."""
+    from .service.loadgen import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        clients=args.clients,
+        family=args.family,
+        params=_parse_params(args.params) or LoadgenConfig().params,
+        stream=args.stream,
+        k=args.k,
+        engine=args.engine,
+        seed=args.seed,
+        batch=args.batch,
+        verify_parity=not args.no_parity,
+    )
+    summary = run_loadgen(
+        config,
+        host=args.host,
+        port=args.port,
+        out=args.out,
+        metrics_out=args.metrics_out,
+    )
+    print(json.dumps({"summary": summary}, sort_keys=True, indent=2))
+    if summary["errors"]:
+        raise SystemExit(f"loadgen finished with {summary['errors']} errors")
+    if not summary["parity_ok"]:
+        raise SystemExit("loadgen parity check FAILED "
+                         "(service vs offline monitor mismatch)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # campaign subcommand
 # ---------------------------------------------------------------------------
 #: Built-in campaign presets (factor grids); ``smoke`` is CI-sized.
@@ -704,6 +800,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs_report.add_argument("--textfile", help="Prometheus textfile "
                               "(written as PATH.prom); parsed and validated")
     p_obs_report.set_defaults(func=_cmd_obs_report)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the detection-as-a-service HTTP daemon (stdlib asyncio)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8757,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument("--max-sessions", type=int, default=64,
+                         help="session cap before LRU eviction")
+    p_serve.add_argument("--request-timeout", type=float, default=30.0,
+                         help="per-request handler timeout (seconds)")
+    p_serve.add_argument("--engine", default="reference",
+                         choices=ENGINE_NAMES,
+                         help="default detection engine for new sessions")
+    p_serve.add_argument("--debug", action="store_true",
+                         help="enable the /debug endpoints (tests only)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_lg = sub.add_parser(
+        "loadgen",
+        help="drive the service with N concurrent seeded clients",
+    )
+    p_lg.add_argument("--clients", type=int, default=8)
+    p_lg.add_argument("--family", default="gnp",
+                      help="base-graph generator family")
+    p_lg.add_argument("--params", default=None, metavar="K=V,...",
+                      help="generator parameters, e.g. n=40,p=0.1")
+    p_lg.add_argument("--stream", default="uniform-churn:steps=30,p=0.5",
+                      metavar="SPEC", help="scenario spec per client")
+    p_lg.add_argument("--k", type=int, default=5)
+    p_lg.add_argument("--engine", default="reference", choices=ENGINE_NAMES)
+    p_lg.add_argument("--seed", type=int, default=0)
+    p_lg.add_argument("--batch", type=int, default=1,
+                      help="mutations per request")
+    p_lg.add_argument("--host", default=None,
+                      help="target a running server (default: boot one "
+                      "in-process for the run)")
+    p_lg.add_argument("--port", type=int, default=None)
+    p_lg.add_argument("--out", help="JSONL results path")
+    p_lg.add_argument("--metrics-out",
+                      help="scrape /metrics to this textfile after the run")
+    p_lg.add_argument("--no-parity", action="store_true",
+                      help="skip the offline CkMonitor parity replay")
+    p_lg.set_defaults(func=_cmd_loadgen)
 
     add_bench_subparser(sub)
     return parser

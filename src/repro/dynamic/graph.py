@@ -19,6 +19,7 @@ comparison.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
@@ -69,6 +70,12 @@ class DynamicGraph:
         self._base = base.copy()
         self._graph = base.copy()
         self._log: List[Mutation] = []
+        # Guards the (graph, log) pair so snapshot()/as_of() observe a
+        # single consistent version even when another thread is applying
+        # mutations (the service harness runs its event loop on a
+        # different thread than test/benchmark callers).  Reentrant so
+        # apply_all -> apply nests without deadlock.
+        self._state_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # State
@@ -107,14 +114,26 @@ class DynamicGraph:
     def content_hash(self) -> str:
         """Content hash of the current state (see
         :meth:`Graph.content_hash <repro.graphs.graph.Graph.content_hash>`)."""
-        return self._graph.content_hash()
+        with self._state_lock:
+            return self._graph.content_hash()
 
     def snapshot(self) -> Snapshot:
-        """A frozen copy of the current state with its version and hash."""
+        """A frozen copy of the current state with its version and hash.
+
+        The version is read and the graph copied under one lock
+        acquisition, and the content hash is computed from the *copy*
+        (``Graph.__hash__`` is ``None`` — content identity is explicit,
+        never Python object hashing), so the ``(version, content_hash,
+        graph)`` triple is mutually consistent even when mutations race
+        the snapshot from another thread.
+        """
+        with self._state_lock:
+            version = len(self._log)
+            frozen = self._graph.copy()
         return Snapshot(
-            version=self.version,
-            content_hash=self.content_hash(),
-            graph=self._graph.copy(),
+            version=version,
+            content_hash=frozen.content_hash(),
+            graph=frozen,
         )
 
     # ------------------------------------------------------------------
@@ -127,8 +146,9 @@ class DynamicGraph:
         leaves both the graph and the log untouched.
         """
         canonical = mutation.canonical()
-        apply_mutation(self._graph, canonical)
-        self._log.append(canonical)
+        with self._state_lock:
+            apply_mutation(self._graph, canonical)
+            self._log.append(canonical)
         return canonical
 
     def apply_all(self, mutations: Iterable[Mutation]) -> List[Mutation]:
@@ -156,12 +176,14 @@ class DynamicGraph:
         ``version`` counts applied mutations: 0 is the base graph, the
         current :attr:`version` is the present state.
         """
-        if not 0 <= version <= self.version:
-            raise GraphError(
-                f"version {version} out of range [0, {self.version}]"
-            )
+        with self._state_lock:
+            if not 0 <= version <= self.version:
+                raise GraphError(
+                    f"version {version} out of range [0, {self.version}]"
+                )
+            prefix = self._log[:version]
         g = self._base.copy()
-        for mutation in self._log[:version]:
+        for mutation in prefix:
             apply_mutation(g, mutation)
         return g
 

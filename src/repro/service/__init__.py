@@ -1,0 +1,53 @@
+"""repro.service — detection-as-a-service over HTTP/JSON.
+
+The library's dynamic-monitoring stack (:class:`~repro.dynamic.DynamicGraph`
+plus the incremental :class:`~repro.dynamic.CkMonitor`) becomes a
+long-lived daemon: many named *sessions*, each one evolving graph with an
+always-current C_k verdict, mutated through the same ``+ u v`` / ``- u v``
+edge-stream text the offline tools read and queried per request.  Because
+a session's verdict is maintained incrementally, a query is a cache read
+— the economics the ``dynamic`` benchmarks measure offline, served as
+traffic.
+
+Layers (stdlib asyncio only, mirroring the zero-dependency stance of
+:mod:`repro.obs`):
+
+* :mod:`repro.service.protocol` — request/response envelopes, error
+  codes, limits and the stream-batch parser shared with the offline io;
+* :mod:`repro.service.sessions` — :class:`Session` (monitor + writer
+  lock) and the LRU-bounded :class:`SessionManager`;
+* :mod:`repro.service.server` — the asyncio HTTP/1.1 daemon
+  (:class:`ServiceServer`) with per-request timeouts, bounded bodies,
+  Prometheus ``/metrics`` and graceful drain;
+* :mod:`repro.service.client` — minimal sync and async clients;
+* :mod:`repro.service.harness` — :class:`ServerHarness`, an
+  in-process server on a background event-loop thread (tests, bench);
+* :mod:`repro.service.loadgen` — the load-generator harness driving N
+  concurrent synthetic clients over seeded stream scenarios, persisting
+  a run-table-style JSONL results file.
+
+CLI: ``repro serve`` boots the daemon, ``repro loadgen`` drives it (or
+an in-process server when no host is given).  See ``docs/service.md``
+for the protocol reference and the metrics catalogue.
+"""
+
+from .client import AsyncServiceClient, ServiceClient, ServiceClientError
+from .harness import ServerHarness
+from .loadgen import LoadgenConfig, run_loadgen
+from .protocol import ServiceError
+from .server import ServiceConfig, ServiceServer
+from .sessions import Session, SessionManager
+
+__all__ = [
+    "AsyncServiceClient",
+    "LoadgenConfig",
+    "ServerHarness",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "Session",
+    "SessionManager",
+    "run_loadgen",
+]

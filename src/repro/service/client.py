@@ -1,0 +1,274 @@
+"""Minimal service clients: sync (tests, CLI) and async (loadgen).
+
+Both speak exactly the protocol of :mod:`repro.service.protocol` and
+return ``(status, payload)`` pairs so callers can assert on error
+envelopes without exception gymnastics; the convenience helpers raise
+:class:`ServiceClientError` on any non-2xx status for callers that only
+want the happy path.
+
+:class:`ServiceClient` (sync) opens one :mod:`http.client` connection
+per request — simple and reconnection-proof, throughput is not its job.
+:class:`AsyncServiceClient` holds one keep-alive connection and is what
+the load generator runs thousands of requests through.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["AsyncServiceClient", "ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(ReproError):
+    """A non-2xx response where the caller wanted only success.
+
+    Carries the HTTP ``status`` and the decoded error ``payload`` (the
+    protocol envelope, so ``payload["error"]["code"]`` is the machine-
+    readable reason).
+    """
+
+    def __init__(self, status: int, payload: Any) -> None:
+        detail = ""
+        if isinstance(payload, dict) and "error" in payload:
+            err = payload["error"]
+            detail = f": {err.get('code')}: {err.get('message')}"
+        super().__init__(f"service returned HTTP {status}{detail}")
+        self.status = status
+        self.payload = payload
+
+
+def _decode(content_type: str, body: bytes) -> Any:
+    """JSON-decode JSON responses, pass text through, else raw bytes."""
+    if content_type.startswith("application/json"):
+        return json.loads(body.decode("utf-8"))
+    if content_type.startswith("text/"):
+        return body.decode("utf-8")
+    return body
+
+
+class ServiceClient:
+    """Blocking client; one connection per request."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+    ) -> Tuple[int, Any]:
+        """One raw round trip; returns ``(status, decoded payload)``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = content_type
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = _decode(
+                response.getheader("Content-Type", ""), response.read()
+            )
+            return response.status, payload
+        finally:
+            conn.close()
+
+    def _ok(self, status: int, payload: Any) -> Any:
+        if not 200 <= status < 300:
+            raise ServiceClientError(status, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Convenience helpers (raise on error)
+    # ------------------------------------------------------------------
+    def create_session(self, **spec: Any) -> Dict[str, Any]:
+        """``POST /v1/sessions`` (kwargs become the JSON spec)."""
+        return self._ok(*self.request(
+            "POST", "/v1/sessions",
+            body=json.dumps(spec).encode("utf-8"),
+        ))
+
+    def list_sessions(self) -> Dict[str, Any]:
+        """``GET /v1/sessions``."""
+        return self._ok(*self.request("GET", "/v1/sessions"))
+
+    def info(self, name: str) -> Dict[str, Any]:
+        """``GET /v1/sessions/{name}``."""
+        return self._ok(*self.request("GET", f"/v1/sessions/{name}"))
+
+    def delete(self, name: str) -> Dict[str, Any]:
+        """``DELETE /v1/sessions/{name}``."""
+        return self._ok(*self.request("DELETE", f"/v1/sessions/{name}"))
+
+    def mutate(self, name: str, stream_text: str) -> Dict[str, Any]:
+        """``POST /v1/sessions/{name}/mutations`` (edge-stream body)."""
+        return self._ok(*self.request(
+            "POST", f"/v1/sessions/{name}/mutations",
+            body=stream_text.encode("utf-8"), content_type="text/plain",
+        ))
+
+    def verdict(self, name: str) -> Dict[str, Any]:
+        """``GET /v1/sessions/{name}/verdict``."""
+        return self._ok(*self.request("GET", f"/v1/sessions/{name}/verdict"))
+
+    def snapshot(self, name: str) -> Dict[str, Any]:
+        """``GET /v1/sessions/{name}/snapshot``."""
+        return self._ok(*self.request("GET", f"/v1/sessions/{name}/snapshot"))
+
+    def metrics(self) -> str:
+        """``GET /metrics`` (Prometheus text)."""
+        return self._ok(*self.request("GET", "/metrics"))
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._ok(*self.request("GET", "/healthz"))
+
+
+class AsyncServiceClient:
+    """Keep-alive asyncio client (the load generator's workhorse)."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        """Open (or reopen) the keep-alive connection."""
+        await self.close()
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        """Close the connection if open."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+    ) -> Tuple[int, Any]:
+        """One round trip on the keep-alive connection.
+
+        Reconnects transparently when the server closed the previous
+        keep-alive connection (e.g. after a 413 or a drain).
+        """
+        if self._writer is None:
+            await self.connect()
+        try:
+            return await asyncio.wait_for(
+                self._round_trip(method, path, body, content_type),
+                timeout=self.timeout,
+            )
+        except (ConnectionError, EOFError, asyncio.IncompleteReadError):
+            await self.connect()
+            return await asyncio.wait_for(
+                self._round_trip(method, path, body, content_type),
+                timeout=self.timeout,
+            )
+
+    async def _round_trip(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        content_type: str,
+    ) -> Tuple[int, Any]:
+        assert self._reader is not None and self._writer is not None
+        payload = body or b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + payload)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise EOFError("server closed the connection")
+        status = int(status_line.split()[1])
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        data = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, _decode(headers.get("content-type", ""), data)
+
+    # ------------------------------------------------------------------
+    def _ok(self, status: int, payload: Any) -> Any:
+        if not 200 <= status < 300:
+            raise ServiceClientError(status, payload)
+        return payload
+
+    async def create_session(self, **spec: Any) -> Dict[str, Any]:
+        """``POST /v1/sessions`` (kwargs become the JSON spec)."""
+        return self._ok(*await self.request(
+            "POST", "/v1/sessions",
+            body=json.dumps(spec).encode("utf-8"),
+        ))
+
+    async def mutate(self, name: str, stream_text: str) -> Dict[str, Any]:
+        """``POST /v1/sessions/{name}/mutations`` (edge-stream body)."""
+        return self._ok(*await self.request(
+            "POST", f"/v1/sessions/{name}/mutations",
+            body=stream_text.encode("utf-8"), content_type="text/plain",
+        ))
+
+    async def verdict(self, name: str) -> Dict[str, Any]:
+        """``GET /v1/sessions/{name}/verdict``."""
+        return self._ok(
+            *await self.request("GET", f"/v1/sessions/{name}/verdict")
+        )
+
+    async def snapshot(self, name: str) -> Dict[str, Any]:
+        """``GET /v1/sessions/{name}/snapshot``."""
+        return self._ok(
+            *await self.request("GET", f"/v1/sessions/{name}/snapshot")
+        )
+
+    async def delete(self, name: str) -> Dict[str, Any]:
+        """``DELETE /v1/sessions/{name}``."""
+        return self._ok(*await self.request("DELETE", f"/v1/sessions/{name}"))
+
+    async def metrics(self) -> str:
+        """``GET /metrics`` (Prometheus text)."""
+        return self._ok(*await self.request("GET", "/metrics"))

@@ -1,0 +1,127 @@
+"""In-process server harness: a ServiceServer on a background loop thread.
+
+Tests, benchmarks and the in-process load-generator mode all need a real
+server on a real (ephemeral) TCP port without spawning a subprocess.
+:class:`ServerHarness` runs a private :class:`asyncio` event loop on a
+daemon thread, boots a :class:`~repro.service.server.ServiceServer`
+there, and exposes the bound port plus clients.  Use as a context
+manager::
+
+    with ServerHarness(max_sessions=8) as harness:
+        client = harness.client()
+        client.create_session(name="demo", k=5, n=16)
+        ...
+
+Shutdown goes through the server's graceful drain, so a harness exit
+asserts the drain path on every test run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Optional
+
+from ..errors import ReproError
+from .client import ServiceClient
+from .server import ServiceConfig, ServiceServer
+
+__all__ = ["ServerHarness"]
+
+
+class ServerHarness:
+    """A live service on an ephemeral port, owned by a daemon thread.
+
+    Keyword arguments become :class:`ServiceConfig` fields; ``telemetry``
+    is forwarded to the server (a private in-memory bundle by default).
+    """
+
+    def __init__(self, *, telemetry=None, **config_kwargs: Any) -> None:
+        self.config = ServiceConfig(**config_kwargs)
+        self.server = ServiceServer(self.config, telemetry=telemetry)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid after :meth:`start`)."""
+        if self.server.port is None:
+            raise ReproError("harness not started")
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        """The configured bind host."""
+        return self.config.host
+
+    def client(self, *, timeout: float = 30.0) -> ServiceClient:
+        """A sync client bound to this server."""
+        return ServiceClient(self.host, self.port, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServerHarness":
+        """Boot the loop thread and wait until the server is listening."""
+        if self._thread is not None:
+            raise ReproError("harness already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise ReproError(
+                f"service failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if self.server.port is None:
+            raise ReproError("service failed to start (timeout)")
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Drain and stop the server, then join the loop thread."""
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(drain=drain), loop
+        )
+        try:
+            future.result(timeout=self.config.drain_timeout + 5.0)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10.0)
+            self._loop = self._thread = None
+
+    def __enter__(self) -> "ServerHarness":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 - surface to starter
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            # Drain any tasks the stop() coroutine left behind, then close.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()

@@ -1,0 +1,258 @@
+"""Load-generator harness: N concurrent synthetic clients, JSONL results.
+
+Each synthetic client owns one session and replays one seeded stream
+scenario from the dynamic registry (:mod:`repro.dynamic.streams`)
+against the service: create session (base graph shipped as edge-list
+text), mutation batches in the edge-stream wire format, a verdict query
+after every batch, one final snapshot, delete.  Per-request latencies
+are recorded client-side; the scenario, base graph and all seeds derive
+from the campaign-style :func:`~repro.runner.runtable.derive_seed`
+chain, so a profile replays identically everywhere.
+
+The run persists a **run-table-style JSONL results file**: one row per
+client (requests, errors, latency summary, parity flag) followed by one
+``{"summary": ...}`` row with the aggregate throughput and latency
+quantiles — the same shape as the dynamic monitor logs that ``repro
+dynamic report`` reads.
+
+Parity rides along: after its replay each client rebuilds the identical
+offline :class:`~repro.dynamic.CkMonitor` (same base, stream and seed)
+and checks that the service's final verdict **and** content hash are
+bit-identical — the service-vs-offline equivalence the benchmarks then
+assert in-body.
+
+Throughput is measured over the *request-driving phase only* (session
+create through delete); offline parity replays are excluded from the
+timed window.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field, asdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..dynamic import CkMonitor, build_stream
+from ..graphs import io as graph_io
+from ..runner import registry
+from ..runner.runtable import derive_seed
+from .client import AsyncServiceClient
+from .harness import ServerHarness
+
+__all__ = ["LoadgenConfig", "SMOKE_PROFILE", "run_loadgen"]
+
+
+@dataclass
+class LoadgenConfig:
+    """One load-generation profile (declarative, fully seeded)."""
+
+    clients: int = 8  #: concurrent synthetic clients
+    family: str = "gnp"  #: base-graph family (dynamic registry)
+    params: Dict[str, Any] = field(
+        default_factory=lambda: {"n": 40, "p": 0.1}
+    )  #: family parameters
+    stream: str = "uniform-churn:steps=30,p=0.5"  #: scenario spec string
+    k: int = 5  #: cycle length monitored
+    engine: str = "reference"  #: detection backend for every session
+    seed: int = 0  #: master seed (per-client seeds derive from it)
+    batch: int = 1  #: mutations per request
+    verify_parity: bool = True  #: offline CkMonitor parity check per client
+
+    def client_seed(self, index: int) -> int:
+        """The derived seed for client ``index`` (graph + stream + session)."""
+        return derive_seed(self.seed, "loadgen", index)
+
+
+#: The CI / benchmark smoke profile (also the ``repro loadgen`` default).
+SMOKE_PROFILE = LoadgenConfig()
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """Exact nearest-rank quantile of a pre-sorted sample (0.0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(q * len(sorted_values) + 0.5) - 1))
+    return sorted_values[rank]
+
+
+def _latency_summary(latencies: List[float]) -> Dict[str, float]:
+    """``{count, p50_ms, p99_ms, max_ms, mean_ms}`` of one latency sample."""
+    ordered = sorted(latencies)
+    total = sum(ordered)
+    return {
+        "count": len(ordered),
+        "mean_ms": round(total / len(ordered) * 1e3, 4) if ordered else 0.0,
+        "p50_ms": round(_quantile(ordered, 0.50) * 1e3, 4),
+        "p99_ms": round(_quantile(ordered, 0.99) * 1e3, 4),
+        "max_ms": round((ordered[-1] if ordered else 0.0) * 1e3, 4),
+    }
+
+
+async def _drive_client(
+    config: LoadgenConfig, host: str, port: int, index: int
+) -> Dict[str, Any]:
+    """One synthetic client's whole lifetime; returns its result row."""
+    seed = config.client_seed(index)
+    base = registry.build_graph(config.family, seed=seed, **config.params)
+    stream = build_stream(config.stream, base, seed=seed, k=config.k)
+    name = f"lg-{index:04d}"
+    latencies: List[float] = []
+    errors = 0
+
+    async def timed(coro):
+        nonlocal errors
+        t0 = time.perf_counter()
+        try:
+            return await coro
+        except Exception:  # noqa: BLE001 - loadgen records, never raises
+            errors += 1
+            raise
+        finally:
+            latencies.append(time.perf_counter() - t0)
+
+    async with AsyncServiceClient(host, port) as client:
+        created = await timed(client.create_session(
+            name=name, k=config.k, engine=config.engine, seed=seed,
+            base=graph_io.dumps(stream.base),
+        ))
+        mutations = list(stream.mutations)
+        for start in range(0, len(mutations), max(1, config.batch)):
+            chunk = mutations[start:start + max(1, config.batch)]
+            text = "".join(m.to_line() + "\n" for m in chunk)
+            await timed(client.mutate(name, text))
+            await timed(client.verdict(name))
+        snapshot = await timed(client.snapshot(name))
+        await timed(client.delete(name))
+
+    row: Dict[str, Any] = {
+        "row": "client",
+        "client": index,
+        "session": name,
+        "seed": seed,
+        "scenario": stream.scenario,
+        "steps": len(mutations),
+        "requests": len(latencies),
+        "errors": errors,
+        "initial_accepted": created["accepted"],
+        "final_accepted": snapshot["accepted"],
+        "final_version": snapshot["version"],
+        "final_hash": snapshot["content_hash"],
+        "latency": _latency_summary(latencies),
+    }
+    row["_latencies"] = latencies
+    return row
+
+
+def _check_parity(config: LoadgenConfig, row: Dict[str, Any]) -> bool:
+    """Offline CkMonitor replay of one client's scenario vs its snapshot.
+
+    Rebuilds the identical base graph and stream from the client's
+    derived seed (both are deterministic) and replays them through a
+    local monitor: the service's final verdict, version and content
+    hash must be bit-identical.  Runs *after* the timed window, so
+    parity checking never pollutes the throughput measurement.
+    """
+    seed = row["seed"]
+    base = registry.build_graph(config.family, seed=seed, **config.params)
+    stream = build_stream(config.stream, base, seed=seed, k=config.k)
+    monitor = CkMonitor(
+        stream.base, config.k, engine=config.engine, seed=seed
+    )
+    monitor.run_stream(stream.mutations)
+    return (
+        monitor.accepted == row["final_accepted"]
+        and monitor.dynamic.content_hash() == row["final_hash"]
+        and monitor.version == row["final_version"]
+    )
+
+
+async def _drive_all(
+    config: LoadgenConfig, host: str, port: int
+) -> Dict[str, Any]:
+    started = time.perf_counter()
+    rows = await asyncio.gather(*[
+        _drive_client(config, host, port, index)
+        for index in range(config.clients)
+    ])
+    wall = time.perf_counter() - started
+    return {"rows": list(rows), "wall": wall}
+
+
+def run_loadgen(
+    config: LoadgenConfig = SMOKE_PROFILE,
+    *,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    out: Optional[Union[str, Path]] = None,
+    metrics_out: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Run one load-generation campaign; returns the summary dict.
+
+    With ``host``/``port`` the load targets a running server; without
+    them an in-process :class:`~repro.service.harness.ServerHarness` is
+    booted for the duration (sized to the profile).  ``out`` persists
+    the JSONL results file (client rows then the summary row);
+    ``metrics_out`` scrapes ``/metrics`` after the run and writes the
+    Prometheus textfile (validated later by ``repro obs report``).
+    """
+    harness: Optional[ServerHarness] = None
+    if host is None:
+        harness = ServerHarness(
+            max_sessions=max(config.clients, 2)
+        ).start()
+        host, port = harness.host, harness.port
+    elif port is None:
+        raise ValueError("host given without port")
+    try:
+        outcome = asyncio.run(_drive_all(config, host, port))
+        metrics_text: Optional[str] = None
+        if metrics_out is not None:
+            from .client import ServiceClient
+
+            metrics_text = ServiceClient(host, port).metrics()
+    finally:
+        if harness is not None:
+            harness.stop()
+
+    rows: List[Dict[str, Any]] = outcome["rows"]
+    if config.verify_parity:
+        for row in rows:
+            row["parity_ok"] = _check_parity(config, row)
+    all_latencies = sorted(
+        lat for row in rows for lat in row.pop("_latencies")
+    )
+    requests = sum(row["requests"] for row in rows)
+    errors = sum(row["errors"] for row in rows)
+    wall = outcome["wall"]
+    summary: Dict[str, Any] = {
+        "profile": {k: v for k, v in asdict(config).items()},
+        "clients": config.clients,
+        "requests": requests,
+        "errors": errors,
+        "wall_seconds": round(wall, 6),
+        "rps": round(requests / wall, 2) if wall > 0 else 0.0,
+        "p50_ms": round(_quantile(all_latencies, 0.50) * 1e3, 4),
+        "p99_ms": round(_quantile(all_latencies, 0.99) * 1e3, 4),
+        "max_ms": round(
+            (all_latencies[-1] if all_latencies else 0.0) * 1e3, 4
+        ),
+        "parity_ok": all(
+            row.get("parity_ok", True) for row in rows
+        ),
+    }
+    if out is not None:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            for row in rows:
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+            fh.write(json.dumps({"summary": summary}, sort_keys=True) + "\n")
+    if metrics_out is not None and metrics_text is not None:
+        path = Path(metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(metrics_text, encoding="utf-8")
+    return summary

@@ -1,0 +1,136 @@
+"""Wire protocol of the detection service: envelopes, limits, errors.
+
+The service speaks HTTP/1.1 with JSON response bodies.  Success payloads
+are plain objects; every error is the uniform envelope::
+
+    {"error": {"code": "<machine-readable>", "message": "<human>",
+               "status": <http status>, ...extras}}
+
+so clients can branch on ``code`` without parsing prose.  Extras carry
+structured context — ``line`` for stream-parse failures, ``applied`` for
+partially applied mutation batches.
+
+Mutations travel in the request body as the **edge-stream text format**
+of :mod:`repro.graphs.io` (``+ u v`` / ``- u v`` / ``+v``, one per line,
+``#`` comments and blank lines ignored) — the same bytes ``repro dynamic
+replay`` reads from disk, so a captured request body is a replayable
+scenario file.  :func:`parse_stream_batch` is the boundary parser: it
+resolves each line through :meth:`Mutation.from_line
+<repro.dynamic.mutations.Mutation.from_line>` (the single grammar
+implementation) and converts the first failure into a
+:class:`ServiceError` carrying the 1-based line number.
+
+Routes (``{name}`` is a session name, ``[A-Za-z0-9._-]{1,64}``):
+
+==========  =================================  ===========================
+method      path                               meaning
+==========  =================================  ===========================
+``POST``    ``/v1/sessions``                   create a session
+``GET``     ``/v1/sessions``                   list sessions
+``GET``     ``/v1/sessions/{name}``            session info + stats
+``DELETE``  ``/v1/sessions/{name}``            delete a session
+``POST``    ``/v1/sessions/{name}/mutations``  apply an edge-stream batch
+``GET``     ``/v1/sessions/{name}/verdict``    current verdict (cache read)
+``GET``     ``/v1/sessions/{name}/snapshot``   atomic version+hash+graph+log
+``GET``     ``/metrics``                       Prometheus text exposition
+``GET``     ``/healthz``                       liveness + session count
+==========  =================================  ===========================
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Tuple
+
+from ..dynamic.mutations import Mutation
+from ..errors import GraphError, ReproError
+
+__all__ = [
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_MAX_SESSIONS",
+    "DEFAULT_REQUEST_TIMEOUT",
+    "PROTOCOL_VERSION",
+    "SESSION_NAME_RE",
+    "ServiceError",
+    "error_body",
+    "json_dumps",
+    "parse_stream_batch",
+]
+
+#: Version tag reported by ``/healthz`` and session-create responses.
+PROTOCOL_VERSION = 1
+
+#: Largest accepted request body (bytes); larger bodies get 413.
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+#: Concurrent session cap; creating past it LRU-evicts (see sessions.py).
+DEFAULT_MAX_SESSIONS = 64
+
+#: Per-request handler budget in seconds; exceeding it gets 504.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: Legal session names (path-safe, bounded).
+SESSION_NAME_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+class ServiceError(ReproError):
+    """A protocol-level failure with its HTTP mapping attached.
+
+    Handlers raise this (directly or by translating library errors) and
+    the server turns it into the uniform error envelope.  ``extras``
+    become additional envelope fields (``line``, ``applied``, ...).
+    """
+
+    def __init__(
+        self, status: int, code: str, message: str, **extras: Any
+    ) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.code = code
+        self.extras = extras
+
+    def envelope(self) -> Dict[str, Any]:
+        """The ``{"error": {...}}`` response body for this failure."""
+        body: Dict[str, Any] = {
+            "code": self.code,
+            "message": str(self),
+            "status": self.status,
+        }
+        body.update(self.extras)
+        return {"error": body}
+
+
+def error_body(status: int, code: str, message: str, **extras: Any) -> Dict[str, Any]:
+    """The error envelope without raising (transport-level failures)."""
+    return ServiceError(status, code, message, **extras).envelope()
+
+
+def json_dumps(payload: Dict[str, Any]) -> str:
+    """Deterministic JSON encoding (sorted keys, compact separators)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def parse_stream_batch(text: str) -> List[Tuple[int, Mutation]]:
+    """Parse a mutation-batch request body into ``(lineno, Mutation)``.
+
+    Mirrors :func:`repro.graphs.io.loads_stream` exactly (same per-line
+    grammar via :meth:`Mutation.from_line`, same comment/blank-line
+    conventions) but keeps the 1-based line number with each mutation so
+    batch application can report *which* line failed.  The first
+    malformed line aborts the whole parse with a 400
+    :class:`ServiceError` (code ``malformed_stream``, extra ``line``) —
+    nothing from a malformed batch is ever applied.
+    """
+    out: List[Tuple[int, Mutation]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            out.append((lineno, Mutation.from_line(line, lineno=lineno)))
+        except GraphError as exc:
+            raise ServiceError(
+                400, "malformed_stream", str(exc), line=lineno
+            ) from exc
+    return out

@@ -213,3 +213,65 @@ class TestStreams:
         template = {(i, (i + 1) % 5) for i in range(5)}
         template = {(min(u, v), max(u, v)) for u, v in template}
         assert {m.edge for m in stream.mutations} <= template
+
+
+class TestSnapshotAtomicity:
+    """Regression: snapshot() must not tear against concurrent apply().
+
+    Graph.__hash__ is None (content identity is explicit), so the only
+    link between a snapshot's fields is construction-time consistency:
+    the version, the content hash and the frozen graph must all describe
+    the *same* point of the mutation history even when another thread is
+    appending mutations mid-snapshot.  Before the fix the three fields
+    were read in separate steps, so a racing apply() could produce e.g.
+    version V paired with the hash of state V+1.
+    """
+
+    def test_snapshot_fields_are_mutually_consistent(self):
+        import threading
+
+        dyn = DynamicGraph(Graph(4))
+        failures = []
+        snapshots = []
+
+        def writer():
+            for _ in range(800):
+                dyn.add_vertex()
+
+        def snapshotter():
+            # Fixed iteration count: overlap with the writer is
+            # best-effort (scheduling-dependent), the consistency
+            # assertions hold either way.
+            for _ in range(150):
+                snap = dyn.snapshot()
+                # The frozen copy is the state the hash was taken from.
+                if snap.graph.content_hash() != snap.content_hash:
+                    failures.append("hash does not match frozen graph")
+                # Pure vertex growth: n is determined by the version, so
+                # a torn (version, graph) pair is directly visible.
+                if snap.graph.n != 4 + snap.version:
+                    failures.append(
+                        f"version {snap.version} paired with n={snap.graph.n}"
+                    )
+                snapshots.append(snap)
+
+        w = threading.Thread(target=writer)
+        s1 = threading.Thread(target=snapshotter)
+        s2 = threading.Thread(target=snapshotter)
+        s1.start(); s2.start(); w.start()
+        w.join(); s1.join(); s2.join()
+        assert not failures, failures[:3]
+        assert len(snapshots) == 300
+        # Replaying the log prefix reproduces a sample snapshot exactly.
+        sample = snapshots[len(snapshots) // 2]
+        assert dyn.as_of(sample.version).content_hash() == sample.content_hash
+
+    def test_snapshot_graph_is_frozen_copy(self):
+        dyn = DynamicGraph(Graph(3))
+        dyn.add_edge(0, 1)
+        snap = dyn.snapshot()
+        dyn.add_edge(1, 2)
+        assert snap.graph.m == 1
+        assert snap.version == 1
+        assert dyn.version == 2
+        assert snap.content_hash != dyn.content_hash()

@@ -1,0 +1,238 @@
+"""End-to-end service tests: every endpoint's happy path over real HTTP.
+
+A module-scoped :class:`~repro.service.ServerHarness` boots one server
+on an ephemeral port; every test talks to it through the sync client,
+so each assertion exercises the full wire protocol (request framing,
+routing, JSON envelopes) rather than handler internals.
+"""
+
+import json
+
+import pytest
+
+from repro.dynamic import CkMonitor, build_stream
+from repro.graphs import io as graph_io
+from repro.graphs.generators import cycle_graph, erdos_renyi_gnp
+from repro.obs import parse_textfile
+from repro.service import ServerHarness, ServiceClient
+from repro.service.loadgen import LoadgenConfig, run_loadgen
+from repro.service.protocol import PROTOCOL_VERSION
+
+
+@pytest.fixture(scope="module")
+def harness():
+    with ServerHarness(max_sessions=16, debug=True) as h:
+        yield h
+
+
+@pytest.fixture()
+def client(harness):
+    c = harness.client()
+    # Each test starts from an empty session table.
+    for name in list(c.list_sessions()["sessions"]):
+        c.delete(name)
+    return c
+
+
+class TestLifecycle:
+    def test_healthz(self, client):
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["protocol"] == PROTOCOL_VERSION
+        assert payload["max_sessions"] == 16
+
+    def test_create_from_n(self, client):
+        created = client.create_session(name="empty", k=5, n=8)
+        assert created["name"] == "empty"
+        assert created["version"] == 0
+        assert created["accepted"] is True  # edgeless graph is C5-free
+        assert created["witness"] is None
+
+    def test_create_from_base_text(self, client):
+        g = cycle_graph(5)
+        created = client.create_session(
+            name="c5", k=5, base=graph_io.dumps(g)
+        )
+        assert created["accepted"] is False
+        assert sorted(created["witness"]) == [0, 1, 2, 3, 4]
+
+    def test_auto_named(self, client):
+        created = client.create_session(k=5, n=4)
+        assert created["name"].startswith("s")
+        assert created["name"] in client.list_sessions()["sessions"]
+
+    def test_list_info_delete(self, client):
+        client.create_session(name="a", k=5, n=4)
+        client.create_session(name="b", k=4, n=4)
+        listing = client.list_sessions()
+        assert listing["sessions"] == ["a", "b"]
+        assert listing["open"] == 2
+        info = client.info("a")
+        assert info["k"] == 5
+        assert info["n"] == 4
+        assert info["m"] == 0
+        assert info["engine"] == "reference"
+        assert info["stats"]["steps"] == 0
+        assert "cache_hit_rate" in info["stats"]
+        deleted = client.delete("a")
+        assert deleted["deleted"] == "a"
+        assert client.list_sessions()["sessions"] == ["b"]
+
+    def test_mutate_and_verdict(self, client):
+        client.create_session(name="w", k=3, n=3)
+        result = client.mutate("w", "+ 0 1\n+ 1 2\n")
+        assert result["applied"] == 2
+        assert result["version"] == 2
+        assert result["accepted"] is True
+        result = client.mutate("w", "# close the triangle\n+ 0 2\n")
+        assert result["applied"] == 1
+        assert result["accepted"] is False
+        verdict = client.verdict("w")
+        assert verdict["version"] == 3
+        assert verdict["accepted"] is False
+        assert len(verdict["witness"]) == 3
+        result = client.mutate("w", "- 0 2\n")
+        assert client.verdict("w")["accepted"] is True
+
+    def test_snapshot_round_trips(self, client):
+        client.create_session(name="snap", k=4, n=6)
+        client.mutate("snap", "+ 0 1\n+ 2 3\n+v\n")
+        snap = client.snapshot("snap")
+        assert snap["version"] == 3
+        assert snap["n"] == 7
+        assert snap["m"] == 2
+        g = graph_io.loads(snap["graph"])
+        assert (g.n, g.m) == (7, 2)
+        assert g.content_hash() == snap["content_hash"]
+        log = graph_io.loads_stream(snap["log"])
+        assert [m.to_line() for m in log] == ["+ 0 1", "+ 2 3", "+v"]
+
+    def test_metrics_exposition(self, client):
+        client.create_session(name="m", k=5, n=4)
+        client.mutate("m", "+ 0 1\n")
+        client.verdict("m")
+        families = parse_textfile(client.metrics())
+        requests = families["repro_service_requests_total"]
+        assert requests.kind == "counter"
+        endpoints = {
+            dict(labels).get("endpoint")
+            for labels, _value in requests.series()
+        }
+        # The scrape itself is counted after rendering, so "metrics"
+        # only shows up in the *next* scrape.
+        assert {"create", "mutate", "verdict"} <= endpoints
+        # The session monitors share the server registry, so monitor
+        # cache counters (the cache-hit rate inputs) are exposed too.
+        assert "repro_monitor_steps_total" in families
+        assert "repro_service_request_seconds" in families
+
+
+class TestParity:
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_service_matches_offline_monitor(self, client, engine):
+        """Replaying a scenario through HTTP equals the offline monitor."""
+        seed = 20260808
+        base = erdos_renyi_gnp(30, 0.1, seed=seed)
+        stream = build_stream(
+            "uniform-churn:steps=40,p=0.5", base, seed=seed, k=5
+        )
+        client.create_session(
+            name=f"par-{engine}", k=5, engine=engine, seed=seed,
+            base=graph_io.dumps(stream.base),
+        )
+        for mutation in stream.mutations:
+            client.mutate(f"par-{engine}", mutation.to_line() + "\n")
+        snap = client.snapshot(f"par-{engine}")
+
+        monitor = CkMonitor(stream.base, 5, engine=engine, seed=seed)
+        monitor.run_stream(stream.mutations)
+        assert snap["version"] == monitor.version
+        assert snap["accepted"] == monitor.accepted
+        assert snap["content_hash"] == monitor.dynamic.content_hash()
+
+    def test_engines_agree_through_service(self, client):
+        seed = 7
+        base = erdos_renyi_gnp(24, 0.12, seed=seed)
+        stream = build_stream("burst:steps=20", base, seed=seed, k=5)
+        finals = {}
+        for engine in ("reference", "fast"):
+            name = f"agree-{engine}"
+            client.create_session(
+                name=name, k=5, engine=engine, seed=seed,
+                base=graph_io.dumps(stream.base),
+            )
+            text = "".join(m.to_line() + "\n" for m in stream.mutations)
+            client.mutate(name, text)
+            finals[engine] = client.snapshot(name)
+        assert (
+            finals["reference"]["accepted"] == finals["fast"]["accepted"]
+        )
+        assert (
+            finals["reference"]["content_hash"]
+            == finals["fast"]["content_hash"]
+        )
+
+
+class TestLoadgen:
+    def test_smoke_profile_summary(self, tmp_path):
+        out = tmp_path / "lg.jsonl"
+        prom = tmp_path / "lg.prom"
+        summary = run_loadgen(
+            LoadgenConfig(clients=3), out=out, metrics_out=prom
+        )
+        assert summary["errors"] == 0
+        assert summary["parity_ok"] is True
+        assert summary["clients"] == 3
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        client_rows = [r for r in rows if r.get("row") == "client"]
+        assert len(client_rows) == 3
+        assert all(r["parity_ok"] for r in client_rows)
+        assert rows[-1]["summary"]["requests"] == summary["requests"]
+        families = parse_textfile(prom.read_text())
+        assert "repro_service_requests_total" in families
+
+    def test_against_running_server(self, harness):
+        summary = run_loadgen(
+            LoadgenConfig(clients=2),
+            host=harness.host, port=harness.port,
+        )
+        assert summary["errors"] == 0
+        assert summary["parity_ok"] is True
+
+    def test_cli_loadgen(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "cli.jsonl"
+        rc = main([
+            "loadgen", "--clients", "2", "--out", str(out),
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["parity_ok"] is True
+        assert out.exists()
+
+    def test_cli_loadgen_rejects_bad_params(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="bad --params"):
+            main(["loadgen", "--params", "nonsense"])
+
+
+class TestHarness:
+    def test_context_manager_drains(self):
+        with ServerHarness(max_sessions=2) as h:
+            port = h.port
+            h.client().create_session(name="x", k=5, n=4)
+        # After exit the port no longer accepts requests.
+        refused = ServiceClient("127.0.0.1", port, timeout=0.5)
+        with pytest.raises(OSError):
+            refused.healthz()
+
+    def test_double_start_rejected(self):
+        h = ServerHarness(max_sessions=2)
+        try:
+            h.start()
+            with pytest.raises(Exception, match="already started"):
+                h.start()
+        finally:
+            h.stop()

@@ -1,0 +1,253 @@
+"""Protocol-level service tests: error envelopes and a fuzzed boundary.
+
+Every failure mode the protocol documents gets an explicit test of its
+envelope (``{"error": {"code", "message", "status", ...}}``) over real
+HTTP, and a hypothesis property drives random mutation batches through
+the wire against a shadow :class:`~repro.dynamic.DynamicGraph` model:
+whatever the bytes, a batch is either applied in order, rejected with a
+line number, or rejected with the applied prefix count — never a crash,
+never divergence from the shadow.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dynamic import DynamicGraph
+from repro.graphs.graph import Graph
+from repro.service import ServerHarness
+from repro.service.protocol import ServiceError, parse_stream_batch
+
+
+@pytest.fixture(scope="module")
+def harness():
+    with ServerHarness(max_sessions=16, debug=True) as h:
+        yield h
+
+
+@pytest.fixture()
+def client(harness):
+    c = harness.client()
+    for name in list(c.list_sessions()["sessions"]):
+        c.delete(name)
+    return c
+
+
+def assert_envelope(payload, status, code):
+    """The uniform error envelope: code, message, status — and nothing
+    leaking outside the ``error`` object."""
+    assert set(payload) == {"error"}
+    err = payload["error"]
+    assert err["status"] == status
+    assert err["code"] == code
+    assert isinstance(err["message"], str) and err["message"]
+    return err
+
+
+class TestErrorEnvelopes:
+    def test_unknown_session(self, client):
+        for method, path in [
+            ("GET", "/v1/sessions/ghost"),
+            ("GET", "/v1/sessions/ghost/verdict"),
+            ("GET", "/v1/sessions/ghost/snapshot"),
+            ("DELETE", "/v1/sessions/ghost"),
+            ("POST", "/v1/sessions/ghost/mutations"),
+        ]:
+            status, payload = client.request(method, path, body=b"")
+            err = assert_envelope(payload, 404, "unknown_session")
+            assert "ghost" in err["message"]
+
+    def test_malformed_stream_has_line_number(self, client):
+        client.create_session(name="mal", k=3, n=4)
+        status, payload = client.request(
+            "POST", "/v1/sessions/mal/mutations",
+            body=b"+ 0 1\n# fine\nwat 9\n", content_type="text/plain",
+        )
+        err = assert_envelope(payload, 400, "malformed_stream")
+        assert err["line"] == 3
+        # Parse errors reject the whole batch: nothing was applied.
+        assert client.verdict("mal")["version"] == 0
+
+    def test_invalid_mutation_reports_applied_prefix(self, client):
+        client.create_session(name="dup", k=3, n=4)
+        status, payload = client.request(
+            "POST", "/v1/sessions/dup/mutations",
+            body=b"+ 0 1\n+ 1 2\n+ 0 1\n+ 2 3\n", content_type="text/plain",
+        )
+        err = assert_envelope(payload, 409, "invalid_mutation")
+        assert err["line"] == 3
+        assert err["applied"] == 2
+        assert err["version"] == 2
+        # The valid prefix stays applied.
+        assert client.verdict("dup")["version"] == 2
+
+    def test_oversized_body(self, client):
+        with ServerHarness(max_sessions=2, max_body_bytes=256) as small:
+            c = small.client()
+            c.create_session(name="big", k=3, n=4)
+            status, payload = c.request(
+                "POST", "/v1/sessions/big/mutations",
+                body=b"# pad\n" * 100, content_type="text/plain",
+            )
+            assert status == 413
+            assert_envelope(payload, 413, "payload_too_large")
+
+    def test_request_timeout(self):
+        with ServerHarness(
+            max_sessions=2, debug=True, request_timeout=0.05
+        ) as slow:
+            status, payload = slow.client().request(
+                "GET", "/debug/sleep?seconds=1"
+            )
+            assert status == 504
+            assert_envelope(payload, 504, "timeout")
+
+    def test_bad_json_body(self, client):
+        status, payload = client.request(
+            "POST", "/v1/sessions", body=b"{not json",
+        )
+        assert_envelope(payload, 400, "bad_request")
+
+    def test_missing_k(self, client):
+        status, payload = client.request(
+            "POST", "/v1/sessions", body=json.dumps({"n": 4}).encode(),
+        )
+        err = assert_envelope(payload, 400, "bad_request")
+        assert "'k'" in err["message"]
+
+    def test_unknown_engine(self, client):
+        status, payload = client.request(
+            "POST", "/v1/sessions",
+            body=json.dumps({"k": 3, "n": 4, "engine": "warp"}).encode(),
+        )
+        err = assert_envelope(payload, 400, "bad_request")
+        assert "warp" in err["message"]
+
+    def test_unknown_spec_field(self, client):
+        status, payload = client.request(
+            "POST", "/v1/sessions",
+            body=json.dumps({"k": 3, "n": 4, "colour": "red"}).encode(),
+        )
+        err = assert_envelope(payload, 400, "bad_request")
+        assert "colour" in err["message"]
+
+    def test_base_and_n_mutually_exclusive(self, client):
+        for spec in ({"k": 3}, {"k": 3, "n": 4, "base": "2 0\n"}):
+            status, payload = client.request(
+                "POST", "/v1/sessions", body=json.dumps(spec).encode(),
+            )
+            assert_envelope(payload, 400, "bad_request")
+
+    def test_invalid_session_name(self, client):
+        status, payload = client.request(
+            "POST", "/v1/sessions",
+            body=json.dumps({"k": 3, "n": 4, "name": "no spaces!"}).encode(),
+        )
+        assert_envelope(payload, 400, "bad_request")
+
+    def test_duplicate_session_name(self, client):
+        client.create_session(name="twin", k=3, n=4)
+        status, payload = client.request(
+            "POST", "/v1/sessions",
+            body=json.dumps({"k": 3, "n": 4, "name": "twin"}).encode(),
+        )
+        assert_envelope(payload, 409, "session_exists")
+
+    def test_unknown_route(self, client):
+        status, payload = client.request("GET", "/v1/nonsense")
+        assert_envelope(payload, 404, "not_found")
+
+    def test_method_not_allowed(self, client):
+        client.create_session(name="ro", k=3, n=4)
+        for method, path in [
+            ("DELETE", "/healthz"),
+            ("POST", "/v1/sessions/ro/verdict"),
+            ("GET", "/v1/sessions/ro/mutations"),
+        ]:
+            status, payload = client.request(method, path, body=b"")
+            assert_envelope(payload, 405, "method_not_allowed")
+
+    def test_debug_disabled_by_default(self):
+        with ServerHarness(max_sessions=2) as plain:
+            status, payload = plain.client().request(
+                "GET", "/debug/sleep?seconds=0"
+            )
+            assert_envelope(payload, 404, "not_found")
+
+
+# ---------------------------------------------------------------------------
+# Fuzzing the edge-stream parser through the HTTP boundary
+# ---------------------------------------------------------------------------
+_small = st.integers(min_value=-2, max_value=7)
+_line = st.one_of(
+    st.tuples(st.sampled_from(["+", "-"]), _small, _small).map(
+        lambda t: f"{t[0]} {t[1]} {t[2]}"
+    ),
+    st.just("+v"),
+    st.just(""),
+    st.just("# comment"),
+    st.text(
+        alphabet="+-v 0123456789#x", min_size=0, max_size=12
+    ).map(lambda s: s.replace("\n", " ")),
+)
+_batches = st.lists(
+    st.lists(_line, min_size=0, max_size=6), min_size=1, max_size=5
+)
+
+_fuzz_counter = iter(range(10 ** 6))
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(batches=_batches)
+def test_fuzz_mutation_batches_match_shadow(harness, batches):
+    """Random batches: applied-in-order or rejected with a line number,
+    never a crash, and the session never diverges from a shadow model."""
+    client = harness.client()
+    name = f"fuzz-{next(_fuzz_counter):06d}"
+    n = 6
+    client.create_session(name=name, k=3, n=n, tester_repetitions=1)
+    shadow = DynamicGraph(Graph(n))
+    try:
+        for lines in batches:
+            text = "\n".join(lines) + "\n"
+            status, payload = client.request(
+                "POST", f"/v1/sessions/{name}/mutations",
+                body=text.encode("utf-8"), content_type="text/plain",
+            )
+            assert status in (200, 400, 409), payload
+            try:
+                batch = parse_stream_batch(text)
+            except ServiceError as exc:
+                # Server must agree: same verdict, same offending line.
+                assert status == 400
+                assert payload["error"]["code"] == "malformed_stream"
+                assert payload["error"]["line"] == exc.extras["line"]
+                continue
+            assert status != 400
+            if status == 200:
+                for _lineno, mutation in batch:
+                    shadow.apply(mutation)
+                assert payload["applied"] == len(batch)
+                assert payload["version"] == shadow.version
+            else:
+                err = payload["error"]
+                assert err["code"] == "invalid_mutation"
+                applied = err["applied"]
+                for _lineno, mutation in batch[:applied]:
+                    shadow.apply(mutation)
+                # The reported line is exactly the first invalid one.
+                assert err["line"] == batch[applied][0]
+                with pytest.raises(Exception):
+                    shadow.apply(batch[applied][1])
+                assert err["version"] == shadow.version
+        snap = client.snapshot(name)
+        assert snap["version"] == shadow.version
+        assert snap["content_hash"] == shadow.content_hash()
+    finally:
+        client.delete(name)
