@@ -10,20 +10,17 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..baselines.naive import naive_detect_cycle_through_edge
-from ..congest.ids import RandomPermutationIds
-from ..congest.network import Network
 from ..core.algorithm1 import detect_cycle_through_edge, phase2_rounds
 from ..core.bounds import (
     exact_distinct_rank_probability,
     lemma3_bound,
     lemma5_bound,
     max_sequences_any_round,
-    per_repetition_detection_bound,
     repetitions_needed,
     rounds_per_repetition,
 )

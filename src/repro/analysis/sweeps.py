@@ -14,7 +14,7 @@ These extend the §3.5 analysis empirically:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

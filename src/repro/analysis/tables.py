@@ -7,7 +7,7 @@ can quote them verbatim.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Sequence
+from typing import Any, List, Sequence
 
 __all__ = ["Table", "format_float"]
 

@@ -16,9 +16,8 @@ as the congestion comparator in experiment F1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
-from ..congest.message import SizeModel
 from ..congest.network import Network
 from ..congest.node import Broadcast, NodeContext, NodeProgram, Outbox
 from ..congest.scheduler import RunResult, SynchronousScheduler

@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional
 
 from . import analysis
 from .bench.cli import add_bench_subparser
-from .congest.engine import ENGINE_NAMES
+from .congest.engine import ENGINE_NAMES, parse_engine_spec
 from .congest.faults import build_fault_model
 from .core.algorithm1 import detect_cycle_through_edge
 from .core.tester import CkFreenessTester
@@ -43,6 +43,46 @@ __all__ = ["main", "build_parser"]
 #: Parameters handled by the subcommands themselves rather than the
 #: auto-generated per-family graph options.
 _RESERVED_PARAMS = ("k", "eps")
+
+
+def _engine_arg(value: str) -> str:
+    """argparse type for ``--engine``: a name or spec like 'sharded:4'."""
+    from .errors import ConfigurationError
+
+    try:
+        parse_engine_spec(value)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _resolve_engine(args: argparse.Namespace) -> str:
+    """Combine ``--engine`` and ``--shards`` into one engine spec.
+
+    ``--shards N`` is sugar for the ``sharded:N`` spelling; giving it
+    alongside a non-sharded engine (or a spec that already pins a shard
+    count) is a configuration error.
+    """
+    from .errors import ConfigurationError
+
+    engine = getattr(args, "engine", "reference")
+    shards = getattr(args, "shards", None)
+    if shards is None:
+        return engine
+    name, opts = parse_engine_spec(engine)
+    if name != "sharded":
+        raise ConfigurationError(
+            f"--shards only applies to the sharded engine (got "
+            f"--engine {engine})"
+        )
+    if "shards" in opts:
+        raise ConfigurationError(
+            f"shard count given twice: --engine {engine} and "
+            f"--shards {shards}"
+        )
+    spec = f"sharded:{shards}"
+    parse_engine_spec(spec)  # validates shards >= 1
+    return spec
 
 
 def _build_graph(args: argparse.Namespace) -> Graph:
@@ -70,7 +110,8 @@ def _build_graph(args: argparse.Namespace) -> Graph:
 def _cmd_test(args: argparse.Namespace) -> int:
     g = _build_graph(args)
     tester = CkFreenessTester(
-        args.k, args.eps, repetitions=args.repetitions, engine=args.engine,
+        args.k, args.eps, repetitions=args.repetitions,
+        engine=_resolve_engine(args),
         faults=build_fault_model(args.faults, seed=args.seed),
     )
     result = tester.run(g, seed=args.seed)
@@ -84,7 +125,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     g = _build_graph(args)
     u, v = args.edge
     det = detect_cycle_through_edge(
-        g, (u, v), args.k, engine=args.engine,
+        g, (u, v), args.k, engine=_resolve_engine(args),
         faults=build_fault_model(args.faults, seed=args.seed),
     )
     print(f"k={args.k} edge=({u},{v}) detected={det.detected}")
@@ -170,7 +211,8 @@ def _replay_monitor(base: Graph, mutations, args: argparse.Namespace) -> int:
     from .dynamic import CkMonitor
 
     monitor = CkMonitor(
-        base, args.k, engine=args.engine, epsilon=args.eps, seed=args.seed,
+        base, args.k, engine=_resolve_engine(args), epsilon=args.eps,
+        seed=args.seed,
         faults=build_fault_model(args.faults, seed=args.seed),
     )
     verdict = "ACCEPT" if monitor.accepted else "REJECT"
@@ -351,7 +393,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         request_timeout=args.request_timeout,
         debug=args.debug,
-        default_engine=args.engine,
+        default_engine=_resolve_engine(args),
     )
 
     async def _run() -> None:
@@ -388,7 +430,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         params=_parse_params(args.params) or LoadgenConfig().params,
         stream=args.stream,
         k=args.k,
-        engine=args.engine,
+        engine=_resolve_engine(args),
         seed=args.seed,
         batch=args.batch,
         verify_parity=not args.no_parity,
@@ -436,7 +478,7 @@ _PRESETS: Dict[str, Callable[[int], CampaignSpec]] = {
         ks=[4, 5],
         epsilons=[0.15],
         algorithms=["tester", "detect"],
-        engines=["reference", "fast"],
+        engines=["reference", "fast", "sharded:2"],
         repetitions=3,
         seed=seed,
     ),
@@ -613,7 +655,8 @@ def _add_campaign_factor_args(p: argparse.ArgumentParser) -> None:
                    help=f"variants from: {', '.join(ALGORITHM_NAMES)}")
     p.add_argument("--engines", type=_csv(str), metavar="E1,E2,...",
                    help=f"scheduler backends to cross: "
-                   f"{', '.join(ENGINE_NAMES)}")
+                   f"{', '.join(ENGINE_NAMES)} (sharded accepts a "
+                   "shard count, e.g. sharded:4)")
     p.add_argument("--streams", type=_optional_name, nargs="+",
                    metavar="SPEC",
                    help="stream scenarios to cross (temporal campaign), "
@@ -656,9 +699,14 @@ def build_parser() -> argparse.ArgumentParser:
                            type=param.type, default=param.default,
                            help=param.help)
         p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--engine", default="reference", choices=ENGINE_NAMES,
-                       help="scheduler backend (fast = batched numpy; "
-                       "identical verdicts)")
+        p.add_argument("--engine", default="reference", type=_engine_arg,
+                       metavar="ENGINE",
+                       help=f"scheduler backend: {', '.join(ENGINE_NAMES)} "
+                       "(identical verdicts); sharded accepts a shard "
+                       "count, e.g. sharded:4")
+        p.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="shard count for --engine sharded "
+                       "(same as --engine sharded:N)")
         p.add_argument("--faults", type=_optional_name, default=None,
                        metavar="SPEC",
                        help="fault model, e.g. drop:p=0.05 or "
@@ -723,7 +771,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_dyn_replay.add_argument("--eps", type=float, default=0.1)
     p_dyn_replay.add_argument("--seed", type=int, default=0)
     p_dyn_replay.add_argument("--engine", default="reference",
-                              choices=ENGINE_NAMES)
+                              type=_engine_arg, metavar="ENGINE")
+    p_dyn_replay.add_argument("--shards", type=int, default=None,
+                              metavar="N")
     p_dyn_replay.add_argument("--faults", type=_optional_name, default=None,
                               metavar="SPEC")
     p_dyn_replay.add_argument("--log", help="write per-step JSONL records")
@@ -813,8 +863,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--request-timeout", type=float, default=30.0,
                          help="per-request handler timeout (seconds)")
     p_serve.add_argument("--engine", default="reference",
-                         choices=ENGINE_NAMES,
-                         help="default detection engine for new sessions")
+                         type=_engine_arg, metavar="ENGINE",
+                         help="default detection engine for new sessions "
+                         "(name or spec, e.g. sharded:4)")
+    p_serve.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="shard count for --engine sharded")
     p_serve.add_argument("--debug", action="store_true",
                          help="enable the /debug endpoints (tests only)")
     p_serve.set_defaults(func=_cmd_serve)
@@ -831,7 +884,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_lg.add_argument("--stream", default="uniform-churn:steps=30,p=0.5",
                       metavar="SPEC", help="scenario spec per client")
     p_lg.add_argument("--k", type=int, default=5)
-    p_lg.add_argument("--engine", default="reference", choices=ENGINE_NAMES)
+    p_lg.add_argument("--engine", default="reference", type=_engine_arg,
+                      metavar="ENGINE")
+    p_lg.add_argument("--shards", type=int, default=None, metavar="N")
     p_lg.add_argument("--seed", type=int, default=0)
     p_lg.add_argument("--batch", type=int, default=1,
                       help="mutations per request")

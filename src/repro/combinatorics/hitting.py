@@ -14,7 +14,7 @@ extended to a candidate k-cycle witness iff the family
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
 
 __all__ = ["has_hitting_set", "find_hitting_set", "min_hitting_set_size"]
 

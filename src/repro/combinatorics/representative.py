@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from itertools import combinations
 from math import comb
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Sequence
 
 from .hitting import has_hitting_set
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from itertools import combinations
 from math import comb
-from typing import FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, Iterator, Sequence
 
 __all__ = ["k_subsets", "count_k_subsets", "disjoint_subsets"]
 

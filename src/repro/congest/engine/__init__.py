@@ -8,6 +8,10 @@ One protocol, interchangeable backends (see
 * ``fast`` — batched numpy execution over CSR adjacency arrays with an
   aggregate (per-sender) bit audit.  Requires numpy
   (``pip install repro-cycles[fast]``) and node IDs below ``2**32``.
+* ``sharded`` — the fast engine's kernels partitioned into contiguous
+  node-range shards over ``multiprocessing.shared_memory``, optionally
+  driven by a persistent ``fork`` worker pool, for 10^5–10^6-node
+  graphs.  Requires numpy and ``multiprocessing.shared_memory``.
 
 Select a backend by name::
 
@@ -18,15 +22,18 @@ Select a backend by name::
 
 or end to end through ``CkFreenessTester(..., engine="fast")``,
 ``detect_cycle_through_edge(..., engine="fast")``, the CLI's
-``--engine`` flag, and the campaign runner's ``engines`` factor.
+``--engine`` flag, and the campaign runner's ``engines`` factor.  The
+sharded backend additionally accepts a shard count, spelled
+``"sharded:4"`` in any engine-name position (or ``--shards 4`` on the
+CLI); :func:`parse_engine_spec` is the one parser for that syntax.
 
-Both backends are verdict-equivalent under fixed seeds; see
+All backends are verdict-equivalent under fixed seeds; see
 ``docs/engines.md`` and :func:`repro.testing.engine_equivalence_report`.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Any, Dict, Tuple
 
 from ...errors import ConfigurationError, EngineUnavailableError
 from ..network import Network
@@ -38,10 +45,11 @@ __all__ = [
     "available_engines",
     "create_engine",
     "ensure_engine_available",
+    "parse_engine_spec",
 ]
 
 #: All backend names, in preference order for documentation/CLI listings.
-ENGINE_NAMES: Tuple[str, ...] = ("reference", "fast")
+ENGINE_NAMES: Tuple[str, ...] = ("reference", "fast", "sharded")
 
 
 def _numpy_missing() -> str:
@@ -53,24 +61,75 @@ def _numpy_missing() -> str:
     return ""
 
 
-def ensure_engine_available(name: str) -> None:
-    """Validate an engine name and this environment's ability to run it.
+def _shared_memory_missing() -> str:
+    """Import-check ``multiprocessing.shared_memory``; '' or the reason."""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError as exc:  # pragma: no cover - stdlib since 3.8
+        return str(exc)
+    return ""
 
-    Raises :class:`~repro.errors.ConfigurationError` for unknown names
-    and :class:`~repro.errors.EngineUnavailableError` when the backend's
-    dependencies are missing (e.g. ``fast`` without numpy).
+
+def parse_engine_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Split an engine spec string into ``(name, constructor_kwargs)``.
+
+    Plain names (``"reference"``, ``"fast"``, ``"sharded"``) pass
+    through with no options.  The sharded backend accepts a shard count
+    suffix — ``"sharded:4"`` → ``("sharded", {"shards": 4})`` — which is
+    the spelling used by the campaign ``engines`` factor and service
+    session specs.  Raises
+    :class:`~repro.errors.ConfigurationError` for unknown names, options
+    on engines that take none, and non-positive or non-integer shard
+    counts.
     """
+    name, sep, opts = str(spec).partition(":")
     if name not in ENGINE_NAMES:
         raise ConfigurationError(
             f"unknown engine {name!r}; choose from {', '.join(ENGINE_NAMES)}"
         )
-    if name == "fast":
+    if not sep:
+        return name, {}
+    if name != "sharded":
+        raise ConfigurationError(
+            f"engine {name!r} takes no options (got {spec!r}); only "
+            "'sharded' accepts a shard count, e.g. 'sharded:4'"
+        )
+    try:
+        shards = int(opts)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad shard count in engine spec {spec!r}; expected an "
+            "integer, e.g. 'sharded:4'"
+        ) from None
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    return name, {"shards": shards}
+
+
+def ensure_engine_available(spec: str) -> None:
+    """Validate an engine spec and this environment's ability to run it.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names
+    or malformed specs and
+    :class:`~repro.errors.EngineUnavailableError` when the backend's
+    dependencies are missing (e.g. ``fast`` without numpy).
+    """
+    name, _ = parse_engine_spec(spec)
+    if name in ("fast", "sharded"):
         reason = _numpy_missing()
         if reason:
             raise EngineUnavailableError(
-                "the 'fast' engine requires numpy, which is not installed "
+                f"the {name!r} engine requires numpy, which is not installed "
                 f"({reason}); install it with `pip install repro-cycles[fast]` "
                 "or run with --engine reference"
+            )
+    if name == "sharded":
+        reason = _shared_memory_missing()
+        if reason:
+            raise EngineUnavailableError(
+                "the 'sharded' engine requires multiprocessing.shared_memory "
+                f"(Python >= 3.8), which is unavailable here ({reason}); "
+                "run with --engine fast or --engine reference"
             )
 
 
@@ -86,18 +145,33 @@ def available_engines() -> Tuple[str, ...]:
     return tuple(out)
 
 
-def create_engine(name: str, network: Network, **kwargs) -> CongestEngine:
-    """Instantiate the named backend for ``network``.
+def create_engine(spec: str, network: Network, **kwargs) -> CongestEngine:
+    """Instantiate the backend named by ``spec`` for ``network``.
 
-    ``kwargs`` are forwarded to the engine constructor (``size_model``,
-    ``strict_bandwidth``, ``faults`` — the last only honoured by the
-    reference backend).
+    ``spec`` is an engine name or spec string (see
+    :func:`parse_engine_spec`); options embedded in the spec may not be
+    repeated in ``kwargs``.  ``kwargs`` are forwarded to the engine
+    constructor (``size_model``, ``strict_bandwidth``, ``faults`` — the
+    last only honoured by the reference backend — plus ``shards`` /
+    ``use_pool`` for the sharded backend).
     """
-    ensure_engine_available(name)
+    ensure_engine_available(spec)
+    name, opts = parse_engine_spec(spec)
+    for key in opts:
+        if key in kwargs:
+            raise ConfigurationError(
+                f"engine option {key!r} given both in the spec {spec!r} "
+                "and as a keyword argument"
+            )
+    kwargs = {**opts, **kwargs}
     if name == "reference":
         from .reference import ReferenceEngine
 
         return ReferenceEngine(network, **kwargs)
+    if name == "sharded":
+        from .sharded import ShardedEngine
+
+        return ShardedEngine(network, **kwargs)
     from .fast import FastEngine
 
     return FastEngine(network, **kwargs)

@@ -8,7 +8,7 @@ and one full repetition of the multiplexed tester
 :class:`~repro.core.algorithm1.DetectionOutcome` outputs plus a
 bit-audited :class:`~repro.congest.instrumentation.ExecutionTrace`.
 
-Two backends ship with the reproduction:
+Three backends ship with the reproduction:
 
 ``reference``
     The per-node message-passing simulation
@@ -23,12 +23,19 @@ Two backends ship with the reproduction:
     (:mod:`repro.congest.engine.fast`): same verdicts, same round
     counts, same per-round aggregate audit, at array speed.
 
+``sharded``
+    The fast engine's kernels partitioned into contiguous node-range
+    shards over ``multiprocessing.shared_memory``
+    (:mod:`repro.congest.engine.sharded`), optionally driven by a
+    persistent ``fork`` worker pool — the 10^5–10^6-node scaling
+    backend.
+
 Engines are constructed per network (so backends can compile/cach
 topology) and are required to produce **bit-identical verdicts** for
 identical ``(network, k, seed)`` inputs — the contract is enforced by
 ``repro.testing.engine_equivalence_report`` and
-``tests/test_engines.py``.  New backends (sharded, async, GPU) plug in
-by subclassing :class:`CongestEngine` and registering a factory in
+``tests/test_engines.py``.  New backends (async, GPU) plug in by
+subclassing :class:`CongestEngine` and registering a factory in
 :mod:`repro.congest.engine`.
 """
 

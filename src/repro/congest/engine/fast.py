@@ -70,9 +70,9 @@ class FastEngine(CongestEngine):
         super().__init__(network, **kwargs)
         if self._faults is not None:
             raise ConfigurationError(
-                "fault injection requires the reference engine (the fast "
-                "backend batches deliveries and cannot drop them "
-                "individually); run with engine='reference'"
+                f"fault injection requires the reference engine (the "
+                f"{self.name!r} backend batches deliveries and cannot drop "
+                "them individually); run with engine='reference'"
             )
         g = network.graph
         ids = np.asarray(network.ids(), dtype=np.int64)

@@ -23,7 +23,7 @@ The interesting, *testable* consequences (see
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -31,7 +31,6 @@ from ..errors import ConfigurationError
 from .instrumentation import Instrumentation
 from .message import SizeModel
 from .network import Network
-from .node import NodeProgram
 from .scheduler import RunResult, SynchronousScheduler
 
 __all__ = [

@@ -17,7 +17,7 @@ messages and carry no cost.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
 from .._types import IdSequence

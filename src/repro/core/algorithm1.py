@@ -38,8 +38,8 @@ edge-by-edge against the input graph).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .._types import IdSequence
 from ..congest.message import SequenceBundle
@@ -277,7 +277,8 @@ def detect_cycle_through_edge(
     network:
         Optionally a prebuilt :class:`Network` (to control ID assignment).
     engine:
-        Scheduler backend (``"reference"`` or ``"fast"``); see
+        Scheduler backend (``"reference"``, ``"fast"`` or a sharded
+        spec such as ``"sharded:4"``); see
         :mod:`repro.congest.engine`.
     faults:
         Optional :class:`~repro.congest.faults.FaultModel` (reference

@@ -35,7 +35,7 @@ Both process sequences in the deterministic sorted order from
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import FrozenSet, Iterable, List, Sequence, Set
+from typing import FrozenSet, List, Sequence, Set
 
 from .._types import IdSequence
 from ..combinatorics.hitting import has_hitting_set

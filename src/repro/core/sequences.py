@@ -8,7 +8,7 @@ computation and never inside a transmitted sequence.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Set, Tuple
 
 from .._types import IdSequence
 

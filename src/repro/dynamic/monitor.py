@@ -48,7 +48,7 @@ every timestep, for both engines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.algorithm1 import detect_cycle_through_edge

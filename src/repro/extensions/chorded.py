@@ -25,7 +25,7 @@ This module turns that paragraph into executable artefacts:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 from .._types import canonical_edge
 from ..core.algorithm1 import detect_cycle_through_edge

@@ -15,7 +15,7 @@ of the tester proper.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -13,7 +13,7 @@ operator asking "which of C3..C8 do we contain?" pays the rounds of the
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 

@@ -24,7 +24,7 @@ from ..congest.network import Network
 from ..congest.node import Broadcast, NodeContext, NodeProgram, Outbox
 from ..congest.scheduler import SynchronousScheduler
 from ..core.algorithm1 import DetectionOutcome
-from ..core.bounds import repetitions_needed, rounds_per_repetition
+from ..core.bounds import repetitions_needed
 from ..core.phase1 import MultiplexedCkProgram, protocol_rounds
 from ..core.pruning import Pruner
 from ..errors import ConfigurationError

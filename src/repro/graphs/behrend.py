@@ -25,8 +25,6 @@ from __future__ import annotations
 import math
 from typing import List, Sequence, Tuple
 
-import numpy as np
-
 from ..errors import ConfigurationError
 from .graph import Graph
 

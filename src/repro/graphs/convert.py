@@ -5,8 +5,6 @@ Kept in its own module so the simulator's hot path never imports networkx.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
-
 from ..errors import GraphError
 from .graph import Graph
 

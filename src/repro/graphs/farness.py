@@ -18,13 +18,11 @@ Exact computation is NP-hard in general, so we expose:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
-
-import numpy as np
+from typing import List, Optional, Tuple
 
 from .._types import Edge, canonical_edge
 from ..errors import ConfigurationError
-from .cycles import find_k_cycle, has_k_cycle
+from .cycles import find_k_cycle
 from .graph import Graph
 
 __all__ = [

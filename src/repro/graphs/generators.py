@@ -20,7 +20,7 @@ Behrend-style constructions live in :mod:`repro.graphs.behrend`.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -17,7 +17,7 @@ from typing import Iterable, Iterator, List, Sequence, Set, Tuple
 
 import numpy as np
 
-from .._types import Edge, Vertex, canonical_edge
+from .._types import Edge, canonical_edge
 from ..errors import GraphError
 
 __all__ = ["Graph"]

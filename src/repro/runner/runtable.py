@@ -24,7 +24,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..congest.engine import ENGINE_NAMES
+from ..congest.engine import ENGINE_NAMES, parse_engine_spec
 from ..errors import ConfigurationError
 from . import registry
 
@@ -231,11 +231,9 @@ class CampaignSpec:
         if not isinstance(self.engines, (list, tuple)) or not self.engines:
             raise ConfigurationError("campaign engines must be a non-empty list")
         for eng in self.engines:
-            if eng not in ENGINE_NAMES:
-                raise ConfigurationError(
-                    f"unknown engine {eng!r}; choose from "
-                    f"{', '.join(ENGINE_NAMES)}"
-                )
+            # Accepts spec strings too ("sharded:4"); raises a clear
+            # ConfigurationError for unknown names or bad shard counts.
+            parse_engine_spec(eng)
         for attr in ("streams", "faults"):
             value = getattr(self, attr)
             if not isinstance(value, (list, tuple)) or not value:

@@ -11,7 +11,7 @@ Repeating ``⌈e^k ln(1/δ)⌉`` times gives failure probability <= δ — a
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

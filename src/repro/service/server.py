@@ -40,8 +40,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from ..congest.engine import ENGINE_NAMES
-from ..errors import GraphError
+from ..congest.engine import parse_engine_spec
+from ..errors import ConfigurationError, GraphError
 from ..graphs import io as graph_io
 from ..graphs.graph import Graph
 from ..obs import Telemetry
@@ -506,12 +506,10 @@ class ServiceServer:
                 400, "bad_request", f"invalid session parameter ({exc})"
             ) from exc
         engine = spec.get("engine", self.config.default_engine)
-        if engine not in ENGINE_NAMES:
-            raise ServiceError(
-                400, "bad_request",
-                f"unknown engine {engine!r}; choose from "
-                f"{', '.join(ENGINE_NAMES)}",
-            )
+        try:
+            parse_engine_spec(str(engine))
+        except ConfigurationError as exc:
+            raise ServiceError(400, "bad_request", str(exc)) from exc
         if ("base" in spec) == ("n" in spec):
             raise ServiceError(
                 400, "bad_request",

@@ -26,7 +26,7 @@ registry instances::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -198,13 +198,16 @@ class EngineMismatch:
     seed: int
     field: str
     detail: str
+    #: The (baseline, candidate) engine specs that disagreed.  Defaults
+    #: to empty for backwards compatibility with two-engine callers.
+    pair: Tuple[str, str] = ("", "")
 
 
 @dataclass
 class EquivalenceReport:
     """Outcome of an engine-equivalence sweep."""
 
-    engines: Tuple[str, str] = ("reference", "fast")
+    engines: Tuple[str, ...] = ("reference", "fast")
     comparisons: int = 0
     mismatches: List[EngineMismatch] = field(default_factory=list)
 
@@ -216,7 +219,7 @@ class EquivalenceReport:
     def __repr__(self) -> str:
         status = "ok" if self.ok else f"{len(self.mismatches)} MISMATCHES"
         return (
-            f"EquivalenceReport({self.engines[0]} vs {self.engines[1]}: "
+            f"EquivalenceReport({' vs '.join(self.engines)}: "
             f"{status}, comparisons={self.comparisons})"
         )
 
@@ -230,18 +233,22 @@ def compare_engines_once(
     k: int,
     seed: int,
     *,
-    engines: Tuple[str, str] = ("reference", "fast"),
+    engines: Tuple[str, ...] = ("reference", "fast"),
     network: Optional[Network] = None,
     instance: str = "?",
     what: str = "tester",
     edge: Optional[tuple] = None,
 ) -> List[EngineMismatch]:
-    """Run both engines on one input and list every observable difference.
+    """Run every engine on one input and list every observable difference.
 
+    The first engine is the baseline; each of the others is compared
+    against it (engines may be spec strings such as ``"sharded:4"``).
     Compared per run: the rejecting-vertex set, each rejector's cycle
     evidence, the round count, and the per-round audit aggregates
     (message count, total/max bits, max sequences per message).
     """
+    if len(engines) < 2:
+        raise ValueError("compare_engines_once needs at least two engines")
     net = network if network is not None else Network(graph)
     runs = []
     for name in engines:
@@ -253,38 +260,40 @@ def compare_engines_once(
                 *next(iter(graph.edges()))
             )
             runs.append(eng.run_detect(k, edge_ids))
-    a, b = runs
+    a = runs[0]
     out: List[EngineMismatch] = []
+    for other, b in zip(engines[1:], runs[1:]):
+        pair = (engines[0], other)
 
-    def miss(field_name: str, detail: str) -> None:
-        out.append(
-            EngineMismatch(
-                instance=instance, what=what, k=k, seed=seed,
-                field=field_name, detail=detail,
+        def miss(field_name: str, detail: str) -> None:
+            out.append(
+                EngineMismatch(
+                    instance=instance, what=what, k=k, seed=seed,
+                    field=field_name, detail=detail, pair=pair,
+                )
             )
-        )
 
-    ra, rb = _reject_set(a), _reject_set(b)
-    if ra != rb:
-        miss("rejecting_vertices", f"{sorted(ra)} != {sorted(rb)}")
-    for v in ra & rb:
-        if a.outputs[v].cycle != b.outputs[v].cycle:
-            miss("cycle", f"vertex {v}: "
-                 f"{a.outputs[v].cycle} != {b.outputs[v].cycle}")
-    if a.trace.num_rounds != b.trace.num_rounds:
-        miss("rounds", f"{a.trace.num_rounds} != {b.trace.num_rounds}")
-    for ra_, rb_ in zip(a.trace.rounds, b.trace.rounds):
-        for attr in ("messages", "total_bits", "max_message_bits",
-                     "max_sequences"):
-            if getattr(ra_, attr) != getattr(rb_, attr):
-                miss(f"round{ra_.round_index}.{attr}",
-                     f"{getattr(ra_, attr)} != {getattr(rb_, attr)}")
+        ra, rb = _reject_set(a), _reject_set(b)
+        if ra != rb:
+            miss("rejecting_vertices", f"{sorted(ra)} != {sorted(rb)}")
+        for v in ra & rb:
+            if a.outputs[v].cycle != b.outputs[v].cycle:
+                miss("cycle", f"vertex {v}: "
+                     f"{a.outputs[v].cycle} != {b.outputs[v].cycle}")
+        if a.trace.num_rounds != b.trace.num_rounds:
+            miss("rounds", f"{a.trace.num_rounds} != {b.trace.num_rounds}")
+        for ra_, rb_ in zip(a.trace.rounds, b.trace.rounds):
+            for attr in ("messages", "total_bits", "max_message_bits",
+                         "max_sequences"):
+                if getattr(ra_, attr) != getattr(rb_, attr):
+                    miss(f"round{ra_.round_index}.{attr}",
+                         f"{getattr(ra_, attr)} != {getattr(rb_, attr)}")
     return out
 
 
 def engine_equivalence_report(
     *,
-    engines: Tuple[str, str] = ("reference", "fast"),
+    engines: Tuple[str, ...] = ("reference", "fast"),
     instances: Optional[Sequence[Tuple[str, Dict]]] = None,
     ks: Sequence[int] = (3, 4, 5, 6, 7),
     seeds: Sequence[int] = (0, 1),

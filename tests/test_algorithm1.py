@@ -7,7 +7,6 @@ We verify both directions against the exact centralized oracle, across
 graph families, all k in 3..10, and adversarial ID assignments.
 """
 
-import numpy as np
 import pytest
 
 from helpers import assert_is_cycle, random_graphs
@@ -19,7 +18,6 @@ from repro.congest import (
     SpreadIds,
 )
 from repro.core import (
-    DetectCkProgram,
     ExplicitPruner,
     detect_cycle_through_edge,
     find_detection_evidence,

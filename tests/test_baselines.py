@@ -1,6 +1,5 @@
 """Tests for the baseline algorithms (naive, gather, triangle tester)."""
 
-import numpy as np
 import pytest
 
 from helpers import random_graphs
@@ -15,9 +14,7 @@ from repro.graphs import (
     blowup_graph,
     complete_bipartite_graph,
     complete_graph,
-    cycle_graph,
     has_cycle_through_edge,
-    has_k_cycle,
     path_graph,
     planted_epsilon_far_graph,
 )

@@ -6,7 +6,6 @@ from repro.errors import ConfigurationError
 from repro.graphs import (
     behrend_cycle_graph,
     behrend_set,
-    count_k_cycles,
     has_k_cycle,
     is_progression_free,
     salem_spencer_set,

@@ -7,7 +7,6 @@ import json
 import pytest
 
 from repro.bench import (
-    SCHEMA_VERSION,
     ArtifactError,
     artifact_path,
     compare_artifacts,

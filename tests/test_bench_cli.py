@@ -61,10 +61,11 @@ class TestBenchRun:
         parallel = json.loads(
             artifact_path(tmp_path / "parallel", "combinatorics").read_text()
         )
-        keyed = lambda art: {
-            (r["benchmark"], r["case_id"]): r["metrics"]
-            for r in art["results"]
-        }
+        def keyed(art):
+            return {
+                (r["benchmark"], r["case_id"]): r["metrics"]
+                for r in art["results"]
+            }
         assert keyed(serial) == keyed(parallel)
 
     def test_unknown_area_is_clean_error(self):

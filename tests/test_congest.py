@@ -1,15 +1,12 @@
 """Tests for the CONGEST simulator: scheduler semantics, delivery,
 instrumentation, ID assignment and the size model."""
 
-from typing import Dict
-
 import pytest
 
 from repro.congest import (
     Broadcast,
     IdentityIds,
     Network,
-    NodeContext,
     NodeProgram,
     RandomPermutationIds,
     ReverseIds,
@@ -19,7 +16,7 @@ from repro.congest import (
     SynchronousScheduler,
 )
 from repro.errors import BandwidthExceededError, CongestError, ProtocolError
-from repro.graphs import Graph, cycle_graph, path_graph, star_graph
+from repro.graphs import cycle_graph, path_graph, star_graph
 
 
 class EchoProgram(NodeProgram):

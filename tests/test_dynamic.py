@@ -258,8 +258,10 @@ class TestSnapshotAtomicity:
         w = threading.Thread(target=writer)
         s1 = threading.Thread(target=snapshotter)
         s2 = threading.Thread(target=snapshotter)
-        s1.start(); s2.start(); w.start()
-        w.join(); s1.join(); s2.join()
+        for t in (s1, s2, w):
+            t.start()
+        for t in (w, s1, s2):
+            t.join()
         assert not failures, failures[:3]
         assert len(snapshots) == 300
         # Replaying the log prefix reproduces a sample snapshot exactly.

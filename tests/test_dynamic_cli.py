@@ -13,7 +13,7 @@ from repro.congest.faults import (
     build_fault_model,
     parse_fault_spec,
 )
-from repro.errors import ConfigurationError, EngineUnavailableError
+from repro.errors import ConfigurationError
 from repro.runner import CampaignSpec, CampaignStore, execute_row, run_campaign
 
 
@@ -229,7 +229,9 @@ class TestDynamicCli:
         assert rc == 0
         replay_out = capsys.readouterr().out
         # Replay reproduces the identical final state fingerprint.
-        final_line = [l for l in out.splitlines() if l.startswith("final:")]
+        final_line = [
+            line for line in out.splitlines() if line.startswith("final:")
+        ]
         assert final_line[0] in replay_out
 
         rc = main(["dynamic", "report", "--log", str(log)])

@@ -96,8 +96,8 @@ class TestDecisionRules:
         g = cycle_graph(5)  # 0-1-2-3-4-0
         for _ in range(4):
             g.add_vertex()
-        g.add_edge(0, 5); g.add_edge(5, 6); g.add_edge(6, 7)
-        g.add_edge(7, 8); g.add_edge(8, 0)
+        for u, v in [(0, 5), (5, 6), (6, 7), (7, 8), (8, 0)]:
+            g.add_edge(u, v)
         mon = CkMonitor(g, 5)
         assert not mon.accepted
         w = mon.witness

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import CkFreenessTester, Graph, detect_cycle_through_edge, test_ck_freeness
+from repro import detect_cycle_through_edge, test_ck_freeness
 from repro._types import canonical_edge
 from repro.congest import Network, RandomPermutationIds
 from repro.core import verify_cycle_evidence

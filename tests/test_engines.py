@@ -94,9 +94,11 @@ class TestFastRngExactness:
 
 class TestEngineRegistry:
     def test_names_and_availability(self):
-        assert ENGINE_NAMES == ("reference", "fast")
-        # numpy is installed in the test environment: both must be usable.
-        assert available_engines() == ("reference", "fast")
+        assert ENGINE_NAMES == ("reference", "fast", "sharded")
+        # numpy is installed in the test environment: all must be usable
+        # (sharded additionally needs multiprocessing.shared_memory,
+        # present on every supported CPython).
+        assert available_engines() == ("reference", "fast", "sharded")
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -1,7 +1,5 @@
 """Small targeted tests for the error types and message containers."""
 
-import pytest
-
 from repro.congest import SequenceBundle, SizeModel, tag_order_key
 from repro.errors import (
     BandwidthExceededError,

@@ -1,11 +1,9 @@
 """Tests for the graph generators, including the paper-specific families."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.graphs import (
-    Graph,
     barabasi_albert_graph,
     binary_tree_graph,
     blowup_graph,

@@ -1,6 +1,5 @@
 """Unit tests for the core Graph data structure."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphError

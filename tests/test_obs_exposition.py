@@ -78,7 +78,7 @@ class TestRoundTrip:
         counter = families["repro_msgs_total"]
         assert counter.kind == "counter"
         assert counter.help == "Messages sent."
-        values = {dict(l)["engine"]: v for l, v in counter.series()}
+        values = {dict(lbl)["engine"]: v for lbl, v in counter.series()}
         assert values == {"reference": 42, "fast": 7}
         hist = families["repro_sizes"]
         buckets = hist.series("_bucket")

@@ -175,8 +175,12 @@ class TestCliPlumbing:
         rc_on = main(base + ["--telemetry", str(tmp_path / "t.jsonl")])
         out_on = capsys.readouterr().out
         assert rc_on == rc_off
-        verdicts_off = [l for l in out_off.splitlines() if "TesterResult" in l]
-        verdicts_on = [l for l in out_on.splitlines() if "TesterResult" in l]
+        verdicts_off = [
+            line for line in out_off.splitlines() if "TesterResult" in line
+        ]
+        verdicts_on = [
+            line for line in out_on.splitlines() if "TesterResult" in line
+        ]
         assert verdicts_on == verdicts_off
 
     def test_quiet_suppresses_diagnostics(self, capsys):

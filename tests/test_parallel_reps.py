@@ -1,6 +1,5 @@
 """Tests for the batched-repetitions extension (rounds vs bandwidth)."""
 
-import numpy as np
 import pytest
 
 from helpers import assert_is_cycle

@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 
 from helpers import assert_is_cycle, random_graphs
-from repro.congest import Network, SequenceBundle, SynchronousScheduler, tag_order_key
+from repro.congest import Network, SynchronousScheduler, tag_order_key
 from repro.core import DetectionOutcome, MultiplexedCkProgram, draw_ranks, protocol_rounds
-from repro.core.phase1 import RankDraw
 from repro.errors import ConfigurationError
 from repro.graphs import (
     cycle_graph,
@@ -144,7 +143,6 @@ class TestPriorityRule:
     def test_min_rank_execution_unimpeded(self):
         """Force ranks so a chosen edge is the global minimum; its
         execution must detect exactly like the isolated Algorithm 1."""
-        from repro.core import detect_cycle_through_edge
 
         g = disjoint_cycles_graph(4, 6, connect=True)
         # try several seeds; for each, find what the min-rank edge was by

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.congest import Network, SynchronousScheduler, render_comparison, render_trace
-from repro.core import DetectCkProgram, detect_cycle_through_edge, phase2_rounds
+from repro.congest import render_comparison, render_trace
+from repro.core import detect_cycle_through_edge, phase2_rounds
 from repro.errors import GraphError
 from repro.graphs import (
     Graph,

@@ -5,8 +5,6 @@ message bound and Lemma 1 path validity, checked over randomly generated
 graphs and executions rather than hand-picked cases.
 """
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,8 +1,6 @@
 """Tests for the campaign runner subsystem (registry, run tables,
 executor determinism + resume, store, aggregation)."""
 
-import json
-
 import pytest
 
 from repro.errors import ConfigurationError

@@ -1,6 +1,5 @@
 """Tests for the sequential comparators (Monien k-path, color coding)."""
 
-import numpy as np
 import pytest
 
 from helpers import assert_is_cycle, random_graphs

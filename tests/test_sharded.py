@@ -1,0 +1,212 @@
+"""Sharded engine: spec parsing, registry error paths, equivalence,
+resource lifecycle and telemetry.
+
+The full cross-engine stress grid lives in ``test_engines.py`` (and runs
+with the sharded backend included in CI's engine-matrix job); the
+equivalence tests here are small and targeted so the file stays fast.
+"""
+
+import pytest
+
+import repro.congest.engine as engine_mod
+from repro.cli import main
+from repro.congest.engine import (
+    available_engines,
+    create_engine,
+    ensure_engine_available,
+    parse_engine_spec,
+)
+from repro.congest.engine.sharded import (
+    ShardedEngine,
+    _fork_available,
+    default_shard_count,
+)
+from repro.congest.network import Network
+from repro.errors import ConfigurationError, EngineUnavailableError
+from repro.graphs import Graph, cycle_graph, planted_epsilon_far_graph
+from repro.obs import Telemetry
+from repro.testing import compare_engines_once
+
+needs_fork = pytest.mark.skipif(
+    not _fork_available(), reason="fork start method unavailable"
+)
+
+
+class TestSpecParsing:
+    def test_plain_names_pass_through(self):
+        for name in ("reference", "fast", "sharded"):
+            assert parse_engine_spec(name) == (name, {})
+
+    def test_shard_count_suffix(self):
+        assert parse_engine_spec("sharded:4") == ("sharded", {"shards": 4})
+        assert parse_engine_spec("sharded:1") == ("sharded", {"shards": 1})
+
+    def test_unknown_name_rejected_before_option_parsing(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            parse_engine_spec("warp:4")
+
+    def test_options_on_optionless_engines(self):
+        with pytest.raises(ConfigurationError, match="takes no options"):
+            parse_engine_spec("fast:4")
+        with pytest.raises(ConfigurationError, match="takes no options"):
+            parse_engine_spec("reference:2")
+
+    def test_bad_shard_counts(self):
+        with pytest.raises(ConfigurationError, match="bad shard count"):
+            parse_engine_spec("sharded:four")
+        with pytest.raises(ConfigurationError, match="shards must be >= 1"):
+            parse_engine_spec("sharded:0")
+        with pytest.raises(ConfigurationError, match="shards must be >= 1"):
+            parse_engine_spec("sharded:-2")
+
+    def test_spec_and_kwarg_overlap_rejected(self):
+        net = Network(cycle_graph(6))
+        with pytest.raises(ConfigurationError, match="given both"):
+            create_engine("sharded:2", net, shards=3)
+
+    def test_default_shard_count_positive(self):
+        assert default_shard_count() >= 1
+
+
+class TestRegistryErrorPaths:
+    def test_sharded_listed_and_available(self):
+        assert "sharded" in available_engines()
+        ensure_engine_available("sharded:8")  # availability ignores count
+
+    def test_unknown_engine_through_cli_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["test", "--generator", "cycle", "--n", "8", "--k", "4",
+                  "--engine", "bogus"])
+
+    def test_bad_shards_through_cli(self):
+        with pytest.raises(SystemExit, match="shards must be >= 1"):
+            main(["test", "--generator", "cycle", "--n", "8", "--k", "4",
+                  "--engine", "sharded", "--shards", "0"])
+
+    def test_shards_with_other_engine_through_cli(self):
+        with pytest.raises(SystemExit, match="only applies to the sharded"):
+            main(["test", "--generator", "cycle", "--n", "8", "--k", "4",
+                  "--engine", "fast", "--shards", "2"])
+
+    def test_shards_given_twice_through_cli(self):
+        with pytest.raises(SystemExit, match="twice"):
+            main(["test", "--generator", "cycle", "--n", "8", "--k", "4",
+                  "--engine", "sharded:2", "--shards", "3"])
+
+    def test_missing_shared_memory_raises_clean_engine_error(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(
+            engine_mod, "_shared_memory_missing",
+            lambda: "No module named '_posixshmem'",
+        )
+        with pytest.raises(EngineUnavailableError, match="shared_memory"):
+            ensure_engine_available("sharded")
+        # fast and reference are unaffected
+        ensure_engine_available("fast")
+        ensure_engine_available("reference")
+        assert available_engines() == ("reference", "fast")
+        # and the CLI surfaces it as a clean one-line error, not a trace
+        with pytest.raises(SystemExit, match="error: .*shared_memory"):
+            main(["test", "--generator", "cycle", "--n", "8", "--k", "4",
+                  "--engine", "sharded"])
+
+    def test_missing_numpy_raises_clean_engine_error(self, monkeypatch):
+        monkeypatch.setattr(
+            engine_mod, "_numpy_missing", lambda: "No module named 'numpy'"
+        )
+        with pytest.raises(EngineUnavailableError, match="pip install"):
+            ensure_engine_available("sharded")
+        with pytest.raises(SystemExit, match="error: .*numpy"):
+            main(["test", "--generator", "cycle", "--n", "8", "--k", "4",
+                  "--engine", "sharded:2"])
+
+    def test_constructor_rejects_bad_shards(self):
+        net = Network(cycle_graph(6))
+        with pytest.raises(ConfigurationError, match="shards must be >= 1"):
+            ShardedEngine(net, shards=0)
+
+    def test_pool_without_fork(self, monkeypatch):
+        import repro.congest.engine.sharded as sharded_mod
+
+        monkeypatch.setattr(sharded_mod, "_fork_available", lambda: False)
+        net = Network(cycle_graph(6))
+        with pytest.raises(EngineUnavailableError, match="fork"):
+            ShardedEngine(net, shards=2, use_pool=True)
+        # auto mode degrades to inline instead of failing
+        eng = ShardedEngine(net, shards=2)
+        assert not eng.uses_pool
+        eng.close()
+
+
+class TestEquivalence:
+    def test_small_grid_all_backends(self):
+        g, _ = planted_epsilon_far_graph(48, 5, 0.15, seed=3)
+        for seed in (0, 1):
+            mismatches = compare_engines_once(
+                g, 5, seed,
+                engines=("reference", "fast", "sharded:2", "sharded:3"),
+            )
+            assert not mismatches, mismatches
+
+    def test_shard_count_exceeding_n_is_clamped(self):
+        g = cycle_graph(5)
+        eng = ShardedEngine(Network(g), shards=64)
+        assert eng.shards <= g.n
+        run = eng.run_tester_repetition(5, 7)
+        assert any(o.rejects for o in run.outputs.values())
+        eng.close()
+
+    def test_edgeless_graph(self):
+        g = Graph(4)
+        with ShardedEngine(Network(g), shards=2) as eng:
+            run = eng.run_tester_repetition(4, 0)
+        assert all(not o.rejects for o in run.outputs.values())
+
+    @needs_fork
+    def test_pooled_matches_inline(self):
+        g, _ = planted_epsilon_far_graph(60, 4, 0.1, seed=5)
+        net = Network(g)
+        results = {}
+        for pooled in (False, True):
+            with ShardedEngine(net, shards=3, use_pool=pooled) as eng:
+                run = eng.run_tester_repetition(4, 11)
+                results[pooled] = (
+                    sorted(v for v, o in run.outputs.items() if o.rejects),
+                    run.trace.total_messages,
+                    run.trace.total_bits,
+                    run.trace.max_message_bits,
+                )
+        assert results[False] == results[True]
+
+
+class TestResourceLifecycle:
+    def test_close_is_idempotent(self):
+        eng = ShardedEngine(Network(cycle_graph(8)), shards=2)
+        eng.run_tester_repetition(4, 3)
+        eng.close()
+        eng.close()  # second close must be a no-op, not a crash
+
+    def test_context_manager_releases_shared_memory(self):
+        from multiprocessing import shared_memory
+
+        with ShardedEngine(Network(cycle_graph(8)), shards=2) as eng:
+            name = eng._shm.name
+            eng.run_tester_repetition(4, 3)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestShardTelemetry:
+    def test_shard_metric_families_registered(self):
+        tel = Telemetry()
+        g, _ = planted_epsilon_far_graph(48, 5, 0.15, seed=3)
+        with ShardedEngine(Network(g), shards=2, telemetry=tel) as eng:
+            eng.run_tester_repetition(5, 1)
+        snap = tel.registry.snapshot()
+        assert snap["repro_shard_count"]["samples"][""] == 2
+        assert snap["repro_shard_shm_bytes"]["samples"][""] > 0
+        assert sum(snap["repro_shard_dispatch_total"]["samples"].values()) > 0
+        # one histogram child per shard index
+        hist = snap["repro_shard_round_seconds"]["samples"]
+        assert {"shard=0", "shard=1"} <= set(hist)

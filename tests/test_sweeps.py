@@ -1,7 +1,5 @@
 """Tests for the sweep experiments (A5–A7)."""
 
-import pytest
-
 from repro.analysis import run_boosting_curve, run_epsilon_sweep, run_k_sweep
 from repro.core import repetitions_needed
 

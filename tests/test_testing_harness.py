@@ -1,9 +1,7 @@
 """Tests for the public differential-fuzzing harness."""
 
-import pytest
-
-from repro.graphs import Graph, cycle_graph, path_graph
-from repro.testing import CampaignReport, TrialFailure, check_one, differential_campaign
+from repro.graphs import cycle_graph, path_graph
+from repro.testing import TrialFailure, check_one, differential_campaign
 
 
 class TestCheckOne:
