@@ -1008,6 +1008,130 @@ def instrumentation_overhead(case: Dict[str, Any], seed: int) -> Dict[str, Any]:
 
 @benchmark(
     "obs",
+    # The request-tracing + phase-profiler analogue of
+    # instrumentation_overhead: spans joined to an ambient trace context
+    # plus a live PhaseProfiler on the engine, vs everything off.  Same
+    # alternating min-of-N pair timing, same <5% budget.
+    smoke=[{"n": 96, "k": 5, "eps": 0.1, "reps": 4, "timing_reps": 10,
+            "max_overhead_pct": 5.0}],
+    default=[{"n": 128, "k": 5, "eps": 0.1, "reps": 6, "timing_reps": 12,
+              "max_overhead_pct": 5.0}],
+)
+def trace_overhead(case: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Tracing + profiling on vs off: bit-identical outputs, <5% slower.
+
+    The "on" configuration is the full request-tracing stack the service
+    runs under: an ambient :func:`~repro.obs.tracing.activate_trace`
+    context, per-repetition spans emitted to an in-memory sink, and a
+    live :class:`~repro.congest.engine.PhaseProfiler` on the engine.
+    Asserts (a) engine outputs are identical on/off, (b) every emitted
+    event joins the ambient trace, (c) the profile document validates
+    against the ``repro.profile/v1`` schema, and (d) the min-of-N
+    wall-clock overhead stays inside the budget.
+    """
+    from ..congest.engine import (
+        PhaseProfiler,
+        available_engines,
+        create_engine,
+        validate_profile,
+    )
+    from ..congest.network import Network
+    from ..graphs import planted_epsilon_far_graph
+    from ..obs import ListSink, Telemetry, resolve_telemetry
+    from ..obs.tracing import TraceContext, activate_trace
+
+    if "fast" not in available_engines():
+        return {"n": case["n"], "skipped": "fast engine unavailable"}
+    g, _ = planted_epsilon_far_graph(case["n"], case["k"], case["eps"], seed=0)
+    net = Network(g)
+    rep_seeds = [(seed + i) % (2**32) for i in range(case["reps"])]
+
+    def workload(telemetry=None, profiler=None, context=None):
+        tel = resolve_telemetry(telemetry)
+        engine = create_engine(
+            "fast", net, telemetry=telemetry, profiler=profiler
+        )
+        fingerprints = []
+        with activate_trace(context):
+            for i, rep_seed in enumerate(rep_seeds):
+                with tel.span("bench.rep", rep=i):
+                    run = engine.run_tester_repetition(case["k"], rep_seed)
+                fingerprints.append(sorted(
+                    (
+                        v,
+                        bool(getattr(out, "rejects", False)),
+                        getattr(out, "cycle", None),
+                    )
+                    for v, out in run.outputs.items()
+                ))
+        return fingerprints
+
+    # Identity: tracing and profiling must be invisible to the protocol.
+    fp_off = workload()
+    sink = ListSink()
+    tel = Telemetry(sink=sink, trace_seed=seed)
+    profiler = PhaseProfiler()
+    context = TraceContext(tel.ids.trace_id(), tel.ids.span_id())
+    fp_on = workload(telemetry=tel, profiler=profiler, context=context)
+    assert fp_on == fp_off, "tracing/profiling changed engine outputs"
+
+    spans = [e for e in sink.events if e.get("type") == "span"]
+    assert len(spans) == case["reps"], (
+        f"expected {case['reps']} span events, got {len(spans)}"
+    )
+    assert all(e["trace_id"] == context.trace_id for e in spans), (
+        "a span escaped the ambient trace context"
+    )
+    assert all(e["parent_id"] == context.span_id for e in spans), (
+        "a root span is not parented to the ambient context"
+    )
+    doc = validate_profile(profiler.report(engine="fast"))
+    assert doc["phases"], "profiler attributed no phases"
+    assert doc["total_seconds"] >= 0
+
+    import gc
+
+    best_off = best_on = best_ratio = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for i in range(case["timing_reps"]):
+            t0 = time.perf_counter()
+            workload()
+            off = time.perf_counter() - t0
+            on_tel = Telemetry(sink=ListSink(), trace_seed=seed + i)
+            on_context = TraceContext(
+                on_tel.ids.trace_id(), on_tel.ids.span_id()
+            )
+            t0 = time.perf_counter()
+            workload(
+                telemetry=on_tel, profiler=PhaseProfiler(),
+                context=on_context,
+            )
+            on = time.perf_counter() - t0
+            best_off = min(best_off, off)
+            best_on = min(best_on, on)
+            best_ratio = min(best_ratio, on / off)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    overhead_pct = max(0.0, (best_ratio - 1.0) * 100.0)
+    assert overhead_pct < case["max_overhead_pct"], (
+        f"tracing overhead {overhead_pct:.2f}% exceeded the "
+        f"{case['max_overhead_pct']}% budget"
+    )
+    return {
+        "repetitions": case["reps"],
+        "span_events": len(spans),
+        "profiled_phases": len(doc["phases"]),
+        "off_ms": best_off * 1e3,
+        "on_ms": best_on * 1e3,
+        "overhead_pct": overhead_pct,
+    }
+
+
+@benchmark(
+    "obs",
     smoke=[{"families": 20, "children": 8, "iters": 20}],
     default=[{"families": 50, "children": 16, "iters": 50}],
 )

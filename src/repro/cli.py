@@ -355,6 +355,84 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    """Reconstruct span trees from a JSONL event log; ``--check`` asserts
+    the causal invariants (unique span ids, resolvable parents, every
+    span chains to its request wide event)."""
+    from .obs import read_events
+    from .obs.traceview import (
+        check_traces,
+        group_traces,
+        render_slowest,
+        render_trace,
+    )
+
+    path = Path(args.events)
+    if not path.exists():
+        raise SystemExit(f"no event log at {args.events!r}")
+    events = read_events(path)
+    traces = group_traces(events)
+    requests = sum(1 for e in events if e.get("type") == "request")
+    print(f"event log {path}: {len(events)} events, {len(traces)} traces, "
+          f"{requests} requests")
+    if args.check:
+        problems = check_traces(events)
+        if problems:
+            for problem in problems:
+                print(f"  VIOLATION: {problem}")
+            raise SystemExit(
+                f"trace check FAILED ({len(problems)} violation(s))"
+            )
+        print("trace check OK: span ids unique, parents resolve, every "
+              "span chains to its request")
+    if args.trace_id:
+        print(render_trace(events, args.trace_id))
+    elif args.slowest:
+        print(render_slowest(events, args.slowest))
+    return 0
+
+
+def _cmd_obs_profile(args: argparse.Namespace) -> int:
+    """Print an engine phase-profile table; without ``--profile`` the
+    profile is generated by running the chosen engine here and now."""
+    from .congest.engine import create_engine, PhaseProfiler, validate_profile
+    from .congest.network import Network
+    from .runner.runtable import derive_seed
+
+    if args.profile:
+        path = Path(args.profile)
+        if not path.exists():
+            raise SystemExit(f"no profile at {args.profile!r}")
+        doc = validate_profile(
+            json.loads(path.read_text(encoding="utf-8"))
+        )
+    else:
+        params = _parse_params(args.params) or {"n": 40, "p": 0.1}
+        graph = registry.build_graph(args.family, seed=args.seed, **params)
+        profiler = PhaseProfiler()
+        engine = create_engine(
+            _resolve_engine(args), Network(graph), profiler=profiler
+        )
+        for rep in range(max(1, args.reps)):
+            engine.run_tester_repetition(
+                args.k, derive_seed(args.seed, "profile", rep)
+            )
+        doc = validate_profile(profiler.report(engine=engine.name))
+        if args.out:
+            profiler.write(args.out, engine=engine.name)
+            LOG.info("profile written", path=args.out)
+    total = doc["total_seconds"] or 0.0
+    print(f"engine {doc['engine'] or '?'}: "
+          f"{len(doc['phases'])} phases, {total:.6f}s attributed")
+    for name, entry in sorted(
+        doc["phases"].items(), key=lambda kv: -kv[1]["seconds"]
+    ):
+        share = entry["seconds"] / total if total else 0.0
+        print(f"  {name:<18} x{entry['calls']:<6} "
+              f"{entry['seconds']:.6f}s  ({share:.1%})")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # service subcommands (serve / loadgen)
 # ---------------------------------------------------------------------------
@@ -385,6 +463,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
+    from .obs import get_telemetry
     from .service import ServiceConfig, ServiceServer
 
     config = ServiceConfig(
@@ -395,9 +474,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         debug=args.debug,
         default_engine=_resolve_engine(args),
     )
+    # --telemetry installs the global before dispatch; hand it to the
+    # server so wide events and spans land in the JSONL artifact.
+    tel = get_telemetry()
 
     async def _run() -> None:
-        server = ServiceServer(config)
+        server = ServiceServer(config, telemetry=tel if tel.enabled else None)
         await server.start()
         LOG.info(
             "service listening",
@@ -434,6 +516,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         seed=args.seed,
         batch=args.batch,
         verify_parity=not args.no_parity,
+        trace=args.trace,
     )
     summary = run_loadgen(
         config,
@@ -851,6 +934,47 @@ def build_parser() -> argparse.ArgumentParser:
                               "(written as PATH.prom); parsed and validated")
     p_obs_report.set_defaults(func=_cmd_obs_report)
 
+    p_obs_trace = obs_sub.add_parser(
+        "trace", help="reconstruct span trees from a JSONL event log"
+    )
+    p_obs_trace.add_argument("--events", required=True,
+                             help="JSONL event log (written by "
+                             "--telemetry PATH)")
+    p_obs_trace.add_argument("--check", action="store_true",
+                             help="assert the causal invariants; non-zero "
+                             "exit on any violation")
+    p_obs_trace.add_argument("--slowest", type=int, default=5, metavar="N",
+                             help="render the N slowest requests as span "
+                             "trees (0 = none)")
+    p_obs_trace.add_argument("--trace-id", default=None,
+                             help="render exactly this trace instead")
+    p_obs_trace.set_defaults(func=_cmd_obs_trace)
+
+    p_obs_profile = obs_sub.add_parser(
+        "profile", help="engine phase profile: print PROFILE.json or "
+        "generate one by running an engine"
+    )
+    p_obs_profile.add_argument("--profile", default=None, metavar="PATH",
+                               help="existing PROFILE.json to print "
+                               "(skips the run)")
+    p_obs_profile.add_argument("--engine", default="fast", type=_engine_arg,
+                               metavar="ENGINE",
+                               help="engine to profile when generating")
+    p_obs_profile.add_argument("--shards", type=int, default=None,
+                               metavar="N")
+    p_obs_profile.add_argument("--family", default="gnp",
+                               help="base-graph generator family")
+    p_obs_profile.add_argument("--params", default=None, metavar="K=V,...",
+                               help="generator parameters, e.g. n=60,p=0.1")
+    p_obs_profile.add_argument("--k", type=int, default=5)
+    p_obs_profile.add_argument("--seed", type=int, default=0)
+    p_obs_profile.add_argument("--reps", type=int, default=3,
+                               help="tester repetitions to profile")
+    p_obs_profile.add_argument("--out", default=None, metavar="PATH",
+                               help="write the schema-validated "
+                               "PROFILE.json here")
+    p_obs_profile.set_defaults(func=_cmd_obs_profile)
+
     p_serve = sub.add_parser(
         "serve",
         help="run the detection-as-a-service HTTP daemon (stdlib asyncio)",
@@ -870,6 +994,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shard count for --engine sharded")
     p_serve.add_argument("--debug", action="store_true",
                          help="enable the /debug endpoints (tests only)")
+    add_telemetry_arg(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_lg = sub.add_parser(
@@ -899,6 +1024,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="scrape /metrics to this textfile after the run")
     p_lg.add_argument("--no-parity", action="store_true",
                       help="skip the offline CkMonitor parity replay")
+    p_lg.add_argument("--trace", action="store_true",
+                      help="propagate traceparent ids and join client rows "
+                      "to server wide events (in-process server only)")
     p_lg.set_defaults(func=_cmd_loadgen)
 
     add_bench_subparser(sub)

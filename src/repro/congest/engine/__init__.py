@@ -38,14 +38,24 @@ from typing import Any, Dict, Tuple
 from ...errors import ConfigurationError, EngineUnavailableError
 from ..network import Network
 from .base import CongestEngine
+from .profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfiler,
+    validate_profile,
+)
 
 __all__ = [
     "ENGINE_NAMES",
+    "NULL_PROFILER",
     "CongestEngine",
+    "NullProfiler",
+    "PhaseProfiler",
     "available_engines",
     "create_engine",
     "ensure_engine_available",
     "parse_engine_spec",
+    "validate_profile",
 ]
 
 #: All backend names, in preference order for documentation/CLI listings.
@@ -152,8 +162,10 @@ def create_engine(spec: str, network: Network, **kwargs) -> CongestEngine:
     :func:`parse_engine_spec`); options embedded in the spec may not be
     repeated in ``kwargs``.  ``kwargs`` are forwarded to the engine
     constructor (``size_model``, ``strict_bandwidth``, ``faults`` — the
-    last only honoured by the reference backend — plus ``shards`` /
-    ``use_pool`` for the sharded backend).
+    last only honoured by the reference backend — ``telemetry`` and
+    ``profiler`` (a :class:`PhaseProfiler` attributing wall time to
+    protocol phases), plus ``shards`` / ``use_pool`` for the sharded
+    backend).
     """
     ensure_engine_available(spec)
     name, opts = parse_engine_spec(spec)

@@ -74,6 +74,12 @@ class CongestEngine(ABC):
         process global (disabled by default).  Completed runs export
         their trace aggregates into it via
         :func:`~repro.congest.instrumentation.export_trace`.
+    profiler:
+        Optional :class:`~repro.congest.engine.profiler.PhaseProfiler`
+        attributing wall time to named protocol phases; ``None`` means
+        the shared zero-overhead :data:`~repro.congest.engine.profiler
+        .NULL_PROFILER`.  Profiling never touches RNG state, so it
+        shares telemetry's bit-identity guarantee.
     """
 
     #: Stable backend name (the value of ``--engine``).
@@ -87,8 +93,10 @@ class CongestEngine(ABC):
         strict_bandwidth: bool = False,
         faults=None,
         telemetry=None,
+        profiler=None,
     ) -> None:
         from ...obs import resolve_telemetry
+        from .profiler import NULL_PROFILER
 
         self._net = network
         self._size_model = (
@@ -97,6 +105,7 @@ class CongestEngine(ABC):
         self._strict = strict_bandwidth
         self._faults = faults
         self._telemetry = resolve_telemetry(telemetry)
+        self._profiler = profiler if profiler is not None else NULL_PROFILER
 
     @property
     def network(self) -> Network:

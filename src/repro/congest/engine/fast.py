@@ -315,6 +315,7 @@ class FastEngine(CongestEngine):
 
         self._check_k(k)
         pruner = pruner if pruner is not None else HittingSetPruner()
+        prof = self._profiler
         g = self._net.graph
         n = g.n
         ids = self._id_list
@@ -330,7 +331,8 @@ class FastEngine(CongestEngine):
 
         # Round 1 — every owned edge's rank crosses the edge (one message).
         stats = self._begin_round(trace, 1)
-        edge_rank = self._draw_edge_ranks(rep_seed)
+        with prof.phase("rank_draws"):
+            edge_rank = self._draw_edge_ranks(rep_seed)
         if len(self._owners):
             bits = self._bits_rank_msg
             stats.messages = g.m
@@ -347,18 +349,20 @@ class FastEngine(CongestEngine):
         # Round 2 — minimum selection; every non-isolated node broadcasts
         # its seed sequence under its chosen tag.
         stats = self._begin_round(trace, 2)
-        R, A, B = self._select_minima(edge_rank)
+        with prof.phase("min_select"):
+            R, A, B = self._select_minima(edge_rank)
         sending = self._degrees > 0
         sender_arr = np.nonzero(sending)[0]
         sent_seqs: Dict[int, list] = {v: [(ids[v],)] for v in sender_arr.tolist()}
         seed_bits = self._bundle_bits(1, 1, tagged=True)
-        self._record_broadcasts(
-            stats,
-            2,
-            sender_arr,
-            np.full(len(sender_arr), seed_bits, dtype=np.int64),
-            np.ones(len(sender_arr), dtype=np.int64),
-        )
+        with prof.phase("audit_fold"):
+            self._record_broadcasts(
+                stats,
+                2,
+                sender_arr,
+                np.full(len(sender_arr), seed_bits, dtype=np.int64),
+                np.ones(len(sender_arr), dtype=np.int64),
+            )
 
         # The round-2 send of the default pruner has a closed form: the
         # received sequences are singleton seeds (none containing the
@@ -372,26 +376,28 @@ class FastEngine(CongestEngine):
         # Rounds 3..1+⌊k/2⌋ — prioritized multiplexed Phase 2.
         for t in range(2, k // 2 + 1):
             stats = self._begin_round(trace, t + 1)
-            bestR, bestA, bestB, matches = self._mux(sending, R, A, B)
-            recv = self._gather_received(matches, sent_seqs)
+            with prof.phase("priority_mux"):
+                bestR, bestA, bestB, matches = self._mux(sending, R, A, B)
+                recv = self._gather_received(matches, sent_seqs)
             R, A, B = bestR, bestA, bestB
             sending = np.zeros(n, dtype=bool)
             sent_seqs = {}
-            if t == 2 and seed_shortcut:
-                keep = k - 1
-                for v, lst in recv.items():
-                    lst.sort()
-                    my = ids[v]
-                    sent_seqs[v] = [s + (my,) for s in lst[:keep]]
-                    sending[v] = True
-            else:
-                for v, lst in recv.items():
-                    send = process_phase2_round(
-                        ids[v], sort_sequences(lst), k, t, pruner
-                    )
-                    if send:
-                        sent_seqs[v] = send
+            with prof.phase("round_apply"):
+                if t == 2 and seed_shortcut:
+                    keep = k - 1
+                    for v, lst in recv.items():
+                        lst.sort()
+                        my = ids[v]
+                        sent_seqs[v] = [s + (my,) for s in lst[:keep]]
                         sending[v] = True
+                else:
+                    for v, lst in recv.items():
+                        send = process_phase2_round(
+                            ids[v], sort_sequences(lst), k, t, pruner
+                        )
+                        if send:
+                            sent_seqs[v] = send
+                            sending[v] = True
             per_seq = self._seq_bits(t)
             sender_arr = np.fromiter(sent_seqs, dtype=np.int64, count=len(sent_seqs))
             sender_arr.sort()
@@ -400,29 +406,32 @@ class FastEngine(CongestEngine):
                 dtype=np.int64,
                 count=len(sender_arr),
             )
-            self._record_broadcasts(
-                stats,
-                t + 1,
-                sender_arr,
-                self._bits_tagged_overhead + lens * per_seq,
-                lens,
-            )
+            with prof.phase("audit_fold"):
+                self._record_broadcasts(
+                    stats,
+                    t + 1,
+                    sender_arr,
+                    self._bits_tagged_overhead + lens * per_seq,
+                    lens,
+                )
 
         # Final decision (no further communication round).  At this
         # point sent_seqs / (R, A, B) hold the final round's non-empty
         # sends and the tags they were sent under.
-        bestR, bestA, bestB, matches = self._mux(sending, R, A, B)
-        recv = self._gather_received(matches, sent_seqs)
-        for v, lst in recv.items():
-            received = sort_sequences(lst)
-            own = sent_seqs.get(v, [])
-            if own and not (
-                R[v] == bestR[v] and A[v] == bestA[v] and B[v] == bestB[v]
-            ):
-                own = []  # stale tag: the node switched executions
-            cycle = find_detection_evidence(ids[v], k, own, received)
-            if cycle is not None:
-                outputs[v] = DetectionOutcome(rejects=True, cycle=cycle)
+        with prof.phase("priority_mux"):
+            bestR, bestA, bestB, matches = self._mux(sending, R, A, B)
+            recv = self._gather_received(matches, sent_seqs)
+        with prof.phase("decision"):
+            for v, lst in recv.items():
+                received = sort_sequences(lst)
+                own = sent_seqs.get(v, [])
+                if own and not (
+                    R[v] == bestR[v] and A[v] == bestA[v] and B[v] == bestB[v]
+                ):
+                    own = []  # stale tag: the node switched executions
+                cycle = find_detection_evidence(ids[v], k, own, received)
+                if cycle is not None:
+                    outputs[v] = DetectionOutcome(rejects=True, cycle=cycle)
         assert trace.num_rounds == protocol_rounds(k)
         return self._finish(RunResult(outputs, trace))
 
@@ -447,6 +456,7 @@ class FastEngine(CongestEngine):
         if u_id == v_id:
             raise ConfigurationError("edge endpoints must differ")
         pruner = pruner if pruner is not None else HittingSetPruner()
+        prof = self._profiler
         g = self._net.graph
         n = g.n
         ids = self._id_list
@@ -462,13 +472,18 @@ class FastEngine(CongestEngine):
             vtx = self._net.vertex_of(nid)
             if self._degrees[vtx] > 0:
                 sent[vtx] = [(nid,)]
-        self._record_broadcasts(
-            stats,
-            1,
-            np.array(sorted(sent), dtype=np.int64),
-            np.full(len(sent), self._bundle_bits(1, 1, tagged=False), dtype=np.int64),
-            np.ones(len(sent), dtype=np.int64),
-        )
+        with prof.phase("audit_fold"):
+            self._record_broadcasts(
+                stats,
+                1,
+                np.array(sorted(sent), dtype=np.int64),
+                np.full(
+                    len(sent),
+                    self._bundle_bits(1, 1, tagged=False),
+                    dtype=np.int64,
+                ),
+                np.ones(len(sent), dtype=np.int64),
+            )
 
         def deliver(senders: Dict[int, list]) -> Dict[int, list]:
             recv: Dict[int, list] = {}
@@ -485,14 +500,16 @@ class FastEngine(CongestEngine):
         # Rounds 2..⌊k/2⌋: receive, prune, append, broadcast.
         for t in range(2, phase2_rounds(k) + 1):
             stats = self._begin_round(trace, t)
-            recv = deliver(sent)
+            with prof.phase("priority_mux"):
+                recv = deliver(sent)
             sent = {}
-            for v, lst in recv.items():
-                send = process_phase2_round(
-                    ids[v], sort_sequences(lst), k, t, pruner
-                )
-                if send:
-                    sent[v] = send
+            with prof.phase("round_apply"):
+                for v, lst in recv.items():
+                    send = process_phase2_round(
+                        ids[v], sort_sequences(lst), k, t, pruner
+                    )
+                    if send:
+                        sent[v] = send
             per_seq = self._seq_bits(t)
             sender_arr = np.fromiter(sent, dtype=np.int64, count=len(sent))
             sender_arr.sort()
@@ -501,21 +518,24 @@ class FastEngine(CongestEngine):
                 dtype=np.int64,
                 count=len(sender_arr),
             )
-            self._record_broadcasts(
-                stats,
-                t,
-                sender_arr,
-                self._bits_untagged_overhead + lens * per_seq,
-                lens,
-            )
+            with prof.phase("audit_fold"):
+                self._record_broadcasts(
+                    stats,
+                    t,
+                    sender_arr,
+                    self._bits_untagged_overhead + lens * per_seq,
+                    lens,
+                )
 
         # Final decision from the last round's deliveries.
-        recv = deliver(sent)
-        for v, lst in recv.items():
-            received = sort_sequences(lst)
-            cycle = find_detection_evidence(
-                ids[v], k, sent.get(v, []), received
-            )
-            if cycle is not None:
-                outputs[v] = DetectionOutcome(rejects=True, cycle=cycle)
+        with prof.phase("priority_mux"):
+            recv = deliver(sent)
+        with prof.phase("decision"):
+            for v, lst in recv.items():
+                received = sort_sequences(lst)
+                cycle = find_detection_evidence(
+                    ids[v], k, sent.get(v, []), received
+                )
+                if cycle is not None:
+                    outputs[v] = DetectionOutcome(rejects=True, cycle=cycle)
         return self._finish(RunResult(outputs, trace))

@@ -50,14 +50,16 @@ class ReferenceEngine(CongestEngine):
         from ...core.phase1 import MultiplexedCkProgram, protocol_rounds
 
         self._check_k(k)
-        return self._finish(
-            self._scheduler().run(
+        # The scheduler is a black box here, so the profiler sees one
+        # coarse phase; per-phase attribution is the fast backends' job.
+        with self._profiler.phase("scheduler_run"):
+            run = self._scheduler().run(
                 lambda ctx: MultiplexedCkProgram(
                     ctx, k, rep_seed, pruner=pruner
                 ),
                 num_rounds=protocol_rounds(k),
             )
-        )
+        return self._finish(run)
 
     def run_detect(
         self, k: int, edge_ids: Tuple[int, int], *, pruner=None
@@ -66,9 +68,9 @@ class ReferenceEngine(CongestEngine):
         from ...core.algorithm1 import DetectCkProgram, phase2_rounds
 
         self._check_k(k)
-        return self._finish(
-            self._scheduler().run(
+        with self._profiler.phase("scheduler_run"):
+            run = self._scheduler().run(
                 lambda ctx: DetectCkProgram(ctx, k, edge_ids, pruner=pruner),
                 num_rounds=phase2_rounds(k),
             )
-        )
+        return self._finish(run)

@@ -756,6 +756,12 @@ class ShardedEngine(FastEngine):
             )
             for i, (wall, _) in enumerate(replies):
                 hist.observe(wall, shard=str(i))
+        if self._profiler.enabled:
+            # Worker kernels time themselves and ship the wall seconds
+            # back with each reply (the existing Pipe protocol), so
+            # per-shard compute is attributed without extra IPC.
+            for i, (wall, _) in enumerate(replies):
+                self._profiler.add(f"shard{i}_compute", wall)
         return [payload for _, payload in replies]
 
     def close(self) -> None:
@@ -785,29 +791,30 @@ class ShardedEngine(FastEngine):
         The parent raises the strict-mode error so the exception never
         needs to cross a process boundary.
         """
-        best_bits = -1
-        best_v = -1
-        max_seqs = 0
-        violation = None
-        for part in parts:
-            if part is None:
-                continue
-            messages, total, mb, mv, ms, pv = part
-            stats.messages += messages
-            stats.total_bits += total
-            if mb > best_bits:
-                best_bits, best_v = mb, mv
-            if ms > max_seqs:
-                max_seqs = ms
-            if violation is None and pv is not None:
-                violation = pv
-        if best_v >= 0:
-            stats.max_message_bits = best_bits
-            stats.max_edge = (
-                self._id_list[best_v],
-                self._first_neighbor_id(best_v),
-            )
-            stats.max_sequences = max_seqs
+        with self._profiler.phase("parent_fold"):
+            best_bits = -1
+            best_v = -1
+            max_seqs = 0
+            violation = None
+            for part in parts:
+                if part is None:
+                    continue
+                messages, total, mb, mv, ms, pv = part
+                stats.messages += messages
+                stats.total_bits += total
+                if mb > best_bits:
+                    best_bits, best_v = mb, mv
+                if ms > max_seqs:
+                    max_seqs = ms
+                if violation is None and pv is not None:
+                    violation = pv
+            if best_v >= 0:
+                stats.max_message_bits = best_bits
+                stats.max_edge = (
+                    self._id_list[best_v],
+                    self._first_neighbor_id(best_v),
+                )
+                stats.max_sequences = max_seqs
         if self._strict and violation is not None:
             w, wbits = violation
             raise BandwidthExceededError(
@@ -820,17 +827,20 @@ class ShardedEngine(FastEngine):
     def _route_halos(self, boundary_parts) -> List[Dict[int, list]]:
         """Route boundary sends to every shard holding the sender in its
         halo (parent-side; shard key ranges are disjoint)."""
-        merged: Dict[int, list] = {}
-        for part in boundary_parts:
-            merged.update(part)
-        per_shard: List[Dict[int, list]] = []
-        if not merged:
-            return [{} for _ in self._workers]
-        us = np.fromiter(merged, dtype=np.int64, count=len(merged))
-        for mask in self._halo_masks:
-            sel = us[mask[us]]
-            per_shard.append({int(u): merged[int(u)] for u in sel.tolist()})
-        return per_shard
+        with self._profiler.phase("halo_routing"):
+            merged: Dict[int, list] = {}
+            for part in boundary_parts:
+                merged.update(part)
+            per_shard: List[Dict[int, list]] = []
+            if not merged:
+                return [{} for _ in self._workers]
+            us = np.fromiter(merged, dtype=np.int64, count=len(merged))
+            for mask in self._halo_masks:
+                sel = us[mask[us]]
+                per_shard.append(
+                    {int(u): merged[int(u)] for u in sel.tolist()}
+                )
+            return per_shard
 
     def _swap_state(self) -> None:
         """Publish the round's winners: best tags and next-round senders

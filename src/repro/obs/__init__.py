@@ -34,6 +34,7 @@ conventions, span taxonomy and the instrumentation overhead budget.
 from .events import (
     EventLogError,
     JsonlSink,
+    ListSink,
     NullSink,
     read_events,
     summarize_events,
@@ -59,7 +60,16 @@ from .telemetry import (
     resolve_telemetry,
     set_telemetry,
 )
-from .tracing import NullSpan, Span
+from .tracing import (
+    NullSpan,
+    Span,
+    TraceContext,
+    TraceIdSource,
+    activate_trace,
+    current_trace,
+    format_traceparent,
+    parse_traceparent,
+)
 
 __all__ = [
     "Counter",
@@ -69,6 +79,7 @@ __all__ = [
     "Histogram",
     "JsonlSink",
     "LOG",
+    "ListSink",
     "MetricsRegistry",
     "NULL_TELEMETRY",
     "NullSink",
@@ -78,9 +89,15 @@ __all__ = [
     "Span",
     "StructuredLogger",
     "Telemetry",
+    "TraceContext",
+    "TraceIdSource",
+    "activate_trace",
+    "current_trace",
+    "format_traceparent",
     "get_logger",
     "get_telemetry",
     "parse_textfile",
+    "parse_traceparent",
     "read_events",
     "render_textfile",
     "resolve_telemetry",

@@ -21,6 +21,7 @@ from ..errors import ReproError
 __all__ = [
     "EventLogError",
     "JsonlSink",
+    "ListSink",
     "NullSink",
     "read_events",
     "summarize_events",
@@ -39,6 +40,25 @@ class NullSink:
 
     def close(self) -> None:
         """No-op."""
+
+
+class ListSink:
+    """Collect events in memory (tests and in-process join checks).
+
+    The load generator's in-process mode hands the server harness a
+    telemetry built on one of these so its wide events can be joined
+    against client rows without going through the filesystem.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Append ``event`` to :attr:`events`."""
+        self.events.append(event)
+
+    def close(self) -> None:
+        """No-op (the list stays readable after close)."""
 
 
 class JsonlSink:
@@ -94,9 +114,7 @@ def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
         except json.JSONDecodeError as exc:
             if lineno == last:
                 break  # torn tail from an interrupted writer
-            raise EventLogError(
-                f"{p}:{lineno}: corrupt event line ({exc})"
-            ) from exc
+            raise EventLogError(f"{p}:{lineno}: corrupt event line ({exc})") from exc
     return events
 
 
@@ -116,9 +134,7 @@ def summarize_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         if kind == "span":
             name = str(event.get("name"))
             elapsed = float(event.get("elapsed_ms", 0.0))
-            stats = spans.setdefault(
-                name, {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
-            )
+            stats = spans.setdefault(name, {"count": 0, "total_ms": 0.0, "max_ms": 0.0})
             stats["count"] += 1
             stats["total_ms"] += elapsed
             if elapsed > stats["max_ms"]:

@@ -46,9 +46,7 @@ def _escape_help(text: str) -> str:
 
 
 def _escape_label_value(text: str) -> str:
-    return (
-        text.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
-    )
+    return text.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
 
 
 def _unescape(text: str) -> str:
@@ -88,9 +86,7 @@ def _format_value(value: float) -> str:
 def _format_labels(pairs: List[Tuple[str, str]]) -> str:
     if not pairs:
         return ""
-    inner = ",".join(
-        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
-    )
+    inner = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in pairs)
     return "{" + inner + "}"
 
 
@@ -104,24 +100,16 @@ def render_registry(registry: MetricsRegistry) -> str:
         if isinstance(family, (Counter, Gauge)):
             for key, value in family.samples():
                 labels = _format_labels(list(zip(family.labelnames, key)))
-                lines.append(
-                    f"{family.name}{labels} {_format_value(value)}"
-                )
+                lines.append(f"{family.name}{labels} {_format_value(value)}")
         elif isinstance(family, Histogram):
             for key, value in family.samples():
                 base = list(zip(family.labelnames, key))
                 bounds = [_format_value(b) for b in value["buckets"]]
-                for bound, cumulative in zip(
-                    bounds + ["+Inf"], value["cumulative"]
-                ):
+                for bound, cumulative in zip(bounds + ["+Inf"], value["cumulative"]):
                     labels = _format_labels(base + [("le", bound)])
-                    lines.append(
-                        f"{family.name}_bucket{labels} {cumulative}"
-                    )
+                    lines.append(f"{family.name}_bucket{labels} {cumulative}")
                 labels = _format_labels(base)
-                lines.append(
-                    f"{family.name}_sum{labels} {_format_value(value['sum'])}"
-                )
+                lines.append(f"{family.name}_sum{labels} {_format_value(value['sum'])}")
                 lines.append(f"{family.name}_count{labels} {value['count']}")
         else:  # pragma: no cover - registry only creates the three kinds
             raise ExpositionError(f"cannot render metric kind {family.kind!r}")
@@ -227,20 +215,14 @@ def parse_textfile(text: str) -> Dict[str, ParsedMetric]:
         if line.startswith("#"):
             parts = line.split(None, 3)
             if len(parts) >= 3 and parts[1] == "HELP":
-                pending_help[parts[2]] = _unescape(
-                    parts[3] if len(parts) > 3 else ""
-                )
+                pending_help[parts[2]] = _unescape(parts[3] if len(parts) > 3 else "")
             elif len(parts) >= 3 and parts[1] == "TYPE":
                 name = parts[2]
                 kind = parts[3] if len(parts) > 3 else ""
                 if kind not in ("counter", "gauge", "histogram", "untyped"):
-                    raise ExpositionError(
-                        f"{where}: unknown metric type {kind!r}"
-                    )
+                    raise ExpositionError(f"{where}: unknown metric type {kind!r}")
                 if name in families:
-                    raise ExpositionError(
-                        f"{where}: duplicate TYPE for {name!r}"
-                    )
+                    raise ExpositionError(f"{where}: duplicate TYPE for {name!r}")
                 families[name] = ParsedMetric(
                     name=name, kind=kind, help=pending_help.pop(name, "")
                 )
@@ -283,9 +265,7 @@ def _validate_histogram(family: ParsedMetric) -> None:
         by_child.setdefault(base, []).append(
             (_parse_value(le, f"histogram {family.name!r}"), value)
         )
-    counts = {
-        tuple(labels): value for labels, value in family.series("_count")
-    }
+    counts = {tuple(labels): value for labels, value in family.series("_count")}
     if set(counts) != set(by_child):
         raise ExpositionError(
             f"histogram {family.name!r}: _count series do not match buckets"
@@ -297,9 +277,7 @@ def _validate_histogram(family: ParsedMetric) -> None:
                 f"histogram {family.name!r}: bucket bounds out of order"
             )
         if not bounds or not math.isinf(bounds[-1]):
-            raise ExpositionError(
-                f"histogram {family.name!r}: missing +Inf bucket"
-            )
+            raise ExpositionError(f"histogram {family.name!r}: missing +Inf bucket")
         values = [v for _, v in buckets]
         if any(v2 < v1 for v1, v2 in zip(values, values[1:])):
             raise ExpositionError(

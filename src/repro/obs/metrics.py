@@ -53,13 +53,37 @@ _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 #: Log-spaced seconds buckets for span latencies (100µs .. 10s).
 DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
-    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
-    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
 )
 
 #: Power-of-two buckets for cardinalities (ball sizes, sequence counts).
 DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
-    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+    1,
+    2,
+    4,
+    8,
+    16,
+    32,
+    64,
+    128,
+    256,
+    512,
+    1024,
 )
 
 
@@ -88,9 +112,7 @@ class MetricFamily:
 
     kind = "untyped"
 
-    def __init__(
-        self, name: str, help: str, labelnames: Sequence[str] = ()
-    ) -> None:
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
         self.name = _check_name(name)
         self.help = help
         self.labelnames = _check_labelnames(labelnames)
@@ -194,9 +216,7 @@ class Gauge(MetricFamily):
 
     def total(self) -> float:
         """Max across children (a gauge family's headline is its peak)."""
-        return max(
-            (child[0] for child in self._children.values()), default=0
-        )
+        return max((child[0] for child in self._children.values()), default=0)
 
     def _child_value(self, child: List[float]) -> float:
         return child[0]
@@ -352,9 +372,7 @@ class MetricsRegistry:
         """Get or create a :class:`Counter` family."""
         return self._register(Counter, name, help, labelnames)
 
-    def gauge(
-        self, name: str, help: str = "", labelnames: Sequence[str] = ()
-    ) -> Gauge:
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
         """Get or create a :class:`Gauge` family."""
         return self._register(Gauge, name, help, labelnames)
 
@@ -368,9 +386,7 @@ class MetricsRegistry:
     ) -> Histogram:
         """Get or create a :class:`Histogram` family (buckets fixed at
         first registration)."""
-        return self._register(
-            Histogram, name, help, labelnames, buckets=buckets
-        )
+        return self._register(Histogram, name, help, labelnames, buckets=buckets)
 
     # ------------------------------------------------------------------
     def families(self) -> List[MetricFamily]:
@@ -402,9 +418,7 @@ class MetricsRegistry:
         out: Dict[str, Dict[str, Any]] = {}
         for family in self.families():
             samples = {
-                ",".join(
-                    f"{n}={v}" for n, v in zip(family.labelnames, key)
-                ): value
+                ",".join(f"{n}={v}" for n, v in zip(family.labelnames, key)): value
                 for key, value in family.samples()
             }
             out[family.name] = {**family.describe(), "samples": samples}
@@ -418,20 +432,36 @@ class MetricsRegistry:
             if isinstance(family, Counter)
         }
 
-    def summary(self) -> Dict[str, float]:
-        """Flat deterministic totals: counters summed, gauges peaked.
+    def summary(self) -> Dict[str, Any]:
+        """Deterministic totals: counters summed, gauges peaked, and
+        per-child histogram ``{count, sum}`` mappings.
 
-        Histograms are excluded — their sums may be wall-derived (span
-        latencies), and this summary is what campaign records persist
-        and byte-identity tests compare.
+        This summary is what campaign records persist and byte-identity
+        tests compare, so only protocol-determined values may appear.
+        Histogram *counts* are always deterministic (one per
+        observation); sums are too, except for wall-clock histograms —
+        by convention every wall-derived family's name ends in
+        ``_seconds`` (Prometheus unit suffix), and those children carry
+        ``count`` only.
         """
-        out: Dict[str, float] = {}
+        out: Dict[str, Any] = {}
         for family in self.families():
             if isinstance(family, (Counter, Gauge)):
                 total = family.total()
-                out[family.name] = (
-                    int(total) if float(total).is_integer() else total
-                )
+                out[family.name] = int(total) if float(total).is_integer() else total
+            elif isinstance(family, Histogram):
+                wall = family.name.endswith("_seconds")
+                children: Dict[str, Dict[str, Any]] = {}
+                for key, value in family.samples():
+                    label = ",".join(f"{n}={v}" for n, v in zip(family.labelnames, key))
+                    entry: Dict[str, Any] = {"count": value["count"]}
+                    if not wall:
+                        total = value["sum"]
+                        entry["sum"] = (
+                            int(total) if float(total).is_integer() else total
+                        )
+                    children[label] = entry
+                out[family.name] = children
         return out
 
     def clear(self) -> None:

@@ -46,7 +46,7 @@ from .metrics import (
     MetricsRegistry,
     DEFAULT_SIZE_BUCKETS,
 )
-from .tracing import NULL_SPAN, NullSpan, Span
+from .tracing import NULL_SPAN, NullSpan, Span, TraceIdSource, current_trace
 
 __all__ = [
     "NULL_TELEMETRY",
@@ -68,6 +68,10 @@ class Telemetry:
     sink:
         Event sink for spans/marks/snapshots; discarded by default
         (metrics-only telemetry is the common campaign configuration).
+    trace_seed:
+        Seed of the :class:`~repro.obs.tracing.TraceIdSource` handing
+        out trace/span ids — deterministic, so fixed-seed runs emit
+        replayable id sequences.
     """
 
     enabled = True
@@ -76,9 +80,12 @@ class Telemetry:
         self,
         registry: Optional[MetricsRegistry] = None,
         sink: Optional[Any] = None,
+        *,
+        trace_seed: int = 0,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.sink = sink if sink is not None else NullSink()
+        self.ids = TraceIdSource(trace_seed)
         self._span_stack: list = []
 
     @classmethod
@@ -95,9 +102,7 @@ class Telemetry:
         """Get or create a counter family in this telemetry's registry."""
         return self.registry.counter(name, help, labelnames)
 
-    def gauge(
-        self, name: str, help: str = "", labelnames: Sequence[str] = ()
-    ) -> Gauge:
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
         """Get or create a gauge family."""
         return self.registry.gauge(name, help, labelnames)
 
@@ -120,8 +125,22 @@ class Telemetry:
         return Span(self, name, attrs)
 
     def mark(self, name: str, **fields: Any) -> None:
-        """Emit one explicit ``mark`` event to the sink."""
+        """Emit one explicit ``mark`` event to the sink.
+
+        Marks inherit the trace context of the innermost open span (or
+        the ambient :func:`~repro.obs.tracing.activate_trace` context),
+        recorded as ``trace_id``/``parent_id``, so explicit events join
+        the same causal tree as spans.
+        """
         event: Dict[str, Any] = {"type": "mark", "name": name}
+        if self._span_stack:
+            _, trace_id, span_id = self._span_stack[-1]
+            event["trace_id"], event["parent_id"] = trace_id, span_id
+        else:
+            context = current_trace()
+            if context is not None:
+                event["trace_id"] = context.trace_id
+                event["parent_id"] = context.span_id
         if fields:
             event["fields"] = fields
         self.sink.emit(event)
@@ -129,11 +148,14 @@ class Telemetry:
     # ------------------------------------------------------------------
     # Snapshots and lifecycle
     # ------------------------------------------------------------------
-    def summary(self) -> Dict[str, float]:
-        """Flat deterministic totals (counters summed, gauges peaked).
+    def summary(self) -> Dict[str, Any]:
+        """Deterministic totals (counters summed, gauges peaked,
+        histogram ``{count, sum}`` per child).
 
         This is the view campaign records persist: protocol-determined
-        integers only, independent of wall clock and worker count.
+        values only, independent of wall clock and worker count (see
+        :meth:`~repro.obs.metrics.MetricsRegistry.summary` for the
+        wall-derived-histogram carve-out).
         """
         return self.registry.summary()
 
@@ -141,9 +163,7 @@ class Telemetry:
         """The registry in Prometheus text-exposition format."""
         return render_registry(self.registry)
 
-    def finalize(
-        self, textfile: Optional[Union[str, Path]] = None
-    ) -> Dict[str, float]:
+    def finalize(self, textfile: Optional[Union[str, Path]] = None) -> Dict[str, Any]:
         """End-of-process bookkeeping; returns the final summary.
 
         Emits a ``snapshot`` event (full metric snapshot + flat summary)
@@ -178,6 +198,7 @@ class NullTelemetry:
     def __init__(self) -> None:
         self.registry = None
         self.sink = NullSink()
+        self.ids = None
         self._span_stack: list = []
 
     def counter(self, *args: Any, **kwargs: Any) -> "_NullMetric":
@@ -202,9 +223,7 @@ class NullTelemetry:
         """Always empty."""
         return ""
 
-    def finalize(
-        self, textfile: Optional[Union[str, Path]] = None
-    ) -> Dict[str, float]:
+    def finalize(self, textfile: Optional[Union[str, Path]] = None) -> Dict[str, float]:
         """No-op; returns the empty summary."""
         return {}
 

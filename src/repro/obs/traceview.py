@@ -1,0 +1,196 @@
+"""Reconstruct, check and render span trees from JSONL event logs.
+
+The service server emits one ``request`` wide event per HTTP request
+and every span/mark event carries ``trace_id``/``span_id``/``parent_id``
+(:mod:`repro.obs.tracing`), so an event log is a forest of causal
+trees: request → session span → monitor span → engine spans.  This
+module is the analysis half of that contract, behind
+``repro obs trace``:
+
+* :func:`group_traces` — bucket events by ``trace_id``;
+* :func:`check_traces` — assert the parent/child invariants (unique
+  span ids, resolvable parents, one wide event per trace) and return
+  every violation found;
+* :func:`slowest_requests` — the wide events ranked by duration;
+* :func:`render_trace` / :func:`render_slowest` — ASCII span trees.
+
+Everything operates on plain event dicts (the output of
+:func:`repro.obs.events.read_events`), so the same functions check the
+CI service-smoke artifacts and in-memory test sinks alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import ReproError
+
+__all__ = [
+    "TraceCheckError",
+    "check_traces",
+    "group_traces",
+    "render_slowest",
+    "render_trace",
+    "slowest_requests",
+]
+
+#: Event types that occupy a node in the causal tree.
+_NODE_TYPES = ("request", "span")
+
+
+class TraceCheckError(ReproError):
+    """One or more trace invariants failed (``repro obs trace --check``)."""
+
+
+def _traced(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The subset of ``events`` that carries a trace id."""
+    return [e for e in events if e.get("trace_id")]
+
+
+def group_traces(
+    events: List[Dict[str, Any]],
+) -> Dict[str, List[Dict[str, Any]]]:
+    """Bucket traced events by ``trace_id`` (insertion-ordered)."""
+    out: Dict[str, List[Dict[str, Any]]] = {}
+    for event in _traced(events):
+        out.setdefault(str(event["trace_id"]), []).append(event)
+    return out
+
+
+def check_traces(events: List[Dict[str, Any]]) -> List[str]:
+    """Validate the causal invariants; returns the list of violations.
+
+    Checked per trace:
+
+    * span ids are globally unique across requests and spans;
+    * every non-``None`` ``parent_id`` of a span or mark resolves to a
+      request or span **in the same trace**;
+    * a trace contains at most one ``request`` wide event, and when it
+      has one, every span of the trace reaches it by following
+      ``parent_id`` links (the acceptance invariant: a request's wide
+      event is the root of everything it caused).
+
+    An empty return value means the log is causally consistent.
+    """
+    problems: List[str] = []
+    seen_span_ids: Dict[str, str] = {}
+    for event in _traced(events):
+        if event.get("type") in _NODE_TYPES:
+            span_id = str(event.get("span_id"))
+            if span_id in seen_span_ids:
+                problems.append(
+                    f"duplicate span_id {span_id} (traces "
+                    f"{seen_span_ids[span_id]} and {event['trace_id']})"
+                )
+            else:
+                seen_span_ids[span_id] = str(event["trace_id"])
+    for trace_id, group in group_traces(events).items():
+        nodes = {str(e["span_id"]): e for e in group if e.get("type") in _NODE_TYPES}
+        requests = [e for e in group if e.get("type") == "request"]
+        if len(requests) > 1:
+            problems.append(
+                f"trace {trace_id}: {len(requests)} wide events (want <= 1)"
+            )
+        root_id = str(requests[0]["span_id"]) if requests else None
+        for event in group:
+            parent_id = event.get("parent_id")
+            if parent_id is None:
+                continue
+            if str(parent_id) not in nodes:
+                kind = event.get("type")
+                # A request's parent is the *client's* span, which lives
+                # in the client run table, not this log.
+                if kind != "request":
+                    problems.append(
+                        f"trace {trace_id}: {kind} "
+                        f"{event.get('name', event.get('endpoint'))!r} has "
+                        f"unresolvable parent_id {parent_id}"
+                    )
+        if root_id is not None:
+            child_map: Dict[str, List[str]] = {}
+            for span_id, node in nodes.items():
+                parent_id = node.get("parent_id")
+                if parent_id is not None:
+                    child_map.setdefault(str(parent_id), []).append(span_id)
+            reachable = {root_id}
+            frontier = [root_id]
+            while frontier:
+                for child in child_map.get(frontier.pop(), []):
+                    if child not in reachable:
+                        reachable.add(child)
+                        frontier.append(child)
+            for event in group:
+                if event.get("type") != "span":
+                    continue
+                if str(event["span_id"]) not in reachable:
+                    problems.append(
+                        f"trace {trace_id}: span {event.get('name')!r} does "
+                        f"not chain to the request wide event"
+                    )
+    return problems
+
+
+def slowest_requests(
+    events: List[Dict[str, Any]], limit: int = 5
+) -> List[Dict[str, Any]]:
+    """The ``request`` wide events, slowest first, capped at ``limit``."""
+    requests = [e for e in _traced(events) if e.get("type") == "request"]
+    requests.sort(key=lambda e: -float(e.get("elapsed_ms", 0.0)))
+    return requests[: max(0, limit)]
+
+
+def _node_label(event: Dict[str, Any]) -> str:
+    """One tree line for a request, span or mark event."""
+    kind = event.get("type")
+    if kind == "request":
+        extra = ""
+        if event.get("session"):
+            extra = f" session={event['session']}"
+        if event.get("actions"):
+            acts = ",".join(
+                f"{name}:{count}"
+                for name, count in sorted(event["actions"].items())
+            )
+            extra += f" actions={acts}"
+        return (
+            f"{event.get('method')} {event.get('path')} -> "
+            f"{event.get('status')} ({event.get('endpoint')}) "
+            f"[{event.get('elapsed_ms', 0.0)}ms]{extra}"
+        )
+    if kind == "mark":
+        return f"mark {event.get('name')}"
+    return f"{event.get('name')} [{event.get('elapsed_ms', 0.0)}ms]"
+
+
+def render_trace(events: List[Dict[str, Any]], trace_id: str) -> str:
+    """Render one trace as an indented ASCII tree (roots first)."""
+    group = group_traces(events).get(str(trace_id), [])
+    if not group:
+        return f"trace {trace_id}: no events"
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    node_ids = {str(e["span_id"]) for e in group if e.get("type") in _NODE_TYPES}
+    for event in group:
+        parent = event.get("parent_id")
+        key = str(parent) if parent is not None and str(parent) in node_ids else None
+        children.setdefault(key, []).append(event)
+    lines = [f"trace {trace_id}"]
+
+    def walk(parent_key: Optional[str], depth: int) -> None:
+        for event in children.get(parent_key, []):
+            lines.append("  " * (depth + 1) + "- " + _node_label(event))
+            if event.get("type") in _NODE_TYPES:
+                walk(str(event["span_id"]), depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+def render_slowest(events: List[Dict[str, Any]], limit: int = 5) -> str:
+    """Render the ``limit`` slowest requests as full span trees."""
+    requests = slowest_requests(events, limit)
+    if not requests:
+        traces = group_traces(events)
+        if not traces:
+            return "no traced events"
+        return "\n\n".join(render_trace(events, trace_id) for trace_id in traces)
+    return "\n\n".join(render_trace(events, str(e["trace_id"])) for e in requests)

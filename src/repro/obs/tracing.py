@@ -1,11 +1,11 @@
-"""Span-style tracing: nestable timed phases with counter deltas.
+"""Span-style tracing: nestable timed phases with causal trace context.
 
 A span brackets one phase of work::
 
     with telemetry.span("tester.run", k=5, engine="fast"):
         ...
 
-On exit it knows three things and emits them as one ``span`` event to
+On exit it knows four things and emits them as one ``span`` event to
 the telemetry's sink:
 
 * **wall clock** — elapsed milliseconds (``time.perf_counter``);
@@ -14,7 +14,20 @@ the telemetry's sink:
   event like ``tester.run`` carries "this run cost 18 rounds and 412
   messages" without the protocol code saying so twice;
 * **nesting** — spans stack per telemetry object; each event records
-  its depth and parent span name.
+  its depth and parent span name;
+* **trace context** — W3C-style ``trace_id`` / ``span_id`` /
+  ``parent_id`` hex identifiers, so a span tree can be reconstructed
+  across process boundaries (``repro obs trace``).
+
+Trace identifiers come from a :class:`TraceIdSource` — a *seeded*
+generator, never the protocol RNG — so traces are replayable and
+tracing cannot perturb verdicts.  A root span (no enclosing span)
+either joins the ambient :class:`TraceContext` installed by
+:func:`activate_trace` (the service server installs one per request)
+or starts a fresh trace of its own.
+
+The ambient context lives in a :class:`contextvars.ContextVar`, so
+concurrently handled asyncio requests each see their own trace.
 
 Span durations are additionally folded into the
 ``repro_span_seconds`` histogram (labeled by span name), which is where
@@ -27,15 +40,139 @@ verdicts (the bit-identity guarantee of :mod:`repro.obs.telemetry`).
 
 from __future__ import annotations
 
+import contextlib
+import random
+import re
 import time
-from typing import Any, Dict, Optional
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, Optional
 
 from .metrics import DEFAULT_LATENCY_BUCKETS
 
-__all__ = ["NULL_SPAN", "NullSpan", "Span"]
+__all__ = [
+    "NULL_SPAN",
+    "NullSpan",
+    "Span",
+    "TraceContext",
+    "TraceIdSource",
+    "activate_trace",
+    "current_trace",
+    "format_traceparent",
+    "parse_traceparent",
+]
 
 #: Histogram family recording span durations (seconds, by span name).
 SPAN_SECONDS = "repro_span_seconds"
+
+#: Strict W3C ``traceparent`` shape: version, trace-id, parent-id, flags.
+_TRACEPARENT_RE = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+_ZERO_TRACE_ID = "0" * 32
+_ZERO_SPAN_ID = "0" * 16
+
+
+class TraceIdSource:
+    """Deterministic W3C trace/span id generator.
+
+    Ids are drawn from a private ``random.Random(seed)`` — *never* the
+    protocol RNG — so a fixed-seed run emits the same ids every time
+    (replayable traces) while verdicts stay bit-identical with tracing
+    on or off.
+    """
+
+    __slots__ = ("_rand",)
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rand = random.Random(seed)
+
+    def trace_id(self) -> str:
+        """A fresh 32-hex-digit (128-bit) non-zero trace id."""
+        while True:
+            out = f"{self._rand.getrandbits(128):032x}"
+            if out != _ZERO_TRACE_ID:
+                return out
+
+    def span_id(self) -> str:
+        """A fresh 16-hex-digit (64-bit) non-zero span id."""
+        while True:
+            out = f"{self._rand.getrandbits(64):016x}"
+            if out != _ZERO_SPAN_ID:
+                return out
+
+
+class TraceContext:
+    """One ambient trace position: the trace and the current parent span.
+
+    ``span_id`` names the span that any *new* root span should attach
+    to — for the service server this is the per-request wide-event id.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def traceparent(self) -> str:
+        """This context rendered as a W3C ``traceparent`` header value."""
+        return format_traceparent(self.trace_id, self.span_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"TraceContext({self.trace_id!r}, {self.span_id!r})"
+
+
+#: The ambient trace context; asyncio-task-local via contextvars.
+_ACTIVE_TRACE: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The ambient :class:`TraceContext` of this task (or ``None``)."""
+    return _ACTIVE_TRACE.get()
+
+
+@contextlib.contextmanager
+def activate_trace(context: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Install ``context`` as the ambient trace for the enclosed block.
+
+    Root spans opened inside the block join ``context``'s trace with
+    ``context.span_id`` as their parent.  ``None`` deactivates tracing
+    for the block (new root spans then start fresh traces).
+    """
+    token = _ACTIVE_TRACE.set(context)
+    try:
+        yield context
+    finally:
+        _ACTIVE_TRACE.reset(token)
+
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """Render ids as a version-00, sampled W3C ``traceparent`` value."""
+    return f"00-{trace_id}-{span_id}-01"
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """Parse a W3C ``traceparent`` header into a :class:`TraceContext`.
+
+    Returns ``None`` for anything invalid — missing, malformed,
+    non-lowercase hex, the forbidden ``ff`` version, or all-zero ids —
+    which per the W3C spec means the receiver must *restart* the trace
+    with fresh ids rather than fail the request.  Never raises.
+    """
+    if not isinstance(header, str):
+        return None
+    match = _TRACEPARENT_RE.match(header.strip())
+    if match is None:
+        return None
+    version, trace_id, span_id, _flags = match.groups()
+    if version == "ff":
+        return None
+    if trace_id == _ZERO_TRACE_ID or span_id == _ZERO_SPAN_ID:
+        return None
+    return TraceContext(trace_id, span_id)
 
 
 class NullSpan:
@@ -56,22 +193,53 @@ NULL_SPAN = NullSpan()
 
 class Span:
     """One live span; created by :meth:`Telemetry.span`, used as a
-    context manager."""
+    context manager.
 
-    __slots__ = ("_telemetry", "name", "attrs", "_t0", "_counters0")
+    After ``__enter__`` the span knows its :attr:`trace_id`,
+    :attr:`span_id` and :attr:`parent_id`: a nested span inherits the
+    trace of (and is parented to) the enclosing span; a root span joins
+    the ambient :func:`activate_trace` context if one is installed,
+    otherwise it starts a fresh trace.
+    """
 
-    def __init__(
-        self, telemetry, name: str, attrs: Dict[str, Any]
-    ) -> None:
+    __slots__ = (
+        "_telemetry",
+        "name",
+        "attrs",
+        "_t0",
+        "_counters0",
+        "trace_id",
+        "span_id",
+        "parent_id",
+    )
+
+    def __init__(self, telemetry, name: str, attrs: Dict[str, Any]) -> None:
         self._telemetry = telemetry
         self.name = name
         self.attrs = attrs
         self._t0 = 0.0
         self._counters0: Dict[str, float] = {}
+        self.trace_id: str = ""
+        self.span_id: str = ""
+        self.parent_id: Optional[str] = None
 
     def __enter__(self) -> "Span":
-        self._counters0 = self._telemetry.registry.counter_totals()
-        self._telemetry._span_stack.append(self.name)
+        telemetry = self._telemetry
+        self._counters0 = telemetry.registry.counter_totals()
+        stack = telemetry._span_stack
+        if stack:
+            _, parent_trace, parent_span = stack[-1]
+            self.trace_id, self.parent_id = parent_trace, parent_span
+        else:
+            context = _ACTIVE_TRACE.get()
+            if context is not None:
+                self.trace_id = context.trace_id
+                self.parent_id = context.span_id
+            else:
+                self.trace_id = telemetry.ids.trace_id()
+                self.parent_id = None
+        self.span_id = telemetry.ids.span_id()
+        stack.append((self.name, self.trace_id, self.span_id))
         self._t0 = time.perf_counter()
         return self
 
@@ -96,9 +264,12 @@ class Span:
             "name": self.name,
             "elapsed_ms": round(elapsed * 1e3, 3),
             "depth": len(stack),
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
         }
         if stack:
-            event["parent"] = stack[-1]
+            event["parent"] = stack[-1][0]
         if self.attrs:
             event["attrs"] = self.attrs
         if deltas:
@@ -112,4 +283,4 @@ class Span:
 def current_span(telemetry) -> Optional[str]:
     """Name of the innermost open span of ``telemetry`` (or ``None``)."""
     stack = getattr(telemetry, "_span_stack", None)
-    return stack[-1] if stack else None
+    return stack[-1][0] if stack else None

@@ -71,15 +71,17 @@ def _mean_of(values: List[float]):
 def _telemetry_means(ok: List[Dict[str, Any]]) -> Dict[str, Any]:
     """Per-group means of the per-run telemetry summaries.
 
-    Newer records carry ``record["telemetry"]`` (flat counter totals from
-    the run's private :class:`~repro.obs.Telemetry`); older stores lack
-    it, so every figure degrades to ``None`` rather than erroring.
-    Cache-hit rate falls back to the monitor outcome's own counters for
-    pre-telemetry records.
+    Newer records carry ``record["telemetry"]`` (counter totals plus
+    nested histogram ``{count, sum}`` children from the run's private
+    :class:`~repro.obs.Telemetry`); older stores lack it, so every
+    figure degrades to ``None`` rather than erroring.  Cache-hit rate
+    falls back to the monitor outcome's own counters for pre-telemetry
+    records.
     """
     rounds: List[float] = []
     messages: List[float] = []
     hit_rates: List[float] = []
+    ball_sizes: List[float] = []
     for rec in ok:
         tel = rec.get("telemetry") or {}
         if "repro_congest_rounds_total" in tel:
@@ -93,10 +95,25 @@ def _telemetry_means(ok: List[Dict[str, Any]]) -> Dict[str, Any]:
                 hit_rates.append(hits / steps)
         elif "cache_hit_rate" in (rec.get("outcome") or {}):
             hit_rates.append(rec["outcome"]["cache_hit_rate"])
+        ball = tel.get("repro_monitor_ball_size")
+        if isinstance(ball, dict):
+            count = sum(
+                child.get("count", 0)
+                for child in ball.values()
+                if isinstance(child, dict)
+            )
+            total = sum(
+                child.get("sum", 0)
+                for child in ball.values()
+                if isinstance(child, dict)
+            )
+            if count:
+                ball_sizes.append(total / count)
     return {
         "mean_rounds": _mean_of(rounds),
         "mean_messages": _mean_of(messages),
         "cache_hit_rate": _mean_of(hit_rates),
+        "mean_ball_size": _mean_of(ball_sizes),
     }
 
 
@@ -114,6 +131,7 @@ def aggregate_records(
         [
             *group_by, "runs", "errors", "positive rate", "95% CI",
             "mean seqs/msg", "mean rounds", "mean msgs", "hit rate",
+            "mean ball",
         ],
         title="campaign summary",
     )
@@ -138,6 +156,7 @@ def aggregate_records(
             "-" if tel["mean_rounds"] is None else tel["mean_rounds"],
             "-" if tel["mean_messages"] is None else tel["mean_messages"],
             "-" if tel["cache_hit_rate"] is None else tel["cache_hit_rate"],
+            "-" if tel["mean_ball_size"] is None else tel["mean_ball_size"],
         )
         summary.rows.append(
             {

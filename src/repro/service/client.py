@@ -10,6 +10,13 @@ want the happy path.
 per request — simple and reconnection-proof, throughput is not its job.
 :class:`AsyncServiceClient` holds one keep-alive connection and is what
 the load generator runs thousands of requests through.
+
+Both clients optionally *propagate trace context*: constructed with a
+:class:`~repro.obs.tracing.TraceIdSource` they send a fresh W3C
+``traceparent`` header on every attempt (a retry gets fresh ids, so a
+double-sent request never shares a span id) and record the server's
+echoed header as :attr:`last_traceparent` / :attr:`last_trace_id` — the
+authoritative ids for joining client rows to server wide events.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ import json
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import ReproError
+from ..obs.tracing import TraceIdSource, format_traceparent, parse_traceparent
 
 __all__ = ["AsyncServiceClient", "ServiceClient", "ServiceClientError"]
 
@@ -52,12 +60,28 @@ def _decode(content_type: str, body: bytes) -> Any:
 
 
 class ServiceClient:
-    """Blocking client; one connection per request."""
+    """Blocking client; one connection per request.
 
-    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+    Passing ``ids`` (a :class:`~repro.obs.tracing.TraceIdSource`) makes
+    every request carry a fresh ``traceparent`` header; the server's
+    echoed header lands in :attr:`last_traceparent` /
+    :attr:`last_trace_id` after each round trip.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        ids: Optional[TraceIdSource] = None,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.ids = ids
+        self.last_traceparent: Optional[str] = None
+        self.last_trace_id: Optional[str] = None
 
     # ------------------------------------------------------------------
     def request(
@@ -67,20 +91,32 @@ class ServiceClient:
         *,
         body: Optional[bytes] = None,
         content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Any]:
-        """One raw round trip; returns ``(status, decoded payload)``."""
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
+        """One raw round trip; returns ``(status, decoded payload)``.
+
+        ``headers`` are extra request headers; an explicit
+        ``Traceparent`` there wins over the auto-generated one (which
+        is how the fuzz tests push malformed values through the real
+        HTTP boundary).
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
-            headers = {"Connection": "close"}
+            send_headers = {"Connection": "close"}
             if body is not None:
-                headers["Content-Type"] = content_type
-            conn.request(method, path, body=body, headers=headers)
+                send_headers["Content-Type"] = content_type
+            if self.ids is not None:
+                send_headers["Traceparent"] = format_traceparent(
+                    self.ids.trace_id(), self.ids.span_id()
+                )
+            if headers:
+                send_headers.update(headers)
+            conn.request(method, path, body=body, headers=send_headers)
             response = conn.getresponse()
-            payload = _decode(
-                response.getheader("Content-Type", ""), response.read()
-            )
+            payload = _decode(response.getheader("Content-Type", ""), response.read())
+            self.last_traceparent = response.getheader("Traceparent")
+            echoed = parse_traceparent(self.last_traceparent)
+            self.last_trace_id = echoed.trace_id if echoed else None
             return response.status, payload
         finally:
             conn.close()
@@ -96,7 +132,8 @@ class ServiceClient:
     def create_session(self, **spec: Any) -> Dict[str, Any]:
         """``POST /v1/sessions`` (kwargs become the JSON spec)."""
         return self._ok(*self.request(
-            "POST", "/v1/sessions",
+            "POST",
+            "/v1/sessions",
             body=json.dumps(spec).encode("utf-8"),
         ))
 
@@ -115,8 +152,10 @@ class ServiceClient:
     def mutate(self, name: str, stream_text: str) -> Dict[str, Any]:
         """``POST /v1/sessions/{name}/mutations`` (edge-stream body)."""
         return self._ok(*self.request(
-            "POST", f"/v1/sessions/{name}/mutations",
-            body=stream_text.encode("utf-8"), content_type="text/plain",
+            "POST",
+            f"/v1/sessions/{name}/mutations",
+            body=stream_text.encode("utf-8"),
+            content_type="text/plain",
         ))
 
     def verdict(self, name: str) -> Dict[str, Any]:
@@ -137,21 +176,34 @@ class ServiceClient:
 
 
 class AsyncServiceClient:
-    """Keep-alive asyncio client (the load generator's workhorse)."""
+    """Keep-alive asyncio client (the load generator's workhorse).
 
-    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+    Like :class:`ServiceClient`, passing ``ids`` turns on traceparent
+    propagation; ids are drawn per *attempt* inside the round trip, so
+    the transparent reconnect-and-retry path never reuses a span id.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        ids: Optional[TraceIdSource] = None,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.ids = ids
+        self.last_traceparent: Optional[str] = None
+        self.last_trace_id: Optional[str] = None
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
     async def connect(self) -> None:
         """Open (or reopen) the keep-alive connection."""
         await self.close()
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
-        )
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
 
     async def close(self) -> None:
         """Close the connection if open."""
@@ -207,11 +259,16 @@ class AsyncServiceClient:
     ) -> Tuple[int, Any]:
         assert self._reader is not None and self._writer is not None
         payload = body or b""
+        trace_line = ""
+        if self.ids is not None:
+            traceparent = format_traceparent(self.ids.trace_id(), self.ids.span_id())
+            trace_line = f"Traceparent: {traceparent}\r\n"
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{trace_line}"
             f"\r\n"
         )
         self._writer.write(head.encode("latin-1") + payload)
@@ -229,6 +286,9 @@ class AsyncServiceClient:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0"))
         data = await self._reader.readexactly(length) if length else b""
+        self.last_traceparent = headers.get("traceparent")
+        echoed = parse_traceparent(self.last_traceparent)
+        self.last_trace_id = echoed.trace_id if echoed else None
         if headers.get("connection", "").lower() == "close":
             await self.close()
         return status, _decode(headers.get("content-type", ""), data)
@@ -242,28 +302,27 @@ class AsyncServiceClient:
     async def create_session(self, **spec: Any) -> Dict[str, Any]:
         """``POST /v1/sessions`` (kwargs become the JSON spec)."""
         return self._ok(*await self.request(
-            "POST", "/v1/sessions",
+            "POST",
+            "/v1/sessions",
             body=json.dumps(spec).encode("utf-8"),
         ))
 
     async def mutate(self, name: str, stream_text: str) -> Dict[str, Any]:
         """``POST /v1/sessions/{name}/mutations`` (edge-stream body)."""
         return self._ok(*await self.request(
-            "POST", f"/v1/sessions/{name}/mutations",
-            body=stream_text.encode("utf-8"), content_type="text/plain",
+            "POST",
+            f"/v1/sessions/{name}/mutations",
+            body=stream_text.encode("utf-8"),
+            content_type="text/plain",
         ))
 
     async def verdict(self, name: str) -> Dict[str, Any]:
         """``GET /v1/sessions/{name}/verdict``."""
-        return self._ok(
-            *await self.request("GET", f"/v1/sessions/{name}/verdict")
-        )
+        return self._ok(*await self.request("GET", f"/v1/sessions/{name}/verdict"))
 
     async def snapshot(self, name: str) -> Dict[str, Any]:
         """``GET /v1/sessions/{name}/snapshot``."""
-        return self._ok(
-            *await self.request("GET", f"/v1/sessions/{name}/snapshot")
-        )
+        return self._ok(*await self.request("GET", f"/v1/sessions/{name}/snapshot"))
 
     async def delete(self, name: str) -> Dict[str, Any]:
         """``DELETE /v1/sessions/{name}``."""

@@ -84,9 +84,7 @@ class ServerHarness:
         loop, thread = self._loop, self._thread
         if loop is None or thread is None:
             return
-        future = asyncio.run_coroutine_threadsafe(
-            self.server.stop(drain=drain), loop
-        )
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(drain=drain), loop)
         try:
             future.result(timeout=self.config.drain_timeout + 5.0)
         finally:

@@ -24,6 +24,13 @@ assert in-body.
 Throughput is measured over the *request-driving phase only* (session
 create through delete); offline parity replays are excluded from the
 timed window.
+
+With ``trace=True`` each client draws deterministic ``traceparent`` ids
+(seed chain ``derive_seed(seed, "trace", index)``) and records the
+server-echoed trace id per request; in harness mode the run then *joins*
+client rows to server wide events — every recorded trace id must match
+exactly one ``request`` event — and folds the result into the row's
+``trace_join_ok`` flag and the summary's ``parity_ok``.
 """
 
 from __future__ import annotations
@@ -37,6 +44,8 @@ from typing import Any, Dict, List, Optional, Union
 
 from ..dynamic import CkMonitor, build_stream
 from ..graphs import io as graph_io
+from ..obs import ListSink, Telemetry
+from ..obs.tracing import TraceIdSource
 from ..runner import registry
 from ..runner.runtable import derive_seed
 from .client import AsyncServiceClient
@@ -60,6 +69,7 @@ class LoadgenConfig:
     seed: int = 0  #: master seed (per-client seeds derive from it)
     batch: int = 1  #: mutations per request
     verify_parity: bool = True  #: offline CkMonitor parity check per client
+    trace: bool = False  #: traceparent propagation + wide-event join check
 
     def client_seed(self, index: int) -> int:
         """The derived seed for client ``index`` (graph + stream + session)."""
@@ -74,8 +84,7 @@ def _quantile(sorted_values: List[float], q: float) -> float:
     """Exact nearest-rank quantile of a pre-sorted sample (0.0 if empty)."""
     if not sorted_values:
         return 0.0
-    rank = max(0, min(len(sorted_values) - 1,
-                      int(q * len(sorted_values) + 0.5) - 1))
+    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values) + 0.5) - 1))
     return sorted_values[rank]
 
 
@@ -101,7 +110,11 @@ async def _drive_client(
     stream = build_stream(config.stream, base, seed=seed, k=config.k)
     name = f"lg-{index:04d}"
     latencies: List[float] = []
+    trace_ids: List[str] = []
     errors = 0
+    ids: Optional[TraceIdSource] = None
+    if config.trace:
+        ids = TraceIdSource(derive_seed(config.seed, "trace", index))
 
     async def timed(coro):
         nonlocal errors
@@ -113,10 +126,16 @@ async def _drive_client(
             raise
         finally:
             latencies.append(time.perf_counter() - t0)
+            if ids is not None and client.last_trace_id:
+                trace_ids.append(client.last_trace_id)
 
-    async with AsyncServiceClient(host, port) as client:
+    client = AsyncServiceClient(host, port, ids=ids)
+    async with client:
         created = await timed(client.create_session(
-            name=name, k=config.k, engine=config.engine, seed=seed,
+            name=name,
+            k=config.k,
+            engine=config.engine,
+            seed=seed,
             base=graph_io.dumps(stream.base),
         ))
         mutations = list(stream.mutations)
@@ -143,6 +162,8 @@ async def _drive_client(
         "final_hash": snapshot["content_hash"],
         "latency": _latency_summary(latencies),
     }
+    if config.trace:
+        row["trace_ids"] = trace_ids
     row["_latencies"] = latencies
     return row
 
@@ -159,9 +180,7 @@ def _check_parity(config: LoadgenConfig, row: Dict[str, Any]) -> bool:
     seed = row["seed"]
     base = registry.build_graph(config.family, seed=seed, **config.params)
     stream = build_stream(config.stream, base, seed=seed, k=config.k)
-    monitor = CkMonitor(
-        stream.base, config.k, engine=config.engine, seed=seed
-    )
+    monitor = CkMonitor(stream.base, config.k, engine=config.engine, seed=seed)
     monitor.run_stream(stream.mutations)
     return (
         monitor.accepted == row["final_accepted"]
@@ -170,9 +189,7 @@ def _check_parity(config: LoadgenConfig, row: Dict[str, Any]) -> bool:
     )
 
 
-async def _drive_all(
-    config: LoadgenConfig, host: str, port: int
-) -> Dict[str, Any]:
+async def _drive_all(config: LoadgenConfig, host: str, port: int) -> Dict[str, Any]:
     started = time.perf_counter()
     rows = await asyncio.gather(*[
         _drive_client(config, host, port, index)
@@ -198,11 +215,22 @@ def run_loadgen(
     the JSONL results file (client rows then the summary row);
     ``metrics_out`` scrapes ``/metrics`` after the run and writes the
     Prometheus textfile (validated later by ``repro obs report``).
+
+    With ``config.trace`` in harness mode the harness telemetry gets an
+    in-memory event sink and the run ends with the client-row ↔ server
+    wide-event join check (see the module docstring); against a remote
+    server the join is skipped — run ``repro obs trace --check`` on the
+    daemon's own event log instead.
     """
     harness: Optional[ServerHarness] = None
+    trace_sink: Optional[ListSink] = None
     if host is None:
+        telemetry = None
+        if config.trace:
+            trace_sink = ListSink()
+            telemetry = Telemetry(sink=trace_sink)
         harness = ServerHarness(
-            max_sessions=max(config.clients, 2)
+            telemetry=telemetry, max_sessions=max(config.clients, 2)
         ).start()
         host, port = harness.host, harness.port
     elif port is None:
@@ -222,9 +250,21 @@ def run_loadgen(
     if config.verify_parity:
         for row in rows:
             row["parity_ok"] = _check_parity(config, row)
-    all_latencies = sorted(
-        lat for row in rows for lat in row.pop("_latencies")
-    )
+    if trace_sink is not None:
+        # Join check: every trace id a client recorded must match
+        # exactly one server-side request wide event.
+        wide_counts: Dict[str, int] = {}
+        for event in trace_sink.events:
+            if event.get("type") == "request":
+                tid = event.get("trace_id", "")
+                wide_counts[tid] = wide_counts.get(tid, 0) + 1
+        for row in rows:
+            recorded = row.get("trace_ids", [])
+            row["trace_join_ok"] = (
+                len(recorded) == row["requests"]
+                and all(wide_counts.get(tid) == 1 for tid in recorded)
+            )
+    all_latencies = sorted(lat for row in rows for lat in row.pop("_latencies"))
     requests = sum(row["requests"] for row in rows)
     errors = sum(row["errors"] for row in rows)
     wall = outcome["wall"]
@@ -237,11 +277,10 @@ def run_loadgen(
         "rps": round(requests / wall, 2) if wall > 0 else 0.0,
         "p50_ms": round(_quantile(all_latencies, 0.50) * 1e3, 4),
         "p99_ms": round(_quantile(all_latencies, 0.99) * 1e3, 4),
-        "max_ms": round(
-            (all_latencies[-1] if all_latencies else 0.0) * 1e3, 4
-        ),
+        "max_ms": round((all_latencies[-1] if all_latencies else 0.0) * 1e3, 4),
         "parity_ok": all(
-            row.get("parity_ok", True) for row in rows
+            row.get("parity_ok", True) and row.get("trace_join_ok", True)
+            for row in rows
         ),
     }
     if out is not None:

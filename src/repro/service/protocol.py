@@ -82,9 +82,7 @@ class ServiceError(ReproError):
     become additional envelope fields (``line``, ``applied``, ...).
     """
 
-    def __init__(
-        self, status: int, code: str, message: str, **extras: Any
-    ) -> None:
+    def __init__(self, status: int, code: str, message: str, **extras: Any) -> None:
         super().__init__(message)
         self.status = int(status)
         self.code = code
@@ -130,7 +128,5 @@ def parse_stream_batch(text: str) -> List[Tuple[int, Mutation]]:
         try:
             out.append((lineno, Mutation.from_line(line, lineno=lineno)))
         except GraphError as exc:
-            raise ServiceError(
-                400, "malformed_stream", str(exc), line=lineno
-            ) from exc
+            raise ServiceError(400, "malformed_stream", str(exc), line=lineno) from exc
     return out

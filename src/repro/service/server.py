@@ -29,6 +29,16 @@ Every response is counted in ``repro_service_requests_total`` (by
 endpoint and status) and timed into ``repro_service_request_seconds``
 (by endpoint); ``GET /metrics`` renders the registry through the
 round-trip-safe Prometheus writer of :mod:`repro.obs.exposition`.
+
+Every request is also **traced**: the server parses the client's W3C
+``traceparent`` header (malformed values restart the trace with fresh
+ids — never an error), assigns the request its own span id, installs the
+pair as the ambient :func:`~repro.obs.tracing.activate_trace` context so
+monitor/engine spans opened by the handler chain to it, emits one
+``request`` *wide event* to the telemetry sink (endpoint, status, bytes
+in/out, duration, session, actions, trace ids), and echoes the
+``traceparent`` on the response so clients can join their rows to
+server-side events (``repro obs trace``).
 """
 
 from __future__ import annotations
@@ -46,6 +56,13 @@ from ..graphs import io as graph_io
 from ..graphs.graph import Graph
 from ..obs import Telemetry
 from ..obs.metrics import DEFAULT_LATENCY_BUCKETS
+from ..obs.tracing import (
+    TraceContext,
+    TraceIdSource,
+    activate_trace,
+    format_traceparent,
+    parse_traceparent,
+)
 from .protocol import (
     DEFAULT_MAX_BODY_BYTES,
     DEFAULT_MAX_SESSIONS,
@@ -61,9 +78,15 @@ from .sessions import SessionManager
 __all__ = ["Request", "ServiceConfig", "ServiceServer"]
 
 _REASONS = {
-    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
-    500: "Internal Server Error", 503: "Service Unavailable",
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
@@ -92,9 +115,9 @@ class Request:
             ) from exc
         if not isinstance(payload, dict):
             raise ServiceError(
-                400, "bad_request",
-                f"request body must be a JSON object, got "
-                f"{type(payload).__name__}",
+                400,
+                "bad_request",
+                f"request body must be a JSON object, got " f"{type(payload).__name__}",
             )
         return payload
 
@@ -148,6 +171,8 @@ class ServiceServer:
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        ids = getattr(self.telemetry, "ids", None)
+        self._ids = ids if ids is not None else TraceIdSource()
         self.sessions = SessionManager(
             self.config.max_sessions, telemetry=self.telemetry
         )
@@ -235,29 +260,33 @@ class ServiceServer:
             except ServiceError as exc:
                 # Transport-level parse failure: answer and close.
                 await self._write_response(
-                    writer, exc.status, json_dumps(exc.envelope()),
+                    writer,
+                    exc.status,
+                    json_dumps(exc.envelope()),
                     close=True,
                 )
                 self._count_request("_transport", exc.status)
                 return
             if request is None:
                 return  # clean EOF between requests
-            status, payload, content_type = await self._dispatch(request)
+            status, payload, content_type, traceparent = await self._dispatch(request)
             close = (
                 request.headers.get("connection", "").lower() == "close"
                 or status == 413
                 or self._draining
             )
             await self._write_response(
-                writer, status, payload, content_type=content_type,
+                writer,
+                status,
+                payload,
+                content_type=content_type,
                 close=close,
+                traceparent=traceparent,
             )
             if close:
                 return
 
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Optional[Request]:
+    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[Request]:
         """Parse one request off the wire; ``None`` on clean EOF."""
         try:
             line = await reader.readline()
@@ -286,7 +315,8 @@ class ServiceServer:
             length = int(headers.get("content-length", "0"))
         except ValueError:
             raise ServiceError(
-                400, "bad_request",
+                400,
+                "bad_request",
                 f"invalid Content-Length {headers.get('content-length')!r}",
             ) from None
         if length < 0:
@@ -294,15 +324,10 @@ class ServiceServer:
         if length > self.config.max_body_bytes:
             # Refuse without buffering; the conn closes after the reply.
             split = urlsplit(target)
-            return Request(
-                method.upper(), split.path, {}, headers, b"", oversized=True
-            )
+            return Request(method.upper(), split.path, {}, headers, b"", oversized=True)
         body = await reader.readexactly(length) if length else b""
         split = urlsplit(target)
-        query = {
-            key: values[-1]
-            for key, values in parse_qs(split.query).items()
-        }
+        query = {key: values[-1] for key, values in parse_qs(split.query).items()}
         return Request(method.upper(), split.path, query, headers, body)
 
     async def _write_response(
@@ -313,13 +338,16 @@ class ServiceServer:
         *,
         content_type: str = "application/json",
         close: bool = False,
+        traceparent: Optional[str] = None,
     ) -> None:
         body = payload.encode("utf-8")
         reason = _REASONS.get(status, "Unknown")
+        trace_line = f"Traceparent: {traceparent}\r\n" if traceparent else ""
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{trace_line}"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
             f"\r\n"
         )
@@ -332,16 +360,34 @@ class ServiceServer:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    async def _dispatch(self, request: Request) -> Tuple[int, str, str]:
-        """Route one request; returns ``(status, payload, content_type)``."""
+    async def _dispatch(self, request: Request) -> Tuple[int, str, str, str]:
+        """Route one request; returns ``(status, payload, content_type,
+        traceparent)``.
+
+        The request adopts the trace of a valid incoming ``traceparent``
+        header (the client's span becomes ``parent_id``); anything
+        invalid restarts the trace with fresh deterministic ids, per the
+        W3C spec.  The handler runs under :func:`activate_trace`, so
+        every span it opens chains to this request's span id, and one
+        ``request`` wide event summarising the exchange is emitted to
+        the telemetry sink.
+        """
         started = time.perf_counter()
         endpoint = "_unmatched"
+        incoming = parse_traceparent(request.headers.get("traceparent"))
+        if incoming is not None:
+            trace_id: str = incoming.trace_id
+            parent_id: Optional[str] = incoming.span_id
+        else:
+            trace_id = self._ids.trace_id()
+            parent_id = None
+        span_id = self._ids.span_id()
         try:
             if request.oversized:
                 raise ServiceError(
-                    413, "payload_too_large",
-                    f"request body exceeds {self.config.max_body_bytes} "
-                    f"bytes",
+                    413,
+                    "payload_too_large",
+                    f"request body exceeds {self.config.max_body_bytes} " f"bytes",
                 )
             if self._draining:
                 raise ServiceError(
@@ -350,39 +396,64 @@ class ServiceServer:
             endpoint, handler = self._route(request)
             self._busy += 1
             try:
-                status, payload = await asyncio.wait_for(
-                    handler(request), timeout=self.config.request_timeout
-                )
+                with activate_trace(TraceContext(trace_id, span_id)):
+                    status, payload = await asyncio.wait_for(
+                        handler(request),
+                        timeout=self.config.request_timeout,
+                    )
             finally:
                 self._busy -= 1
         except asyncio.TimeoutError:
             status = 504
             payload = error_body(
-                504, "timeout",
-                f"request exceeded the "
-                f"{self.config.request_timeout:g}s budget",
+                504,
+                "timeout",
+                f"request exceeded the " f"{self.config.request_timeout:g}s budget",
             )
         except ServiceError as exc:
             status, payload = exc.status, exc.envelope()
         except Exception as exc:  # noqa: BLE001 - a daemon must not die
             status = 500
-            payload = error_body(
-                500, "internal", f"{type(exc).__name__}: {exc}"
-            )
+            payload = error_body(500, "internal", f"{type(exc).__name__}: {exc}")
         content_type = "application/json"
         if isinstance(payload, str):
             content_type = _PROM_CONTENT_TYPE
             text = payload
         else:
             text = json_dumps(payload)
+        elapsed = time.perf_counter() - started
         self._count_request(endpoint, status)
         self.telemetry.histogram(
             "repro_service_request_seconds",
             "Service request latency by endpoint.",
             ("endpoint",),
             buckets=DEFAULT_LATENCY_BUCKETS,
-        ).observe(time.perf_counter() - started, endpoint=endpoint)
-        return status, text, content_type
+        ).observe(elapsed, endpoint=endpoint)
+        event: Dict[str, Any] = {
+            "type": "request",
+            "endpoint": endpoint,
+            "method": request.method,
+            "path": request.path,
+            "status": status,
+            "bytes_in": len(request.body),
+            "bytes_out": len(text.encode("utf-8")),
+            "elapsed_ms": round(elapsed * 1e3, 3),
+            "trace_id": trace_id,
+            "span_id": span_id,
+            "parent_id": parent_id,
+        }
+        if isinstance(payload, dict):
+            if payload.get("name") is not None:
+                event["session"] = payload["name"]
+            if payload.get("actions") is not None:
+                event["actions"] = payload["actions"]
+        self.telemetry.sink.emit(event)
+        return (
+            status,
+            text,
+            content_type,
+            format_traceparent(trace_id, span_id),
+        )
 
     def _count_request(self, endpoint: str, status: int) -> None:
         self.telemetry.counter(
@@ -413,35 +484,41 @@ class ServiceServer:
                 if method == "DELETE":
                     return "delete", self._named(self._h_delete, name)
                 raise ServiceError(
-                    405, "method_not_allowed",
+                    405,
+                    "method_not_allowed",
                     f"{method} not allowed on {path}",
                 )
             if len(parts) == 4:
                 name, leaf = parts[2], parts[3]
                 if leaf == "mutations":
                     return self._only(
-                        method, "POST", "mutate",
+                        method,
+                        "POST",
+                        "mutate",
                         self._named(self._h_mutate, name),
                     )
                 if leaf == "verdict":
                     return self._only(
-                        method, "GET", "verdict",
+                        method,
+                        "GET",
+                        "verdict",
                         self._named(self._h_verdict, name),
                     )
                 if leaf == "snapshot":
                     return self._only(
-                        method, "GET", "snapshot",
+                        method,
+                        "GET",
+                        "snapshot",
                         self._named(self._h_snapshot, name),
                     )
-        raise ServiceError(
-            404, "not_found", f"no route for {method} {path}"
-        )
+        raise ServiceError(404, "not_found", f"no route for {method} {path}")
 
     @staticmethod
     def _only(method: str, expected: str, endpoint: str, handler):
         if method != expected:
             raise ServiceError(
-                405, "method_not_allowed",
+                405,
+                "method_not_allowed",
                 f"{method} not allowed on this endpoint (use {expected})",
             )
         return endpoint, handler
@@ -468,9 +545,7 @@ class ServiceServer:
     async def _h_metrics(self, request: Request) -> Tuple[int, str]:
         return 200, self.telemetry.render()
 
-    async def _h_debug_sleep(
-        self, request: Request
-    ) -> Tuple[int, Dict[str, Any]]:
+    async def _h_debug_sleep(self, request: Request) -> Tuple[int, Dict[str, Any]]:
         seconds = float(request.query.get("seconds", "0"))
         await asyncio.sleep(seconds)
         return 200, {"slept": seconds}
@@ -490,7 +565,8 @@ class ServiceServer:
         )
         if unknown:
             raise ServiceError(
-                400, "bad_request",
+                400,
+                "bad_request",
                 f"unknown session field(s): {', '.join(unknown)}",
             )
         if "k" not in spec:
@@ -512,7 +588,8 @@ class ServiceServer:
             raise ServiceError(400, "bad_request", str(exc)) from exc
         if ("base" in spec) == ("n" in spec):
             raise ServiceError(
-                400, "bad_request",
+                400,
+                "bad_request",
                 "give exactly one of 'base' (edge-list text) or 'n' "
                 "(vertex count of an empty base graph)",
             )
@@ -520,7 +597,8 @@ class ServiceServer:
             if "base" in spec:
                 if not isinstance(spec["base"], str):
                     raise ServiceError(
-                        400, "bad_request",
+                        400,
+                        "bad_request",
                         "'base' must be edge-list text (string)",
                     )
                 base = graph_io.loads(spec["base"])
@@ -531,18 +609,20 @@ class ServiceServer:
                 400, "bad_request", f"invalid base graph ({exc})"
             ) from exc
         session = self.sessions.create(
-            base, k,
-            name=spec.get("name"), engine=engine, seed=seed,
-            epsilon=epsilon, tester_repetitions=reps,
+            base,
+            k,
+            name=spec.get("name"),
+            engine=engine,
+            seed=seed,
+            epsilon=epsilon,
+            tester_repetitions=reps,
         )
         self._count_verdict(session.monitor.accepted)
         payload = session.info_payload()
         payload["protocol"] = PROTOCOL_VERSION
         return 201, payload
 
-    async def _h_info(
-        self, request: Request, name: str
-    ) -> Tuple[int, Dict[str, Any]]:
+    async def _h_info(self, request: Request, name: str) -> Tuple[int, Dict[str, Any]]:
         return 200, self.sessions.get(name).info_payload()
 
     async def _h_delete(

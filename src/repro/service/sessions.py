@@ -29,6 +29,7 @@ from ..dynamic.mutations import Mutation
 from ..errors import ConfigurationError, GraphError
 from ..graphs import io as graph_io
 from ..graphs.graph import Graph
+from ..obs import resolve_telemetry
 from .protocol import SESSION_NAME_RE, ServiceError
 
 __all__ = ["Session", "SessionManager"]
@@ -56,6 +57,7 @@ class Session:
         telemetry=None,
     ) -> None:
         self.name = name
+        self.telemetry = resolve_telemetry(telemetry)
         self.monitor = CkMonitor(
             base,
             k,
@@ -99,9 +101,7 @@ class Session:
         })
         return payload
 
-    def apply_batch(
-        self, batch: List[Tuple[int, Mutation]]
-    ) -> Dict[str, Any]:
+    def apply_batch(self, batch: List[Tuple[int, Mutation]]) -> Dict[str, Any]:
         """Apply a parsed mutation batch in order; caller holds the lock.
 
         Applies mutations one at a time through the monitor.  A mutation
@@ -111,19 +111,28 @@ class Session:
         reported as a 409 :class:`ServiceError` with the offending line
         number and the applied count — so a client always knows exactly
         which prefix of its batch is in the log.
+
+        Runs inside a ``session.apply`` span, so the monitor's own spans
+        (``monitor.full_redetect`` and below) chain to it — and, through
+        the ambient request context, to the request wide event.
         """
         applied = 0
         actions: Dict[str, int] = {}
-        for lineno, mutation in batch:
-            try:
-                record = self.monitor.apply(mutation)
-            except GraphError as exc:
-                raise ServiceError(
-                    409, "invalid_mutation", str(exc),
-                    line=lineno, applied=applied, version=self.version,
-                ) from exc
-            applied += 1
-            actions[record.action] = actions.get(record.action, 0) + 1
+        with self.telemetry.span("session.apply", session=self.name, batch=len(batch)):
+            for lineno, mutation in batch:
+                try:
+                    record = self.monitor.apply(mutation)
+                except GraphError as exc:
+                    raise ServiceError(
+                        409,
+                        "invalid_mutation",
+                        str(exc),
+                        line=lineno,
+                        applied=applied,
+                        version=self.version,
+                    ) from exc
+                applied += 1
+                actions[record.action] = actions.get(record.action, 0) + 1
         payload = self.verdict_payload()
         payload.update({"applied": applied, "actions": actions})
         return payload
@@ -163,9 +172,7 @@ class SessionManager:
         from ..obs import resolve_telemetry
 
         if max_sessions < 1:
-            raise ConfigurationError(
-                f"max_sessions must be >= 1, got {max_sessions}"
-            )
+            raise ConfigurationError(f"max_sessions must be >= 1, got {max_sessions}")
         self.max_sessions = max_sessions
         self._telemetry = resolve_telemetry(telemetry)
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
@@ -185,7 +192,8 @@ class SessionManager:
         session = self._sessions.get(name)
         if session is None:
             raise ServiceError(
-                404, "unknown_session",
+                404,
+                "unknown_session",
                 f"no session named {name!r} (expired or never created)",
             )
         self._sessions.move_to_end(name)
@@ -196,7 +204,8 @@ class SessionManager:
         session = self._sessions.pop(name, None)
         if session is None:
             raise ServiceError(
-                404, "unknown_session",
+                404,
+                "unknown_session",
                 f"no session named {name!r} (expired or never created)",
             )
         self._gauge_sessions()
@@ -219,9 +228,9 @@ class SessionManager:
             name = self._next_auto_name()
         elif not SESSION_NAME_RE.match(name):
             raise ServiceError(
-                400, "bad_request",
-                f"invalid session name {name!r} "
-                f"(need {SESSION_NAME_RE.pattern})",
+                400,
+                "bad_request",
+                f"invalid session name {name!r} " f"(need {SESSION_NAME_RE.pattern})",
             )
         if name in self._sessions:
             raise ServiceError(
@@ -229,12 +238,21 @@ class SessionManager:
             )
         self._evict_for_capacity()
         try:
-            session = Session(
-                name, base, k,
-                engine=engine, seed=seed, epsilon=epsilon,
-                tester_repetitions=tester_repetitions,
-                telemetry=self._telemetry,
-            )
+            # The initial full detection happens in the constructor, so
+            # the span covers the expensive part of session creation.
+            with self._telemetry.span(
+                "session.create", session=name, engine=str(engine), k=k
+            ):
+                session = Session(
+                    name,
+                    base,
+                    k,
+                    engine=engine,
+                    seed=seed,
+                    epsilon=epsilon,
+                    tester_repetitions=tester_repetitions,
+                    telemetry=self._telemetry,
+                )
         except (ConfigurationError, GraphError) as exc:
             raise ServiceError(400, "bad_request", str(exc)) from exc
         self._sessions[name] = session
@@ -258,7 +276,8 @@ class SessionManager:
             )
             if victim is None:
                 raise ServiceError(
-                    503, "session_limit",
+                    503,
+                    "session_limit",
                     f"all {self.max_sessions} sessions are busy; "
                     f"retry or delete one",
                 )

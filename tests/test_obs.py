@@ -135,13 +135,27 @@ class TestRegistry:
         with pytest.raises(ConfigurationError):
             MetricsRegistry().counter("1bad name")
 
-    def test_summary_counters_summed_gauges_peaked_histograms_excluded(self):
+    def test_summary_counters_summed_gauges_peaked_histograms_nested(self):
         reg = MetricsRegistry()
         reg.counter("repro_c_total", "", ("k",)).inc(2, k="a")
         reg.counter("repro_c_total", "", ("k",)).inc(3, k="b")
         reg.gauge("repro_g").set(7)
         reg.histogram("repro_h").observe(1)
-        assert reg.summary() == {"repro_c_total": 5, "repro_g": 7}
+        assert reg.summary() == {
+            "repro_c_total": 5,
+            "repro_g": 7,
+            "repro_h": {"": {"count": 1, "sum": 1}},
+        }
+
+    def test_summary_wall_histograms_omit_sum(self):
+        # *_seconds families are wall-derived: their counts are
+        # protocol-determined but their sums are not, so summary()
+        # keeps the count and drops the sum (campaign byte-identity).
+        reg = MetricsRegistry()
+        reg.histogram("repro_x_seconds", "", ("span",)).observe(
+            0.25, span="a"
+        )
+        assert reg.summary()["repro_x_seconds"] == {"span=a": {"count": 1}}
 
     def test_summary_values_are_ints_when_integral(self):
         reg = MetricsRegistry()
@@ -220,7 +234,12 @@ class TestTelemetryBundle:
         summary = summarize_events(events)
         assert summary["spans"]["outer"]["count"] == 1
         assert summary["marks"] == {"checkpoint": 1}
-        assert summary["metrics"] == {"repro_demo_total": 3}
+        assert summary["metrics"]["repro_demo_total"] == 3
+        # span durations are wall-derived: counts survive, sums do not
+        assert summary["metrics"]["repro_span_seconds"] == {
+            "span=inner": {"count": 1},
+            "span=outer": {"count": 1},
+        }
 
     def test_finalize_writes_textfile(self, tmp_path):
         path = tmp_path / "events.jsonl"

@@ -71,8 +71,12 @@ class TestBitIdentity:
         summary = tel.summary()
         assert summary["repro_monitor_steps_total"] == 30
         assert "repro_monitor_cache_hits_total" in summary
-        # histogram of ball sizes observed but excluded from summary()
-        assert tel.registry.get("repro_monitor_ball_size").count() >= 0
+        # protocol-determined histogram: summary carries {count, sum}
+        ball = summary["repro_monitor_ball_size"][""]
+        assert ball["count"] == tel.registry.get(
+            "repro_monitor_ball_size"
+        ).count()
+        assert ball["sum"] >= ball["count"]
 
 
 class TestCampaignTelemetry:

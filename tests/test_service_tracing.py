@@ -1,0 +1,266 @@
+"""Request tracing over the real HTTP boundary.
+
+A module-scoped :class:`~repro.service.ServerHarness` runs with an
+in-memory event sink so every test can inspect the server's wide
+events and spans: traceparent adoption and echo, one wide event per
+request, complete ``parent_id`` chains down to engine spans (checked by
+:func:`~repro.obs.traceview.check_traces`), the loadgen join check, and
+a hypothesis fuzz pushing malformed ``traceparent`` headers through the
+wire — the server must never crash and never double-count a request.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs import ListSink, Telemetry
+from repro.obs.tracing import TraceIdSource, parse_traceparent
+from repro.obs.traceview import check_traces
+from repro.service import ServerHarness
+from repro.service.client import ServiceClient
+from repro.service.loadgen import LoadgenConfig, run_loadgen
+
+
+@pytest.fixture(scope="module")
+def sink():
+    return ListSink()
+
+
+@pytest.fixture(scope="module")
+def harness(sink):
+    telemetry = Telemetry(sink=sink, trace_seed=7)
+    with ServerHarness(
+        telemetry=telemetry, max_sessions=16, debug=True
+    ) as h:
+        yield h
+
+
+@pytest.fixture()
+def client(harness):
+    c = harness.client()
+    for name in list(c.list_sessions()["sessions"]):
+        c.delete(name)
+    return c
+
+
+def _traced_client(harness, seed=1):
+    return ServiceClient(
+        harness.host, harness.port, ids=TraceIdSource(seed)
+    )
+
+
+def _requests_in(sink, trace_id):
+    return [
+        e for e in sink.events
+        if e.get("type") == "request" and e.get("trace_id") == trace_id
+    ]
+
+
+class TestWideEvents:
+    def test_every_request_emits_one_wide_event(self, harness, client, sink):
+        traced = _traced_client(harness)
+        traced.request("GET", "/healthz")
+        assert traced.last_trace_id is not None
+        events = _requests_in(sink, traced.last_trace_id)
+        assert len(events) == 1
+        event = events[0]
+        assert event["endpoint"] == "healthz"
+        assert event["method"] == "GET" and event["path"] == "/healthz"
+        assert event["status"] == 200
+        assert event["bytes_in"] == 0 and event["bytes_out"] > 0
+        assert event["elapsed_ms"] >= 0
+        assert len(event["span_id"]) == 16
+
+    def test_session_and_actions_ride_along(self, harness, client, sink):
+        traced = _traced_client(harness, seed=2)
+        status, _ = traced.request(
+            "POST", "/v1/sessions",
+            body=b'{"name": "wide", "k": 4, "n": 6}',
+        )
+        assert status == 201
+        create = _requests_in(sink, traced.last_trace_id)[0]
+        assert create["session"] == "wide"
+        status, _ = traced.request(
+            "POST", "/v1/sessions/wide/mutations",
+            body=b"+ 0 1\n", content_type="text/plain",
+        )
+        assert status == 200
+        mutate = _requests_in(sink, traced.last_trace_id)[0]
+        assert mutate["session"] == "wide"
+        assert "actions" in mutate
+
+    def test_error_responses_also_traced(self, harness, client, sink):
+        traced = _traced_client(harness, seed=3)
+        status, _ = traced.request("GET", "/v1/sessions/absent/verdict")
+        assert status == 404
+        (event,) = _requests_in(sink, traced.last_trace_id)
+        assert event["status"] == 404
+
+
+class TestTraceparentAdoption:
+    def test_client_context_adopted_as_parent(self, harness, client, sink):
+        traced = _traced_client(harness, seed=4)
+        # Reproduce the client's next header from an equal-seeded source.
+        shadow = TraceIdSource(4)
+        expect_trace, expect_span = shadow.trace_id(), shadow.span_id()
+        traced.request("GET", "/healthz")
+        assert traced.last_trace_id == expect_trace
+        (event,) = _requests_in(sink, expect_trace)
+        assert event["parent_id"] == expect_span
+        assert event["span_id"] != expect_span
+        echoed = parse_traceparent(traced.last_traceparent)
+        assert echoed.span_id == event["span_id"]
+
+    def test_untraced_client_gets_fresh_server_ids(self, client, sink):
+        client.healthz()
+        assert client.last_traceparent is not None
+        context = parse_traceparent(client.last_traceparent)
+        assert context is not None
+        (event,) = _requests_in(sink, context.trace_id)
+        assert event["parent_id"] is None
+
+    def test_retry_safe_fresh_ids_per_request(self, harness, client):
+        traced = _traced_client(harness, seed=5)
+        traced.request("GET", "/healthz")
+        first = traced.last_trace_id
+        traced.request("GET", "/healthz")
+        assert traced.last_trace_id != first
+
+
+class TestSpanChains:
+    def test_request_spans_chain_to_wide_event(self, harness, client, sink):
+        traced = _traced_client(harness, seed=6)
+        traced.request(
+            "POST", "/v1/sessions", body=b'{"name": "chain", "k": 4, "n": 6}'
+        )
+        create_trace = traced.last_trace_id
+        traced.request(
+            "POST", "/v1/sessions/chain/mutations",
+            body=b"+ 0 1\n+ 1 2\n", content_type="text/plain",
+        )
+        mutate_trace = traced.last_trace_id
+        involved = {create_trace, mutate_trace}
+        events = [
+            e for e in sink.events if e.get("trace_id") in involved
+        ]
+        assert check_traces(events) == []
+        create_names = {
+            e["name"] for e in events
+            if e.get("type") == "span" and e["trace_id"] == create_trace
+        }
+        assert "session.create" in create_names
+        assert "monitor.full_redetect" in create_names
+        mutate_names = {
+            e["name"] for e in events
+            if e.get("type") == "span" and e["trace_id"] == mutate_trace
+        }
+        assert "session.apply" in mutate_names
+
+    def test_whole_sink_is_a_valid_forest(self, harness, client, sink):
+        # Everything every test so far pushed through the server must
+        # still satisfy the causal invariants.
+        traced = _traced_client(harness, seed=8)
+        traced.request("GET", "/v1/sessions")
+        traced_events = [
+            e for e in sink.events if e.get("trace_id") is not None
+        ]
+        assert check_traces(traced_events) == []
+
+
+# ---------------------------------------------------------------------------
+# Fuzzing the traceparent header through the HTTP boundary
+# ---------------------------------------------------------------------------
+_hex = "0123456789abcdef"
+_valid_like = st.tuples(
+    st.sampled_from(["00", "ff", "0", "zz"]),
+    st.text(alphabet=_hex + "XYZ ", min_size=0, max_size=40),
+    st.text(alphabet=_hex + "XYZ ", min_size=0, max_size=20),
+    st.sampled_from(["01", "00", "", "1"]),
+).map(lambda t: "-".join(p for p in t if p))
+_traceparents = st.one_of(
+    st.just(""),
+    st.text(min_size=0, max_size=64).map(
+        lambda s: "".join(c for c in s if 32 <= ord(c) < 127)
+    ),
+    _valid_like,
+)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(header=_traceparents)
+def test_fuzz_malformed_traceparent_never_crashes(harness, sink, header):
+    """Whatever bytes arrive in ``traceparent``: the request succeeds,
+    the response carries a *valid* traceparent, exactly one wide event
+    and one counter increment are recorded — never a crash, never a
+    double count."""
+    client = harness.client()
+    counter = harness.server.telemetry.counter(
+        "repro_service_requests_total", "", ("endpoint", "status")
+    )
+    before_count = counter.value(endpoint="healthz", status="200")
+    before_events = sum(
+        1 for e in sink.events
+        if e.get("type") == "request" and e.get("endpoint") == "healthz"
+    )
+    status, payload = client.request(
+        "GET", "/healthz", headers={"Traceparent": header}
+    )
+    assert status == 200 and payload["status"] == "ok"
+    echoed = parse_traceparent(client.last_traceparent)
+    assert echoed is not None
+    after_count = counter.value(endpoint="healthz", status="200")
+    after_events = sum(
+        1 for e in sink.events
+        if e.get("type") == "request" and e.get("endpoint") == "healthz"
+    )
+    assert after_count == before_count + 1
+    assert after_events == before_events + 1
+    incoming = parse_traceparent(header)
+    if incoming is not None:
+        # Valid headers are adopted, not regenerated.
+        assert echoed.trace_id == incoming.trace_id
+
+
+class TestLoadgenJoin:
+    def test_rows_join_to_server_wide_events(self, tmp_path):
+        config = LoadgenConfig(
+            clients=2,
+            params={"n": 12, "p": 0.2},
+            stream="uniform-churn:steps=4,p=0.5",
+            k=4,
+            batch=2,
+            trace=True,
+        )
+        out = tmp_path / "rows.jsonl"
+        summary = run_loadgen(config, out=out)
+        assert summary["errors"] == 0
+        assert summary["parity_ok"] is True
+        lines = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        rows = [row for row in lines if "summary" not in row]
+        assert len(rows) == 2
+        for row in rows:
+            assert row["trace_join_ok"] is True
+            assert len(row["trace_ids"]) == row["requests"]
+            assert len(set(row["trace_ids"])) == row["requests"]
+
+    def test_trace_off_rows_carry_no_ids(self, tmp_path):
+        config = LoadgenConfig(
+            clients=1,
+            params={"n": 10, "p": 0.2},
+            stream="uniform-churn:steps=2,p=0.5",
+            k=4,
+        )
+        out = tmp_path / "rows.jsonl"
+        summary = run_loadgen(config, out=out)
+        assert summary["errors"] == 0
+        row = json.loads(out.read_text().splitlines()[0])
+        assert "trace_ids" not in row
+        assert "trace_join_ok" not in row
