@@ -59,7 +59,9 @@ class ExperimentResult:
         return self.table.render() if self.table is not None else self.experiment
 
 
-def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
     """Wilson score interval for a binomial proportion."""
     if trials == 0:
         return (0.0, 1.0)
@@ -95,7 +97,9 @@ def run_round_complexity(
         for k in ks:
             per = rounds_per_repetition(k)
             for n in ns:
-                g, _ = generators.planted_epsilon_far_graph(n, k, min(eps, 0.5 / k), seed=0)
+                g, _ = generators.planted_epsilon_far_graph(
+                    n, k, min(eps, 0.5 / k), seed=0
+                )
                 tester = CkFreenessTester(k, eps, repetitions=1)
                 run = tester.run(g, seed=1, keep_traces=True)
                 simulated = run.traces[0].num_rounds if run.traces else per
@@ -110,7 +114,9 @@ def run_round_complexity(
 # ---------------------------------------------------------------------------
 # T2 — Lemma 3 message-size bound
 # ---------------------------------------------------------------------------
-def _message_bound_instances(k: int, scale: int) -> List[Tuple[str, Graph, Tuple[int, int]]]:
+def _message_bound_instances(
+    k: int, scale: int
+) -> List[Tuple[str, Graph, Tuple[int, int]]]:
     """Stress instances with many overlapping candidate paths."""
     out: List[Tuple[str, Graph, Tuple[int, int]]] = []
     flower = generators.flower_graph(scale, k)

@@ -26,7 +26,11 @@ from ..errors import ConfigurationError
 from ..graphs.cycles import has_cycle_through_edge
 from ..graphs.graph import Graph
 
-__all__ = ["NeighborhoodGatherProgram", "gather_detect_cycle_through_edge", "GatherResult"]
+__all__ = [
+    "NeighborhoodGatherProgram",
+    "gather_detect_cycle_through_edge",
+    "GatherResult",
+]
 
 #: An adjacency fact: (node, neighbour) as IDs.
 Fact = Tuple[int, int]

@@ -34,7 +34,11 @@ from ..core.algorithm1 import (
 from ..core.sequences import drop_containing, sort_sequences
 from ..errors import ConfigurationError
 
-__all__ = ["NaiveAppendForwardProgram", "naive_detect_cycle_through_edge", "NaiveDetectionResult"]
+__all__ = [
+    "NaiveAppendForwardProgram",
+    "naive_detect_cycle_through_edge",
+    "NaiveDetectionResult",
+]
 
 
 class NaiveAppendForwardProgram(NodeProgram):

@@ -95,7 +95,9 @@ class TriangleTesterCHFSV:
             else math.ceil((math.e ** 2 / (epsilon * epsilon)) * math.log(3.0))
         )
 
-    def run(self, graph: Graph, *, seed=None, stop_on_reject: bool = True) -> TriangleTesterResult:
+    def run(
+        self, graph: Graph, *, seed=None, stop_on_reject: bool = True
+    ) -> TriangleTesterResult:
         """Execute the triangle tester on ``graph`` and aggregate verdicts."""
         net = Network(graph)
         scheduler = SynchronousScheduler(net)

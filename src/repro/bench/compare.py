@@ -266,8 +266,13 @@ def compare_dirs(
     a baseline area with no fresh artifact fails as ``missing``.
     """
     report = ComparisonReport(threshold=threshold, min_wall=min_wall)
-    base_paths = {p.name: p for p in list_artifacts(baseline_dir, list(areas) if areas else None)}
-    fresh_paths = {p.name: p for p in list_artifacts(fresh_dir, list(areas) if areas else None)}
+    base_paths = {
+        p.name: p
+        for p in list_artifacts(baseline_dir, list(areas) if areas else None)
+    }
+    fresh_paths = {
+        p.name: p for p in list_artifacts(fresh_dir, list(areas) if areas else None)
+    }
     for name in sorted(base_paths):
         baseline = read_artifact(base_paths[name])
         if name not in fresh_paths:

@@ -21,6 +21,7 @@ the run completes, reports the failure, and exits nonzero.
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -51,7 +52,9 @@ DEFAULT_RESULTS_DIR = Path("benchmarks") / "results"
 SUITE_REPEATS = {"smoke": 2, "default": 3, "full": 5}
 
 
-def execute_benchmark(unit: Tuple[str, Dict[str, Any], str, int, int]) -> Dict[str, Any]:
+def execute_benchmark(
+    unit: Tuple[str, Dict[str, Any], str, int, int],
+) -> Dict[str, Any]:
     """Execute one (benchmark, case) work unit; returns its result record.
 
     Module-level and driven by plain picklable data so it can cross a
@@ -76,10 +79,32 @@ def execute_benchmark(unit: Tuple[str, Dict[str, Any], str, int, int]) -> Dict[s
     }
     walls: List[float] = []
     try:
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            metrics = spec.func(dict(case), seed)
-            walls.append(time.perf_counter() - t0)
+        # Benchmarks must not observe each other's compiled engines: a
+        # warm process-global cache would turn first-touch compile costs
+        # into hits depending on unit order (and on whether units share
+        # a worker process).  Start every unit cold.
+        from ..congest.engine.cache import global_engine_cache
+
+        global_engine_cache().clear()
+        # Repeats run with the collector paused: allocation-heavy
+        # kernels otherwise absorb whole-heap collection pauses whose
+        # size tracks the import graph and unit order, not the code
+        # under test.  Collection runs between repeats, outside the
+        # timed windows; bodies that pause gc themselves see it already
+        # disabled and leave it that way.
+        gc_was_enabled = gc.isenabled()
+        try:
+            for _ in range(repeats):
+                gc.collect()
+                gc.disable()
+                t0 = time.perf_counter()
+                metrics = spec.func(dict(case), seed)
+                walls.append(time.perf_counter() - t0)
+                if gc_was_enabled:
+                    gc.enable()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         record["metrics"] = dict(metrics or {})
         record["wall_seconds"] = [round(w, 6) for w in walls]
         record["wall_min"] = round(min(walls), 6)

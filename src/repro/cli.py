@@ -57,31 +57,51 @@ def _engine_arg(value: str) -> str:
 
 
 def _resolve_engine(args: argparse.Namespace) -> str:
-    """Combine ``--engine`` and ``--shards`` into one engine spec.
+    """Combine ``--engine``, ``--shards`` and ``--rep-chunk`` into one
+    engine spec.
 
-    ``--shards N`` is sugar for the ``sharded:N`` spelling; giving it
-    alongside a non-sharded engine (or a spec that already pins a shard
-    count) is a configuration error.
+    ``--shards N`` is sugar for the ``sharded:N`` spelling and
+    ``--rep-chunk C`` for the ``chunk=C`` option; giving either
+    alongside an engine that does not accept it (or a spec that already
+    pins the same option) is a configuration error.
     """
     from .errors import ConfigurationError
 
     engine = getattr(args, "engine", "reference")
     shards = getattr(args, "shards", None)
-    if shards is None:
+    rep_chunk = getattr(args, "rep_chunk", None)
+    if shards is None and rep_chunk is None:
         return engine
     name, opts = parse_engine_spec(engine)
-    if name != "sharded":
-        raise ConfigurationError(
-            f"--shards only applies to the sharded engine (got "
-            f"--engine {engine})"
-        )
-    if "shards" in opts:
-        raise ConfigurationError(
-            f"shard count given twice: --engine {engine} and "
-            f"--shards {shards}"
-        )
-    spec = f"sharded:{shards}"
-    parse_engine_spec(spec)  # validates shards >= 1
+    extra = []
+    if shards is not None:
+        if name != "sharded":
+            raise ConfigurationError(
+                f"--shards only applies to the sharded engine (got "
+                f"--engine {engine})"
+            )
+        if "shards" in opts:
+            raise ConfigurationError(
+                f"shard count given twice: --engine {engine} and "
+                f"--shards {shards}"
+            )
+        extra.append(str(shards))
+    if rep_chunk is not None:
+        if name == "reference":
+            raise ConfigurationError(
+                f"--rep-chunk only applies to the numpy engines (got "
+                f"--engine {engine})"
+            )
+        if "rep_chunk" in opts:
+            raise ConfigurationError(
+                f"chunk size given twice: --engine {engine} and "
+                f"--rep-chunk {rep_chunk}"
+            )
+        extra.append(f"chunk={rep_chunk}")
+    base, sep, prior = engine.partition(":")
+    joined = ",".join(([prior] if prior else []) + extra)
+    spec = f"{base}:{joined}"
+    parse_engine_spec(spec)  # validates counts >= 1
     return spec
 
 
@@ -350,8 +370,9 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         print(f"textfile {path}: {len(families)} metric families (valid)")
         for name in sorted(families):
             family = families[name]
-            print(f"  {family.kind:<9} {name} "
-                  f"({len(family.series('_count' if family.kind == 'histogram' else ''))} series)")
+            suffix = "_count" if family.kind == "histogram" else ""
+            series = len(family.series(suffix))
+            print(f"  {family.kind:<9} {name} ({series} series)")
     return 0
 
 
@@ -790,6 +811,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--shards", type=int, default=None, metavar="N",
                        help="shard count for --engine sharded "
                        "(same as --engine sharded:N)")
+        p.add_argument("--rep-chunk", type=int, default=None, metavar="C",
+                       help="tester repetitions per batched kernel pass "
+                       "for the numpy engines (same as chunk=C in the "
+                       "engine spec)")
         p.add_argument("--faults", type=_optional_name, default=None,
                        metavar="SPEC",
                        help="fault model, e.g. drop:p=0.05 or "
@@ -857,6 +882,8 @@ def build_parser() -> argparse.ArgumentParser:
                               type=_engine_arg, metavar="ENGINE")
     p_dyn_replay.add_argument("--shards", type=int, default=None,
                               metavar="N")
+    p_dyn_replay.add_argument("--rep-chunk", type=int, default=None,
+                              metavar="C")
     p_dyn_replay.add_argument("--faults", type=_optional_name, default=None,
                               metavar="SPEC")
     p_dyn_replay.add_argument("--log", help="write per-step JSONL records")
@@ -962,6 +989,8 @@ def build_parser() -> argparse.ArgumentParser:
                                help="engine to profile when generating")
     p_obs_profile.add_argument("--shards", type=int, default=None,
                                metavar="N")
+    p_obs_profile.add_argument("--rep-chunk", type=int, default=None,
+                               metavar="C")
     p_obs_profile.add_argument("--family", default="gnp",
                                help="base-graph generator family")
     p_obs_profile.add_argument("--params", default=None, metavar="K=V,...",
@@ -992,6 +1021,8 @@ def build_parser() -> argparse.ArgumentParser:
                          "(name or spec, e.g. sharded:4)")
     p_serve.add_argument("--shards", type=int, default=None, metavar="N",
                          help="shard count for --engine sharded")
+    p_serve.add_argument("--rep-chunk", type=int, default=None, metavar="C",
+                         help="repetition chunk size for the numpy engines")
     p_serve.add_argument("--debug", action="store_true",
                          help="enable the /debug endpoints (tests only)")
     add_telemetry_arg(p_serve)
@@ -1012,6 +1043,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_lg.add_argument("--engine", default="reference", type=_engine_arg,
                       metavar="ENGINE")
     p_lg.add_argument("--shards", type=int, default=None, metavar="N")
+    p_lg.add_argument("--rep-chunk", type=int, default=None, metavar="C")
     p_lg.add_argument("--seed", type=int, default=0)
     p_lg.add_argument("--batch", type=int, default=1,
                       help="mutations per request")

@@ -25,7 +25,10 @@ or end to end through ``CkFreenessTester(..., engine="fast")``,
 ``--engine`` flag, and the campaign runner's ``engines`` factor.  The
 sharded backend additionally accepts a shard count, spelled
 ``"sharded:4"`` in any engine-name position (or ``--shards 4`` on the
-CLI); :func:`parse_engine_spec` is the one parser for that syntax.
+CLI), and both numpy backends accept a repetition chunk size for the
+batched tester kernels, spelled ``"fast:chunk=8"`` /
+``"sharded:4,chunk=8"`` (or ``--rep-chunk 8``);
+:func:`parse_engine_spec` is the one parser for that syntax.
 
 All backends are verdict-equivalent under fixed seeds; see
 ``docs/engines.md`` and :func:`repro.testing.engine_equivalence_report`.
@@ -84,13 +87,21 @@ def parse_engine_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
     """Split an engine spec string into ``(name, constructor_kwargs)``.
 
     Plain names (``"reference"``, ``"fast"``, ``"sharded"``) pass
-    through with no options.  The sharded backend accepts a shard count
-    suffix — ``"sharded:4"`` → ``("sharded", {"shards": 4})`` — which is
-    the spelling used by the campaign ``engines`` factor and service
-    session specs.  Raises
-    :class:`~repro.errors.ConfigurationError` for unknown names, options
-    on engines that take none, and non-positive or non-integer shard
-    counts.
+    through with no options.  After a ``:`` come comma-separated
+    options:
+
+    * a bare integer is a shard count (sharded only) —
+      ``"sharded:4"`` → ``("sharded", {"shards": 4})``;
+    * ``chunk=C`` is the repetition chunk size of the batched tester
+      kernels (fast and sharded) — ``"fast:chunk=8"`` →
+      ``("fast", {"rep_chunk": 8})``, ``"sharded:4,chunk=8"`` →
+      ``("sharded", {"shards": 4, "rep_chunk": 8})``.
+
+    These spellings are accepted anywhere an engine name is (the CLI's
+    ``--engine``, the campaign ``engines`` factor, service session
+    specs).  Raises :class:`~repro.errors.ConfigurationError` for
+    unknown names, options on engines that take none, repeated options,
+    and non-positive or non-integer counts.
     """
     name, sep, opts = str(spec).partition(":")
     if name not in ENGINE_NAMES:
@@ -99,21 +110,56 @@ def parse_engine_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
         )
     if not sep:
         return name, {}
-    if name != "sharded":
+    if name == "reference":
         raise ConfigurationError(
-            f"engine {name!r} takes no options (got {spec!r}); only "
-            "'sharded' accepts a shard count, e.g. 'sharded:4'"
+            f"engine 'reference' takes no options (got {spec!r}); "
+            "'fast'/'sharded' accept chunk=C, and 'sharded' a shard "
+            "count, e.g. 'sharded:4,chunk=8'"
         )
-    try:
-        shards = int(opts)
-    except ValueError:
-        raise ConfigurationError(
-            f"bad shard count in engine spec {spec!r}; expected an "
-            "integer, e.g. 'sharded:4'"
-        ) from None
-    if shards < 1:
-        raise ConfigurationError(f"shards must be >= 1, got {shards}")
-    return name, {"shards": shards}
+    kwargs: Dict[str, Any] = {}
+    for item in opts.split(","):
+        key, eq, value = item.partition("=")
+        if not eq:
+            if name != "sharded":
+                raise ConfigurationError(
+                    f"engine {name!r} takes no shard count (got {spec!r}); "
+                    "only 'sharded' accepts one, e.g. 'sharded:4'"
+                )
+            if "shards" in kwargs:
+                raise ConfigurationError(
+                    f"shard count given twice in engine spec {spec!r}"
+                )
+            try:
+                shards = int(item)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad option {item!r} in engine spec {spec!r}; expected "
+                    "a shard count or chunk=C, e.g. 'sharded:4,chunk=8'"
+                ) from None
+            if shards < 1:
+                raise ConfigurationError(f"shards must be >= 1, got {shards}")
+            kwargs["shards"] = shards
+        elif key == "chunk":
+            if "rep_chunk" in kwargs:
+                raise ConfigurationError(
+                    f"chunk given twice in engine spec {spec!r}"
+                )
+            try:
+                chunk = int(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad chunk size in engine spec {spec!r}; expected an "
+                    "integer, e.g. 'fast:chunk=8'"
+                ) from None
+            if chunk < 1:
+                raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+            kwargs["rep_chunk"] = chunk
+        else:
+            raise ConfigurationError(
+                f"unknown option {key!r} in engine spec {spec!r}; "
+                "supported: a shard count (sharded) and chunk=C"
+            )
+    return name, kwargs
 
 
 def ensure_engine_available(spec: str) -> None:
@@ -164,8 +210,8 @@ def create_engine(spec: str, network: Network, **kwargs) -> CongestEngine:
     constructor (``size_model``, ``strict_bandwidth``, ``faults`` — the
     last only honoured by the reference backend — ``telemetry`` and
     ``profiler`` (a :class:`PhaseProfiler` attributing wall time to
-    protocol phases), plus ``shards`` / ``use_pool`` for the sharded
-    backend).
+    protocol phases), plus ``rep_chunk`` for the numpy backends and
+    ``shards`` / ``use_pool`` for the sharded backend).
     """
     ensure_engine_available(spec)
     name, opts = parse_engine_spec(spec)

@@ -80,6 +80,13 @@ class CongestEngine(ABC):
         the shared zero-overhead :data:`~repro.congest.engine.profiler
         .NULL_PROFILER`.  Profiling never touches RNG state, so it
         shares telemetry's bit-identity guarantee.
+    rep_chunk:
+        Tester repetitions per batched kernel pass (spec spelling
+        ``chunk=C``, e.g. ``"fast:chunk=8"``).  Backends without batched
+        kernels accept and ignore it (this base class iterates
+        serially); backends with them must keep every chunk size
+        verdict-, trace- and telemetry-identical to serial execution —
+        see :meth:`iter_tester_chunk`.
     """
 
     #: Stable backend name (the value of ``--engine``).
@@ -94,10 +101,14 @@ class CongestEngine(ABC):
         faults=None,
         telemetry=None,
         profiler=None,
+        rep_chunk: int = 1,
     ) -> None:
         from ...obs import resolve_telemetry
         from .profiler import NULL_PROFILER
 
+        rep_chunk = int(rep_chunk)
+        if rep_chunk < 1:
+            raise ConfigurationError(f"rep_chunk must be >= 1, got {rep_chunk}")
         self._net = network
         self._size_model = (
             size_model if size_model is not None else network.default_size_model()
@@ -106,11 +117,22 @@ class CongestEngine(ABC):
         self._faults = faults
         self._telemetry = resolve_telemetry(telemetry)
         self._profiler = profiler if profiler is not None else NULL_PROFILER
+        self.rep_chunk = rep_chunk
 
     @property
     def network(self) -> Network:
         """The network this engine was compiled for."""
         return self._net
+
+    @property
+    def compiled_nbytes(self) -> int:
+        """Bytes held by compiled per-network state (cache accounting).
+
+        Zero for backends that compile nothing; the numpy backends
+        report their CSR/half-edge arrays (plus shared memory for the
+        sharded engine).
+        """
+        return 0
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -127,6 +149,21 @@ class CongestEngine(ABC):
     ) -> RunResult:
         """Algorithm 1 for a fixed edge, given as a pair of node IDs
         (``⌊k/2⌋`` communication rounds)."""
+
+    def iter_tester_chunk(self, k: int, rep_seeds, *, pruner=None):
+        """Lazily yield one :class:`RunResult` per seed in ``rep_seeds``.
+
+        This is the tester's engine entry point.  The base
+        implementation is the serial loop (one
+        :meth:`run_tester_repetition` per yield); backends with batched
+        kernels override it to compute :attr:`rep_chunk` repetitions per
+        kernel pass, **deferring each repetition's telemetry export to
+        its yield** so that a consumer stopping early (first reject)
+        leaves exactly the same exported aggregates as serial execution
+        — repetitions computed but never consumed export nothing.
+        """
+        for rep_seed in rep_seeds:
+            yield self.run_tester_repetition(k, int(rep_seed), pruner=pruner)
 
     # ------------------------------------------------------------------
     def _finish(self, run: RunResult) -> RunResult:

@@ -88,16 +88,20 @@ def _mix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     return res
 
 
-def _seed_pools(seed_word: int, ids: np.ndarray) -> np.ndarray:
+def _seed_pools(seed_word, ids: np.ndarray) -> np.ndarray:
     """Entropy pools of ``SeedSequence((seed_word, id))`` for every id.
 
-    Returns an ``(n, 4)`` uint64 array of 32-bit pool words.
+    ``seed_word`` is either one shared first entropy word or an array of
+    per-stream words (one per id) — the latter is how the chunked rank
+    kernels stack several repetitions' streams into one batch.  Returns
+    an ``(n, 4)`` uint64 array of 32-bit pool words.
     """
     n = len(ids)
-    entropy = [
-        np.full(n, seed_word & 0xFFFFFFFF, dtype=np.uint64),
-        _u32_arr(ids),
-    ]
+    if np.ndim(seed_word) == 0:
+        word0 = np.full(n, int(seed_word) & 0xFFFFFFFF, dtype=np.uint64)
+    else:
+        word0 = _u32_arr(seed_word)
+    entropy = [word0, _u32_arr(ids)]
     pool = np.zeros((n, _POOL_SIZE), dtype=np.uint64)
     const = _HashConst(_INIT_A)
     for i in range(_POOL_SIZE):
@@ -181,13 +185,16 @@ class RankStreams:
     ----------
     seed_word:
         The shared first entropy word (the tester uses
-        ``rep_seed & 0x7FFFFFFF``).
+        ``rep_seed & 0x7FFFFFFF``), or an array of one word per stream —
+        the chunked kernels pass ``repeat(rep_words, owners)`` to run
+        several repetitions' streams side by side in one batch.
     ids:
         One CONGEST ID per stream; stream *i* replicates
-        ``np.random.default_rng(np.random.SeedSequence((seed_word, ids[i])))``.
+        ``np.random.default_rng(np.random.SeedSequence((seed_word, ids[i])))``
+        (with ``seed_word[i]`` in the per-stream-word form).
     """
 
-    def __init__(self, seed_word: int, ids: np.ndarray) -> None:
+    def __init__(self, seed_word, ids: np.ndarray) -> None:
         ids = np.asarray(ids, dtype=np.uint64)
         if ids.size and int(ids.max()) >= MAX_UINT32_ENTROPY:
             raise ValueError("RankStreams requires IDs < 2**32")

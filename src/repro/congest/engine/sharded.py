@@ -73,6 +73,7 @@ from ...errors import (
 from ..instrumentation import ExecutionTrace
 from ..network import Network
 from ..scheduler import RunResult
+from .base import CongestEngine
 from .fast import _INF, FastEngine
 from .fastrng import RankStreams
 
@@ -118,16 +119,28 @@ def _worker_main(worker: "_ShardWorker", conn) -> None:
 
 
 def _release_resources(res: Dict[str, Any]) -> None:
-    """Tear down pool processes and unlink shared memory (idempotent)."""
+    """Tear down pool processes and unlink shared memory (idempotent).
+
+    Fork-safe: an engine inherited by a forked process (campaign pool
+    workers fork while cached engines are alive) merely drops its copies
+    of the handles — only the creating process may stop and join the
+    shard workers or unlink the shared-memory segment.  Sending ``stop``
+    from a fork child would kill the *parent's* workers through the
+    inherited pipes.
+    """
+    owns = res.get("owner_pid") == os.getpid()
     for proc, conn in res.get("pool") or ():
-        try:
-            conn.send(("stop",))
-        except (OSError, ValueError):
-            pass
+        if owns:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
         try:
             conn.close()
         except OSError:  # pragma: no cover - defensive
             pass
+        if not owns:
+            continue
         proc.join(timeout=2.0)
         if proc.is_alive():  # pragma: no cover - defensive
             proc.terminate()
@@ -140,10 +153,11 @@ def _release_resources(res: Dict[str, Any]) -> None:
             shm.close()
         except BufferError:  # pragma: no cover - live numpy views remain
             pass  # the mapping stays until the views die; unlink regardless
-        try:
-            shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already gone
-            pass
+        if owns:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
 
 
 class _ShardWorker:
@@ -230,8 +244,10 @@ class _ShardWorker:
         cmd = msg[0]
         if cmd == "begin":
             out = self.begin_rep(*msg[1:])
+        elif cmd == "beginc":
+            out = self.begin_chunk(*msg[1:])
         elif cmd == "select":
-            out = self.select_and_seed()
+            out = self.select_and_seed(*msg[1:])
         elif cmd == "round":
             out = self.phase2_round(*msg[1:])
         elif cmd == "fin":
@@ -313,15 +329,53 @@ class _ShardWorker:
             active = np.nonzero(counts > j)[0]
             draws = streams.integers(active, 1, hi_rank + 1)
             ranks[offsets[active] + j] = draws
-        self.edge_rank[self.edge_of_he[self.owned_he_s]] = ranks
+        self.edge_rank[0, self.edge_of_he[self.owned_he_s]] = ranks
         return None
 
-    def select_and_seed(self):
+    def begin_chunk(self, k: int, rep_seeds: Sequence[int], pruner) -> None:
+        """Draw this shard's edge ranks for a whole repetition chunk.
+
+        One batched :class:`RankStreams` pass covers every
+        ``(repetition, owner)`` stream; row ``r`` of the shared rank
+        stack ends up bit-identical to ``begin_rep(k, rep_seeds[r])``
+        because the per-stream draw order is unchanged.
+        """
+        self.k = k
+        self._resolve_pruner(pruner)
+        self.sent_seqs = {}
+        if not len(self.owners_s):
+            return None
+        hi_rank = self.m * self.m
+        C = len(rep_seeds)
+        n_own = len(self.owners_s)
+        words = np.asarray(
+            [int(s) & 0x7FFFFFFF for s in rep_seeds], dtype=np.uint64
+        )
+        streams = RankStreams(
+            np.repeat(words, n_own), np.tile(self.ids[self.owners_s], C)
+        )
+        counts = np.tile(self.counts_s, C)
+        slots = len(self.owned_he_s)
+        offsets = np.tile(self.offsets_s, C) + np.repeat(
+            np.arange(C, dtype=np.int64) * slots, n_own
+        )
+        ranks = np.zeros(C * slots, dtype=np.int64)
+        for j in range(int(self.counts_s.max())):
+            active = np.nonzero(counts > j)[0]
+            draws = streams.integers(active, 1, hi_rank + 1)
+            ranks[offsets[active] + j] = draws
+        cols = self.edge_of_he[self.owned_he_s]
+        self.edge_rank[:C, cols] = ranks.reshape(C, slots)
+        return None
+
+    def select_and_seed(self, rep: int = 0):
         """Round 2 for this shard: per-node minimum incident tag, then
-        every non-isolated node broadcasts its singleton seed."""
+        every non-isolated node broadcasts its singleton seed.  ``rep``
+        names the row of the shared rank stack to read (chunked runs
+        pre-draw several repetitions' ranks)."""
         lo, hi, h0, h1 = self.lo, self.hi, self.h0, self.h1
         src = self.he_src[h0:h1]
-        he_rank = self.edge_rank[self.edge_of_he[h0:h1]]
+        he_rank = self.edge_rank[rep, self.edge_of_he[h0:h1]]
         order = np.lexsort((self.he_b[h0:h1], self.he_a[h0:h1], he_rank, src))
         sorted_src = src[order]
         self.R[lo:hi] = _INF
@@ -618,7 +672,9 @@ class ShardedEngine(FastEngine):
             mask[ext[(ext < lo) | (ext >= hi)]] = True
             self._halo_masks.append(mask)
         self._pool: Optional[List[Tuple[Any, Any]]] = None
-        self._res: Dict[str, Any] = {"pool": None, "shm": self._shm}
+        self._res: Dict[str, Any] = {
+            "pool": None, "shm": self._shm, "owner_pid": os.getpid(),
+        }
         self._finalizer = weakref.finalize(self, _release_resources, self._res)
         if self._telemetry.enabled:
             self._telemetry.gauge(
@@ -643,6 +699,11 @@ class ShardedEngine(FastEngine):
         """Whether dispatches may run on the fork worker pool."""
         return self._use_pool
 
+    @property
+    def compiled_nbytes(self) -> int:
+        """Compiled CSR bytes plus the shared-memory round state."""
+        return super().compiled_nbytes + self._shm_bytes
+
     def _plan_shards(self, shards: int) -> List[Tuple[int, int]]:
         """Cut ``[0, n)`` into contiguous ranges balanced by half-edges."""
         n = self._net.graph.n
@@ -657,18 +718,27 @@ class ShardedEngine(FastEngine):
         ]
 
     def _alloc_state(self, n: int):
-        """One shared-memory block holding all mutable round state."""
+        """One shared-memory block holding all mutable round state.
+
+        The rank array is a ``(rep_chunk, m)`` stack so chunked runs can
+        pre-draw a whole chunk of repetitions' ranks in one worker pass;
+        serial runs use row 0 only.
+        """
         from multiprocessing import shared_memory
 
         m = self._net.graph.m
-        int_fields = ("edge_rank", "R", "A", "B", "bestR", "bestA", "bestB")
-        sizes = {"edge_rank": m, "sending": n, "sending_next": n}
-        nbytes = 8 * (m + 6 * n) + 2 * n
+        cap = max(1, self.rep_chunk)
+        self._rep_capacity = cap
+        int_fields = ("R", "A", "B", "bestR", "bestA", "bestB")
+        nbytes = 8 * (cap * m + 6 * n) + 2 * n
         shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
         state: Dict[str, np.ndarray] = {}
-        off = 0
+        state["edge_rank"] = np.ndarray(
+            (cap, m), dtype=np.int64, buffer=shm.buf, offset=0
+        )
+        off = 8 * cap * m
         for field in int_fields:
-            count = sizes.get(field, n)
+            count = n
             state[field] = np.ndarray(
                 (count,), dtype=np.int64, buffer=shm.buf, offset=off
             )
@@ -878,6 +948,21 @@ class ShardedEngine(FastEngine):
         pooled = self._pool_for(pruner)
         P = len(self._workers)
         self._dispatch("begin", [("begin", k, rep_seed, pruner)] * P, pooled)
+        return self._finish(self._run_tester_rounds(k, 0, pooled))
+
+    def _run_tester_rounds(self, k: int, rep: int, pooled: bool) -> RunResult:
+        """Rounds 1..fin of one repetition whose ranks are already drawn
+        into row ``rep`` of the shared rank stack.  Returns the raw
+        (unexported) :class:`RunResult`."""
+        from ...core.algorithm1 import DetectionOutcome
+        from ...core.phase1 import protocol_rounds
+
+        g = self._net.graph
+        n = g.n
+        trace = ExecutionTrace(n=n, m=g.m, size_model=self._size_model)
+        accept = DetectionOutcome(rejects=False)
+        outputs: Dict[int, DetectionOutcome] = {v: accept for v in range(n)}
+        P = len(self._workers)
 
         # Round 1 — ranks cross every edge; the audit is uniform, so the
         # parent records it directly (exactly as the fast engine does).
@@ -894,7 +979,7 @@ class ShardedEngine(FastEngine):
 
         # Round 2 — minimum selection + seed broadcast, per shard.
         stats = self._begin_round(trace, 2)
-        parts = self._dispatch("select", [("select",)] * P, pooled)
+        parts = self._dispatch("select", [("select", rep)] * P, pooled)
         self._fold_audits(stats, 2, parts)
 
         halos: Optional[List[Dict[int, list]]] = None  # None → seed round
@@ -916,7 +1001,37 @@ class ShardedEngine(FastEngine):
             for v, cycle in rejects.items():
                 outputs[v] = DetectionOutcome(rejects=True, cycle=cycle)
         assert trace.num_rounds == protocol_rounds(k)
-        return self._finish(RunResult(outputs, trace))
+        return RunResult(outputs, trace)
+
+    def iter_tester_chunk(self, k: int, rep_seeds, *, pruner=None):
+        """Chunked tester iteration: each shard pre-draws a whole chunk
+        of repetitions' ranks in one batched worker pass (``beginc``),
+        then the rounds replay per repetition against the pre-drawn
+        rank rows.  Telemetry export is deferred to each yield; the
+        serial base path handles chunk size 1, strict audits, and
+        edgeless graphs.  Note: the per-chunk ``beginc`` dispatch
+        replaces per-repetition ``begin`` dispatches, so the
+        engine-internal ``repro_shard_dispatch_total`` diagnostics
+        differ from serial runs; protocol-level counters and traces do
+        not.
+        """
+        chunk = min(self.rep_chunk, self._rep_capacity)
+        if chunk <= 1 or self._strict or self._net.graph.m == 0:
+            yield from CongestEngine.iter_tester_chunk(
+                self, k, rep_seeds, pruner=pruner
+            )
+            return
+        self._check_k(k)
+        seeds = [int(s) for s in rep_seeds]
+        pooled = self._pool_for(pruner)
+        P = len(self._workers)
+        for i in range(0, len(seeds), chunk):
+            batch = seeds[i: i + chunk]
+            self._dispatch(
+                "beginc", [("beginc", k, batch, pruner)] * P, pooled
+            )
+            for r in range(len(batch)):
+                yield self._finish(self._run_tester_rounds(k, r, pooled))
 
     # ------------------------------------------------------------------
     def run_detect(

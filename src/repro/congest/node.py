@@ -81,7 +81,9 @@ class NodeProgram(ABC):
         """Compute the round-1 send."""
 
     @abstractmethod
-    def on_round(self, ctx: NodeContext, round_index: int, inbox: Dict[int, Any]) -> Outbox:
+    def on_round(
+        self, ctx: NodeContext, round_index: int, inbox: Dict[int, Any]
+    ) -> Outbox:
         """Process round ``round_index`` (>= 2): receive then send."""
 
     @abstractmethod

@@ -65,7 +65,9 @@ class LeaderElectProgram(NodeProgram):
         return self._best
 
 
-def elect_leader(network: Network, rounds: Optional[int] = None) -> Tuple[int, RunResult]:
+def elect_leader(
+    network: Network, rounds: Optional[int] = None
+) -> Tuple[int, RunResult]:
     """Run leader election; returns ``(leader_id, run)``.
 
     ``rounds`` defaults to n (a safe upper bound on the diameter).
@@ -214,7 +216,9 @@ def aggregate(
     the combined aggregate (as computed *by the root node program*)."""
     bfs = build_bfs_tree(network, root_vertex)
     root_id = network.node_id(root_vertex)
-    children: Dict[int, list] = {network.node_id(v): [] for v in network.graph.vertices()}
+    children: Dict[int, list] = {
+        network.node_id(v): [] for v in network.graph.vertices()
+    }
     for v, out in bfs.items():
         if out.parent is not None:
             children[out.parent].append(network.node_id(v))

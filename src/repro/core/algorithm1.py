@@ -258,6 +258,7 @@ def detect_cycle_through_edge(
     engine: str = "reference",
     faults=None,
     telemetry=None,
+    cache=None,
 ) -> EdgeDetectionResult:
     """Run Algorithm 1 for ``edge`` (vertex indices) on ``graph``.
 
@@ -287,20 +288,30 @@ def detect_cycle_through_edge(
     telemetry:
         Optional :class:`~repro.obs.Telemetry`; ``None`` resolves to the
         process global (disabled by default).
+    cache:
+        Optional :class:`~repro.congest.engine.cache.EngineCache`:
+        reuse the compiled engine across calls on the same graph
+        content.  Bypassed when ``network`` or ``faults`` is given.
     """
     from ..congest.engine import create_engine
     from ..obs import resolve_telemetry
 
     tel = resolve_telemetry(telemetry)
-    net = network if network is not None else Network(graph)
     u, v = edge
     if not graph.has_edge(u, v):
         raise ConfigurationError(f"edge {edge} not in graph")
+    if cache is not None and network is None and faults is None:
+        eng = cache.get(
+            engine, graph, strict_bandwidth=strict_bandwidth, telemetry=tel,
+        )
+        net = eng.network
+    else:
+        net = network if network is not None else Network(graph)
+        eng = create_engine(
+            engine, net, strict_bandwidth=strict_bandwidth, faults=faults,
+            telemetry=tel,
+        )
     edge_ids = net.edge_ids(u, v)
-    eng = create_engine(
-        engine, net, strict_bandwidth=strict_bandwidth, faults=faults,
-        telemetry=tel,
-    )
     with tel.span("detect.run", k=k, engine=engine):
         result = eng.run_detect(k, edge_ids, pruner=pruner)
     outcomes: Dict[int, DetectionOutcome] = result.outputs

@@ -67,6 +67,13 @@ class CkFreenessTester:
         process global (disabled by default).  Records run/repetition/
         reject counters and a ``tester.run`` span; never affects
         verdicts or randomness.
+    cache:
+        Optional :class:`~repro.congest.engine.cache.EngineCache`:
+        reuse a compiled engine instance when :meth:`run` sees a graph
+        whose content was compiled before.  Bypassed whenever a custom
+        ``network`` or a fault model is in play (those configurations
+        are not content-addressable).  Verdicts, traces and telemetry
+        are identical with and without a cache.
     """
 
     def __init__(
@@ -80,6 +87,7 @@ class CkFreenessTester:
         engine: str = "reference",
         faults=None,
         telemetry=None,
+        cache=None,
     ) -> None:
         if k < 3:
             raise ConfigurationError(f"k must be >= 3, got {k}")
@@ -98,6 +106,7 @@ class CkFreenessTester:
         self._strict = strict_bandwidth
         self._faults = faults
         self._telemetry = telemetry
+        self._cache = cache
 
     # ------------------------------------------------------------------
     def run(
@@ -136,11 +145,17 @@ class CkFreenessTester:
                 repetitions_planned=self.repetitions,
                 rounds_per_repetition=rounds_per_repetition(self.k),
             )
-        net = network if network is not None else Network(graph)
-        eng = create_engine(
-            self.engine, net, strict_bandwidth=self._strict,
-            faults=self._faults, telemetry=telemetry,
-        )
+        if self._cache is not None and network is None and self._faults is None:
+            eng = self._cache.get(
+                self.engine, graph, strict_bandwidth=self._strict,
+                telemetry=telemetry,
+            )
+        else:
+            net = network if network is not None else Network(graph)
+            eng = create_engine(
+                self.engine, net, strict_bandwidth=self._strict,
+                faults=self._faults, telemetry=telemetry,
+            )
         ss = np.random.SeedSequence(seed)
         rep_seeds = ss.generate_state(self.repetitions)
 
@@ -153,11 +168,16 @@ class CkFreenessTester:
             rounds_per_repetition=rounds_per_repetition(self.k),
         )
         with telemetry.span("tester.run", k=self.k, engine=self.engine):
-            for i in range(self.repetitions):
-                rep_seed = int(rep_seeds[i])
-                run = eng.run_tester_repetition(
-                    self.k, rep_seed, pruner=self._pruner
-                )
+            # Engines batch repetitions in verdict-identical chunks (the
+            # ``chunk=C`` spec option); the generator defers each
+            # repetition's telemetry export to its yield, so breaking on
+            # the first reject leaves serial-identical aggregates.
+            runs = eng.iter_tester_chunk(
+                self.k,
+                [int(rep_seeds[i]) for i in range(self.repetitions)],
+                pruner=self._pruner,
+            )
+            for i, run in enumerate(runs):
                 rejecting = tuple(
                     v
                     for v, out in run.outputs.items()

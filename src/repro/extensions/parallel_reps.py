@@ -143,7 +143,9 @@ class BatchedCkTester:
         )
         self._pruner = pruner
 
-    def run(self, graph: Graph, *, seed=None, network: Optional[Network] = None) -> BatchedResult:
+    def run(
+        self, graph: Graph, *, seed=None, network: Optional[Network] = None
+    ) -> BatchedResult:
         """Run all repetitions inside one widened execution."""
         if graph.m == 0:
             return BatchedResult(True, None, 0, 0, None)

@@ -67,7 +67,9 @@ def greedy_cycle_packing(
     return packing
 
 
-def min_edge_deletions_to_ck_free(g: Graph, k: int, budget: Optional[int] = None) -> int:
+def min_edge_deletions_to_ck_free(
+    g: Graph, k: int, budget: Optional[int] = None
+) -> int:
     """Exact minimum number of edge deletions making G Ck-free.
 
     Branch and bound: find a k-cycle, branch on deleting each of its k

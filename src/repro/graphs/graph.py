@@ -212,6 +212,26 @@ class Graph:
                     g.add_edge(index[u], index[v])
         return g
 
+    @classmethod
+    def from_canonical_edge_arrays(
+        cls, n: int, us: np.ndarray, vs: np.ndarray
+    ) -> "Graph":
+        """Fast trusted constructor from parallel endpoint arrays.
+
+        ``us[i] < vs[i]`` must hold for every i, endpoints must be in
+        ``[0, n)``, and edges must be distinct — the caller certifies
+        this (array extractions from CSR exports satisfy it by
+        construction).  Skips per-edge validation; :meth:`validate`
+        checks the result when in doubt.
+        """
+        g = cls(n)
+        adj = g._adj
+        for u, v in zip(us.tolist(), vs.tolist()):
+            adj[u].add(v)
+            adj[v].add(u)
+        g._m = len(us)
+        return g
+
     def relabel(self, permutation: Sequence[int]) -> "Graph":
         """Return the graph with vertex ``i`` renamed ``permutation[i]``."""
         if sorted(permutation) != list(range(self._n)):

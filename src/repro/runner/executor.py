@@ -6,8 +6,19 @@ algorithm variant runs on it, and the returned record contains only
 deterministic fields (no wall-clock timestamps).  That property is what
 lets :func:`run_campaign` promise byte-identical JSONL output whether it
 runs serially or across a :class:`~concurrent.futures.ProcessPoolExecutor`:
-``Executor.map`` yields results in submission order, so the store sees the
+results are always consumed in submission order, so the store sees the
 same record stream either way.
+
+Scheduling policy (wall clock only, never results):
+
+* **Persistent pools** — process pools outlive a single
+  :func:`run_campaign`/:func:`ordered_parallel_map` call, keyed by
+  worker count, so repeated invocations (campaign resume, suite reruns,
+  benchmark repeats) skip interpreter spawn and import costs.
+* **Slot-weighted co-scheduling** — a row running a ``sharded:P``
+  engine forks ``P`` of its own kernel workers, so the campaign counts
+  it as ``P`` slots and keeps the total slots in flight within the
+  worker budget instead of oversubscribing the machine.
 
 Wall-clock throughput is reported separately in the returned
 :class:`ExecutionReport` (and measured by ``benchmarks/bench_campaign.py``).
@@ -15,10 +26,12 @@ Wall-clock throughput is reported separately in the returned
 
 from __future__ import annotations
 
+import atexit
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..baselines.gather import gather_detect_cycle_through_edge
 from ..baselines.naive import naive_detect_cycle_through_edge
@@ -34,8 +47,42 @@ __all__ = [
     "ExecutionReport",
     "execute_row",
     "ordered_parallel_map",
+    "row_slots",
     "run_campaign",
+    "shutdown_persistent_pools",
 ]
+
+#: Live process pools, by worker count (see :func:`_persistent_pool`).
+_PERSISTENT_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _persistent_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared process pool for ``workers``, created on first use.
+
+    Pools persist until interpreter exit (or an explicit
+    :func:`shutdown_persistent_pools`), so consecutive campaign or
+    benchmark invocations in one process reuse warm workers.  A pool
+    broken by a dead worker is discarded and respawned.
+    """
+    pool = _PERSISTENT_POOLS.get(workers)
+    if pool is not None and getattr(pool, "_broken", False):
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = None
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _PERSISTENT_POOLS[workers] = pool
+    return pool
+
+
+def shutdown_persistent_pools() -> None:
+    """Tear down every persistent pool (also runs at interpreter exit)."""
+    pools = list(_PERSISTENT_POOLS.values())
+    _PERSISTENT_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_persistent_pools)
 
 
 def ordered_parallel_map(
@@ -44,25 +91,57 @@ def ordered_parallel_map(
     *,
     workers: int = 1,
     chunksize: int = 1,
+    weights: Optional[Sequence[int]] = None,
 ) -> Iterator[Any]:
     """Yield ``fn(item)`` for each item, serially or across a process pool.
 
-    Results arrive in submission order either way (``Executor.map``
-    preserves it), which is the property both the campaign runner (for
-    byte-identical JSONL) and the benchmark runner (for order-stable
-    artifacts) depend on.  ``fn`` and every item must be picklable when
-    ``workers > 1``.
+    Results arrive in submission order either way, which is the property
+    both the campaign runner (for byte-identical JSONL) and the benchmark
+    runner (for order-stable artifacts) depend on.  ``fn`` and every item
+    must be picklable when ``workers > 1``.
+
+    ``weights`` opts into slot-weighted co-scheduling: ``weights[i]``
+    slots (of ``workers`` total) are held while ``items[i]`` is in
+    flight, so items that fork their own worker processes (sharded-engine
+    rows) do not oversubscribe the machine.  Weights are clamped to
+    ``[1, workers]``; scheduling alters wall clock only, never the
+    result stream.  ``weights`` requires ``chunksize == 1`` (a chunk has
+    no single weight).
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     if chunksize < 1:
         raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
+    if weights is not None:
+        if chunksize != 1:
+            raise ConfigurationError(
+                "weighted scheduling requires chunksize == 1"
+            )
+        if len(weights) != len(items):
+            raise ConfigurationError(
+                f"got {len(weights)} weights for {len(items)} items"
+            )
     if workers == 1:
         for item in items:
             yield fn(item)
         return
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    pool = _persistent_pool(workers)
+    if weights is None:
         yield from pool.map(fn, items, chunksize=chunksize)
+        return
+    in_flight: "deque[tuple]" = deque()
+    held = 0
+    for item, weight in zip(items, weights):
+        weight = max(1, min(int(weight), workers))
+        while in_flight and held + weight > workers:
+            future, slots = in_flight.popleft()
+            yield future.result()
+            held -= slots
+        in_flight.append((pool.submit(fn, item), weight))
+        held += weight
+    while in_flight:
+        future, _ = in_flight.popleft()
+        yield future.result()
 
 
 def _probe_edge(graph: Graph) -> tuple:
@@ -78,6 +157,11 @@ def _run_tester(
     graph: Graph, k: int, eps: float, seed: int, engine: str, faults=None,
     telemetry=None,
 ) -> Dict[str, Any]:
+    # No cross-row engine cache here, deliberately: engine construction
+    # records into the compiling row's private telemetry (shard worker
+    # gauges, pool spawns), so reuse across rows would make a row's
+    # summary depend on which rows ran before it in the same process —
+    # breaking the serial == parallel byte-identity of campaign JSONL.
     result = CkFreenessTester(
         k, eps, engine=engine, faults=faults, telemetry=telemetry
     ).run(graph, seed=seed)
@@ -249,12 +333,37 @@ class ExecutionReport:
         )
 
 
+def row_slots(row: RunRow) -> int:
+    """Worker slots one row occupies under weighted co-scheduling.
+
+    A ``sharded:P`` row forks ``P`` kernel workers of its own, so it
+    counts as ``P`` slots against the campaign's worker budget; every
+    other row (including unparseable engine specs, which fail inside
+    :func:`execute_row` as an error record) counts as one.
+    """
+    from ..congest.engine import parse_engine_spec
+    from ..congest.engine.sharded import default_shard_count
+
+    try:
+        name, opts = parse_engine_spec(row.engine)
+    except ReproError:
+        return 1
+    if name != "sharded":
+        return 1
+    return max(1, int(opts.get("shards", default_shard_count())))
+
+
 def _result_stream(
     pending: List[RunRow], workers: int, chunksize: int
 ) -> Iterator[Dict[str, Any]]:
-    # Ordered map keeps the JSONL stream identical to the serial one.
+    # Ordered map keeps the JSONL stream identical to the serial one;
+    # sharded rows hold as many slots as they fork kernel workers.
+    weights = None
+    if workers > 1 and chunksize == 1:
+        weights = [row_slots(row) for row in pending]
     yield from ordered_parallel_map(
-        execute_row, pending, workers=workers, chunksize=chunksize
+        execute_row, pending, workers=workers, chunksize=chunksize,
+        weights=weights,
     )
 
 

@@ -55,6 +55,7 @@ class Session:
         epsilon: float = 0.1,
         tester_repetitions: Optional[int] = 8,
         telemetry=None,
+        cache=None,
     ) -> None:
         self.name = name
         self.telemetry = resolve_telemetry(telemetry)
@@ -66,6 +67,7 @@ class Session:
             tester_repetitions=tester_repetitions,
             seed=seed,
             telemetry=telemetry,
+            cache=cache,
         )
         self.seed = seed
         self.lock = asyncio.Lock()
@@ -169,6 +171,7 @@ class SessionManager:
     """
 
     def __init__(self, max_sessions: int, *, telemetry=None) -> None:
+        from ..congest.engine.cache import EngineCache
         from ..obs import resolve_telemetry
 
         if max_sessions < 1:
@@ -178,6 +181,10 @@ class SessionManager:
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
         self._auto_names = itertools.count()
         self.evictions = 0
+        # One compiled-instance cache shared by every session: sessions
+        # created from the same base graph (load-harness fan-out, client
+        # retries) reuse one compiled engine for the initial detection.
+        self.engine_cache = EngineCache()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -252,6 +259,7 @@ class SessionManager:
                     epsilon=epsilon,
                     tester_repetitions=tester_repetitions,
                     telemetry=self._telemetry,
+                    cache=self.engine_cache,
                 )
         except (ConfigurationError, GraphError) as exc:
             raise ServiceError(400, "bad_request", str(exc)) from exc

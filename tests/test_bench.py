@@ -351,6 +351,7 @@ class TestRunner:
             "primitives.leader_election",
             "primitives.bfs_tree",
             "primitives.convergecast",
+            "primitives.compile_cache",
         }
         for record in artifact["results"]:
             assert record["status"] == "ok"

@@ -171,6 +171,20 @@ class TestArrayExport:
         arr = g.edge_array()
         assert arr.tolist() == [[0, 2], [1, 2]]
 
+    def test_from_canonical_edge_arrays_roundtrip(self):
+        import numpy as np
+
+        g = Graph(6, [(0, 1), (0, 3), (2, 4), (3, 5)])
+        arr = g.edge_array()
+        h = Graph.from_canonical_edge_arrays(6, arr[:, 0], arr[:, 1])
+        assert h.n == g.n and h.m == g.m
+        assert set(h.edges()) == set(g.edges())
+        h.validate()
+        empty = Graph.from_canonical_edge_arrays(
+            3, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert (empty.n, empty.m) == (3, 0)
+
 
 class TestValidation:
     def test_validate_ok(self):

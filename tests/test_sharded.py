@@ -46,13 +46,15 @@ class TestSpecParsing:
             parse_engine_spec("warp:4")
 
     def test_options_on_optionless_engines(self):
-        with pytest.raises(ConfigurationError, match="takes no options"):
+        with pytest.raises(ConfigurationError, match="takes no shard count"):
             parse_engine_spec("fast:4")
         with pytest.raises(ConfigurationError, match="takes no options"):
             parse_engine_spec("reference:2")
+        with pytest.raises(ConfigurationError, match="takes no options"):
+            parse_engine_spec("reference:chunk=2")
 
     def test_bad_shard_counts(self):
-        with pytest.raises(ConfigurationError, match="bad shard count"):
+        with pytest.raises(ConfigurationError, match="bad option 'four'"):
             parse_engine_spec("sharded:four")
         with pytest.raises(ConfigurationError, match="shards must be >= 1"):
             parse_engine_spec("sharded:0")
